@@ -1,0 +1,67 @@
+//! Buffer pool overhead: cost of one `access` call per replacement policy
+//! under a Zipf-ish skewed page reference string.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_buffer::{BufferPool, ClockPolicy, FifoPolicy, LruPolicy, PageId, RandomPolicy};
+
+/// A skewed reference string: square of a uniform favors low page numbers.
+fn reference_string(pages: u64, len: usize, seed: u64) -> Vec<PageId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            PageId((u * u * pages as f64) as u64)
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let refs = reference_string(10_000, 1 << 16, 99);
+    let capacity = 1_000;
+
+    let mut group = c.benchmark_group("buffer/access");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    let run = |pool: &mut BufferPool, refs: &[PageId]| {
+        let mut misses = 0u64;
+        for &p in refs {
+            if pool.access(p).is_miss() {
+                misses += 1;
+            }
+        }
+        misses
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("LRU"), &refs, |b, refs| {
+        b.iter_batched(
+            || BufferPool::new(capacity, LruPolicy::new()),
+            |mut pool| run(&mut pool, refs),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("CLOCK"), &refs, |b, refs| {
+        b.iter_batched(
+            || BufferPool::new(capacity, ClockPolicy::new()),
+            |mut pool| run(&mut pool, refs),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("FIFO"), &refs, |b, refs| {
+        b.iter_batched(
+            || BufferPool::new(capacity, FifoPolicy::new()),
+            |mut pool| run(&mut pool, refs),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("RANDOM"), &refs, |b, refs| {
+        b.iter_batched(
+            || BufferPool::new(capacity, RandomPolicy::new(3)),
+            |mut pool| run(&mut pool, refs),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

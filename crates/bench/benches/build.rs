@@ -1,0 +1,28 @@
+//! Loader throughput: how fast each loading algorithm builds a tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtree_bench::{synthetic_region, Loader};
+
+fn bench_loaders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    for &n in &[2_000usize, 10_000] {
+        let rects = synthetic_region(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for loader in Loader::ALL {
+            // TAT at 10k is two orders slower than packing; keep it to the
+            // small size so the suite stays quick.
+            if loader == Loader::Tat && n > 2_000 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(loader.name(), n),
+                &rects,
+                |b, rects| b.iter(|| loader.build(50, std::hint::black_box(rects))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loaders);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Model solve time: the paper argues the model is "simple to implement
+//! and quick to solve"; these benches quantify "quick" — probability
+//! evaluation and the `N*` warm-up search as a function of tree size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtree_bench::{synthetic_region, Loader};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+use rtree_datagen::centers;
+
+fn bench_model(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        let rects = synthetic_region(n);
+        let tree = Loader::Hs.build(100, &rects);
+        let desc = TreeDescription::from_tree(&tree);
+        let cs = centers(&rects);
+
+        let mut group = c.benchmark_group(format!("model/{n}"));
+
+        group.bench_function(BenchmarkId::from_parameter("uniform_probs"), |b| {
+            let w = Workload::uniform_region(0.1, 0.1);
+            b.iter(|| BufferModel::new(std::hint::black_box(&desc), &w))
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("data_driven_probs"), |b| {
+            let w = Workload::data_driven_point(cs.clone());
+            b.iter(|| BufferModel::new(std::hint::black_box(&desc), &w))
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("solve_ed"), |b| {
+            let w = Workload::uniform_point();
+            let model = BufferModel::new(&desc, &w);
+            b.iter(|| model.expected_disk_accesses(std::hint::black_box(100)))
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

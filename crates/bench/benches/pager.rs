@@ -1,0 +1,105 @@
+//! Pager micro-benchmarks: page encode/decode and buffer-manager fetch —
+//! the fixed per-access CPU costs that sit under every "disk access" the
+//! study counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_bench::{synthetic_region, Loader};
+use rtree_buffer::{LruPolicy, PageId};
+use rtree_geom::Rect;
+use rtree_pager::{BufferManager, DiskRTree, MemStore, NodePage, PageStore, PAGE_SIZE};
+
+fn bench_codec(c: &mut Criterion) {
+    let node = NodePage {
+        level: 0,
+        entries: (0..100u64)
+            .map(|i| {
+                let v = i as f64 / 100.0;
+                (Rect::new(v * 0.9, v * 0.8, v * 0.9 + 0.05, v * 0.8 + 0.05), i)
+            })
+            .collect(),
+    };
+    let mut buf = vec![0u8; PAGE_SIZE];
+    node.encode(&mut buf);
+
+    let mut group = c.benchmark_group("pager/codec");
+    group.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    group.bench_function("encode_100_entries", |b| {
+        b.iter(|| node.encode(std::hint::black_box(&mut buf)))
+    });
+    group.bench_function("decode_100_entries", |b| {
+        b.iter(|| NodePage::decode(std::hint::black_box(&buf)).expect("valid page"))
+    });
+    group.finish();
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    // A store of 2,000 pages, a 500-frame manager, skewed references.
+    let mut buf = vec![0u8; PAGE_SIZE];
+    let node = NodePage {
+        level: 0,
+        entries: vec![(Rect::new(0.1, 0.1, 0.2, 0.2), 7); 50],
+    };
+    node.encode(&mut buf);
+    let mut rng = StdRng::seed_from_u64(11);
+    let refs: Vec<PageId> = (0..1 << 14)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            PageId((u * u * 2_000.0) as u64)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("pager/fetch");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    group.bench_function("skewed_mix", |b| {
+        b.iter_batched(
+            || BufferManager::new(mut_store_clone(&buf), 500, LruPolicy::new()),
+            |mut mgr| {
+                let mut sum = 0u64;
+                for &p in &refs {
+                    sum += mgr.fetch(p).expect("fetch")[4] as u64;
+                }
+                sum
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Builds a fresh 2,000-page store filled with `page` content.
+fn mut_store_clone(page: &[u8]) -> MemStore {
+    let mut store = MemStore::new();
+    for _ in 0..2_000 {
+        let id = store.allocate().expect("mem alloc");
+        store.write_page(id, page).expect("mem write");
+    }
+    store
+}
+
+fn bench_disk_query(c: &mut Criterion) {
+    let rects = synthetic_region(20_000);
+    let tree = Loader::Hs.build(50, &rects);
+    let mut group = c.benchmark_group("pager/query");
+    for buffer in [25usize, 400] {
+        group.bench_with_input(
+            BenchmarkId::new("point_query", buffer),
+            &buffer,
+            |b, &buffer| {
+                let mut disk =
+                    DiskRTree::create(MemStore::new(), &tree, buffer, LruPolicy::new())
+                        .expect("create");
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| {
+                    let p = rtree_geom::Point::new(rng.gen(), rng.gen());
+                    disk.query(&Rect::point(p)).expect("query").len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_fetch, bench_disk_query);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Query latency per loader: in-memory traversal cost of point and 1%
+//! region queries against trees built by each loading algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_bench::{synthetic_region, Loader};
+use rtree_geom::{Point, Rect};
+
+fn bench_queries(c: &mut Criterion) {
+    let rects = synthetic_region(20_000);
+    let trees: Vec<_> = Loader::ALL
+        .iter()
+        .map(|&l| (l, l.build(50, &rects)))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let points: Vec<Rect> = (0..256)
+        .map(|_| Rect::point(Point::new(rng.gen(), rng.gen())))
+        .collect();
+    let regions: Vec<Rect> = (0..256)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..0.9);
+            let y: f64 = rng.gen_range(0.0..0.9);
+            Rect::new(x, y, x + 0.1, y + 0.1)
+        })
+        .collect();
+
+    for (kind, queries) in [("point", &points), ("region1pct", &regions)] {
+        let mut group = c.benchmark_group(format!("query/{kind}"));
+        for (loader, tree) in &trees {
+            group.bench_with_input(BenchmarkId::from_parameter(loader.name()), tree, |b, t| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    std::hint::black_box(t.count_accesses(q))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

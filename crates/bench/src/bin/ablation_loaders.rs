@@ -1,0 +1,50 @@
+//! **Ablation** — the full loader roster. The paper studies TAT, NX and
+//! HS; this experiment adds the Morton (Z-order) and STR packings to the
+//! same buffered comparison, reporting the geometry aggregates the cost
+//! model depends on (total MBR area and perimeter) alongside expected disk
+//! accesses at several buffer sizes.
+
+use rtree_bench::{f, tiger, Loader, Table};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+
+fn main() {
+    let cap = 100;
+    let rects = tiger();
+
+    for (slug, title, workload) in [
+        (
+            "ablation_loaders_point",
+            "Ablation: all loaders, point queries (TIGER-like, cap 100)",
+            Workload::uniform_point(),
+        ),
+        (
+            "ablation_loaders_region",
+            "Ablation: all loaders, 1% region queries (TIGER-like, cap 100)",
+            Workload::uniform_region(0.1, 0.1),
+        ),
+    ] {
+        let mut table = Table::new(
+            title,
+            &[
+                "loader", "nodes", "area A", "Lx+Ly", "visits", "B=10", "B=50", "B=200",
+            ],
+        );
+        for loader in Loader::ALL {
+            let tree = loader.build(cap, &rects);
+            let desc = TreeDescription::from_tree(&tree);
+            let (a, lx, ly) = desc.aggregates();
+            let model = BufferModel::new(&desc, &workload);
+            table.row(vec![
+                loader.name().to_string(),
+                desc.total_nodes().to_string(),
+                f(a),
+                f(lx + ly),
+                f(model.expected_node_accesses()),
+                f(model.expected_disk_accesses(10)),
+                f(model.expected_disk_accesses(50)),
+                f(model.expected_disk_accesses(200)),
+            ]);
+        }
+        table.emit(slug);
+    }
+}

@@ -1,0 +1,76 @@
+//! **Ablation** — Guttman split heuristics under buffering. The paper's
+//! TAT loader uses the quadratic split; this experiment compares quadratic
+//! vs linear splits through the buffer model, showing whether split quality
+//! still matters once a buffer absorbs the hot top of the tree.
+
+use rtree_bench::{f, synthetic_region, Table};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+use rtree_index::{LinearSplit, RStarSplit, TupleAtATime};
+
+fn main() {
+    let cap = 50;
+    let rects = synthetic_region(20_000);
+
+    let quad = TupleAtATime::quadratic(cap).load(&rects);
+    let lin = TupleAtATime::with_split(cap, LinearSplit).load(&rects);
+    let rstar = TupleAtATime::with_split(cap, RStarSplit).load(&rects);
+    let rstar_full = TupleAtATime::rstar(cap).load(&rects);
+
+    let d_quad = TreeDescription::from_tree(&quad);
+    let d_lin = TreeDescription::from_tree(&lin);
+    let d_rstar = TreeDescription::from_tree(&rstar);
+    let d_full = TreeDescription::from_tree(&rstar_full);
+
+    println!(
+        "tree sizes: quadratic {} nodes, linear {} nodes, R*-split {} nodes, full R* {} nodes\n",
+        d_quad.total_nodes(),
+        d_lin.total_nodes(),
+        d_rstar.total_nodes(),
+        d_full.total_nodes()
+    );
+
+    for (slug, title, workload) in [
+        (
+            "ablation_splits_point",
+            "Ablation: split heuristic, point queries (synthetic region 20k, cap 50)",
+            Workload::uniform_point(),
+        ),
+        (
+            "ablation_splits_region",
+            "Ablation: split heuristic, 1% region queries (synthetic region 20k, cap 50)",
+            Workload::uniform_region(0.1, 0.1),
+        ),
+    ] {
+        let m_quad = BufferModel::new(&d_quad, &workload);
+        let m_lin = BufferModel::new(&d_lin, &workload);
+        let m_rstar = BufferModel::new(&d_rstar, &workload);
+        let m_full = BufferModel::new(&d_full, &workload);
+        let mut table = Table::new(
+            title,
+            &["buffer", "quadratic", "linear", "rstar-split", "full R*", "full R*/quadratic"],
+        );
+        table.row(vec![
+            "(no buffer)".to_string(),
+            f(m_quad.expected_node_accesses()),
+            f(m_lin.expected_node_accesses()),
+            f(m_rstar.expected_node_accesses()),
+            f(m_full.expected_node_accesses()),
+            f(m_full.expected_node_accesses() / m_quad.expected_node_accesses()),
+        ]);
+        for b in [10usize, 50, 100, 200, 400] {
+            let q = m_quad.expected_disk_accesses(b);
+            let l = m_lin.expected_disk_accesses(b);
+            let r = m_rstar.expected_disk_accesses(b);
+            let fu = m_full.expected_disk_accesses(b);
+            table.row(vec![
+                b.to_string(),
+                f(q),
+                f(l),
+                f(r),
+                f(fu),
+                f(if q > 0.0 { fu / q } else { f64::NAN }),
+            ]);
+        }
+        table.emit(slug);
+    }
+}

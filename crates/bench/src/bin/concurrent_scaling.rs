@@ -1,0 +1,72 @@
+//! **Extension** — multi-client scaling of disk-backed query execution.
+//!
+//! The paper's setting is a database buffer shared by concurrent clients;
+//! this experiment drives the `ConcurrentDiskRTree` (latch-protected pool,
+//! lock-free page decoding) with 1–8 threads of uniform region queries and
+//! reports aggregate throughput and the physical read rate. Disk accesses
+//! per query must stay at the model's prediction regardless of the client
+//! count — residency depends on the reference stream, not on who issues it.
+
+use rtree_bench::{f, flag, synthetic_region, Loader, Table};
+use rtree_buffer::LruPolicy;
+use rtree_core::{BufferModel, TreeDescription, Workload};
+use rtree_pager::{ConcurrentDiskRTree, MemStore};
+use rtree_sim::QuerySampler;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let cap = 50;
+    let rects = synthetic_region(50_000);
+    let tree = Loader::Hs.build(cap, &rects);
+    let desc = TreeDescription::from_tree(&tree);
+    let workload = Workload::uniform_region(0.05, 0.05);
+    let buffer = 200;
+    let model = BufferModel::new(&desc, &workload).expected_disk_accesses(buffer);
+    let queries_per_thread = if flag("--quick") { 5_000 } else { 40_000 };
+
+    let mut table = Table::new(
+        format!(
+            "Concurrent scaling: {queries_per_thread} region queries/thread, B={buffer} \
+             (synthetic region 50k, HS cap 50)"
+        ),
+        &["threads", "queries/s", "disk accesses/query", "model"],
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        let disk = Arc::new(
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, buffer, LruPolicy::new())
+                .expect("create"),
+        );
+        // Warm up single-threaded so the measurement is steady-state.
+        let mut warm = QuerySampler::new(&workload, 0xACED);
+        for _ in 0..20_000 {
+            disk.query(&warm.sample()).expect("warmup query");
+        }
+        disk.reset_counters();
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let disk = Arc::clone(&disk);
+                let workload = workload.clone();
+                scope.spawn(move || {
+                    let mut sampler = QuerySampler::new(&workload, 0xBEEF + t as u64);
+                    for _ in 0..queries_per_thread {
+                        disk.query(&sampler.sample()).expect("query");
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let total_queries = (threads * queries_per_thread) as f64;
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.0}", total_queries / elapsed),
+            f(disk.physical_reads() as f64 / total_queries),
+            f(model),
+        ]);
+    }
+    table.emit("concurrent_scaling");
+    println!("Disk accesses/query should be flat across thread counts and near the model.");
+}

@@ -1,0 +1,71 @@
+//! **Tooling** — dump the per-level MBR description of a loaded tree in the
+//! interchange text format (`level x0 y0 x1 y1`, level 0 = root).
+//!
+//! This is the paper's hybrid workflow made concrete: build trees here,
+//! run the model (or an external tool) on the dumps.
+//!
+//! ```text
+//! cargo run --release -p rtree-bench --bin describe_tree -- tiger 100 HS
+//! ```
+//! Arguments: `<dataset> <node-capacity> <loader>` with
+//! dataset ∈ {tiger, cfd, region:<N>, point:<N>} and
+//! loader ∈ {TAT, NX, HS, MORTON, STR}. Output goes to
+//! `results/desc_<dataset>_<loader>_<cap>.txt`.
+
+use rtree_bench::{cfd, synthetic_point, synthetic_region, tiger, Loader};
+use rtree_core::TreeDescription;
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!("usage: describe_tree <tiger|cfd|region:N|point:N> <capacity> <TAT|NX|HS|MORTON|STR>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    if args.len() != 3 {
+        usage();
+    }
+    let rects = match args[0].as_str() {
+        "tiger" => tiger(),
+        "cfd" => cfd(),
+        other => {
+            let Some((kind, n)) = other.split_once(':') else { usage() };
+            let n: usize = n.parse().unwrap_or_else(|_| usage());
+            match kind {
+                "region" => synthetic_region(n),
+                "point" => synthetic_point(n),
+                _ => usage(),
+            }
+        }
+    };
+    let cap: usize = args[1].parse().unwrap_or_else(|_| usage());
+    let loader = match args[2].to_uppercase().as_str() {
+        "TAT" => Loader::Tat,
+        "NX" => Loader::Nx,
+        "HS" => Loader::Hs,
+        "MORTON" => Loader::Morton,
+        "STR" => Loader::Str,
+        _ => usage(),
+    };
+
+    let tree = loader.build(cap, &rects);
+    let desc = TreeDescription::from_tree(&tree);
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let name = format!(
+        "desc_{}_{}_{cap}.txt",
+        args[0].replace(':', ""),
+        loader.name()
+    );
+    let path = dir.join(name);
+    std::fs::write(&path, desc.to_text()).expect("write description");
+    println!(
+        "{} items -> {} nodes over {} levels {:?}; wrote {}",
+        tree.len(),
+        desc.total_nodes(),
+        desc.height(),
+        desc.nodes_per_level(),
+        path.display()
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 10** — the effect of pinning the top levels: disk accesses vs
+//! data size for HS trees on synthetic point data (node size 25, 4-level
+//! trees, Table 2 shapes), buffers of 500 / 1,000 / 2,000 pages, point
+//! queries.
+//!
+//! The paper's finding: pinning 0, 1 or 2 levels is indistinguishable (LRU
+//! already keeps those few pages hot); pinning 3 levels helps only once the
+//! pinned page count is within roughly a factor of two of the buffer size
+//! (417 pinned pages at 250k points: −53% for B = 500; 135 pages at 80k:
+//! −4%).
+
+use rtree_bench::{f, pct, synthetic_point, Loader, Table};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+
+fn main() {
+    let cap = 25;
+    let sizes = [40_000usize, 80_000, 120_000, 160_000, 200_000, 250_000];
+    let buffers = [500usize, 1_000, 2_000];
+    let workload = Workload::uniform_point();
+
+    let models: Vec<(usize, BufferModel)> = sizes
+        .iter()
+        .map(|&n| {
+            let tree = Loader::Hs.build(cap, &synthetic_point(n));
+            (n, BufferModel::new(&TreeDescription::from_tree(&tree), &workload))
+        })
+        .collect();
+
+    for &b in &buffers {
+        let mut table = Table::new(
+            format!("Fig 10: disk accesses vs data size, buffer = {b} (HS, cap 25, point queries)"),
+            &["points", "pin 0", "pin 1", "pin 2", "pin 3", "pinned pages(3)", "pin-3 gain"],
+        );
+        for (n, model) in &models {
+            let mut ed = Vec::new();
+            for pin in 0..=3usize {
+                let v = if pin == 0 {
+                    model.expected_disk_accesses(b)
+                } else {
+                    model.expected_disk_accesses_pinned(b, pin).unwrap_or(f64::NAN)
+                };
+                ed.push(v);
+            }
+            let gain = if ed[3].is_nan() || ed[0] == 0.0 {
+                "n/a".to_string()
+            } else {
+                pct((ed[0] - ed[3]) / ed[0])
+            };
+            table.row(vec![
+                n.to_string(),
+                f(ed[0]),
+                f(ed[1]),
+                f(ed[2]),
+                f(ed[3]),
+                model.pinned_pages(3).to_string(),
+                gain,
+            ]);
+        }
+        table.emit(&format!("fig10_buffer{b}"));
+    }
+}

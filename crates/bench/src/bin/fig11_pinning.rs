@@ -1,0 +1,81 @@
+//! **Figure 11** — when does pinning pay off?
+//!
+//! Left: disk accesses vs buffer size on the TIGER-like data (HS, 25 keys
+//! per node, point queries) for 0–3 pinned levels. Pinning ≤2 levels
+//! changes nothing; pinning 3 helps only in a window of buffer sizes, and
+//! becomes infeasible once the buffer is smaller than the top three levels.
+//!
+//! Right: percent improvement of pinning vs region query side length `QX`
+//! (synthetic point data, 250,000 points, B = 500). Bigger queries fetch
+//! many leaves, drowning the benefit of pinned internal levels.
+
+use rtree_bench::{f, pct, synthetic_point, tiger, Loader, Table};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+
+fn main() {
+    left_panel();
+    right_panel();
+}
+
+fn left_panel() {
+    let cap = 25;
+    let rects = tiger();
+    let tree = Loader::Hs.build(cap, &rects);
+    let desc = TreeDescription::from_tree(&tree);
+    let model = BufferModel::new(&desc, &Workload::uniform_point());
+    println!(
+        "TIGER-like HS tree at cap 25, pages per level: {:?}\n",
+        desc.nodes_per_level()
+    );
+
+    let buffers = [25usize, 50, 75, 100, 150, 200, 300, 500, 1_000, 2_000];
+    let mut table = Table::new(
+        "Fig 11 (left): disk accesses vs buffer size and pinned levels (TIGER-like, HS, cap 25)",
+        &["buffer", "pin 0", "pin 1", "pin 2", "pin 3", "max pinnable"],
+    );
+    for &b in &buffers {
+        let mut cells = vec![b.to_string()];
+        cells.push(f(model.expected_disk_accesses(b)));
+        for pin in 1..=3usize {
+            match model.expected_disk_accesses_pinned(b, pin) {
+                Ok(v) => cells.push(f(v)),
+                Err(_) => cells.push("infeasible".to_string()),
+            }
+        }
+        cells.push(model.max_pinnable_levels(b).to_string());
+        table.row(cells);
+    }
+    table.emit("fig11_left");
+}
+
+fn right_panel() {
+    let cap = 25;
+    let buffer = 500;
+    let rects = synthetic_point(250_000);
+    let tree = Loader::Hs.build(cap, &rects);
+    let desc = TreeDescription::from_tree(&tree);
+
+    let mut table = Table::new(
+        "Fig 11 (right): % improvement from pinning vs query size QX \
+         (synthetic point 250k, HS cap 25, B=500)",
+        &["QX", "pin 2 gain", "pin 3 gain"],
+    );
+    for step in 0..=6 {
+        let qx = 0.025 * step as f64;
+        let workload = if qx == 0.0 {
+            Workload::uniform_point()
+        } else {
+            Workload::uniform_region(qx, qx)
+        };
+        let model = BufferModel::new(&desc, &workload);
+        let base = model.expected_disk_accesses(buffer);
+        let gain = |pin: usize| -> String {
+            match model.expected_disk_accesses_pinned(buffer, pin) {
+                Ok(v) if base > 0.0 => pct((base - v) / base),
+                _ => "n/a".to_string(),
+            }
+        };
+        table.row(vec![format!("{qx:.3}"), gain(2), gain(3)]);
+    }
+    table.emit("fig11_right");
+}

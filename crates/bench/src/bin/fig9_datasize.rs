@@ -1,0 +1,53 @@
+//! **Figure 9** — disk accesses vs data set size on synthetic region data,
+//! NX and HS, point queries. Top-left of the figure ignores buffering
+//! (nodes visited); the other panels use buffers of 10 and 300 pages.
+//!
+//! The paper's point: without a buffer, cost appears to saturate with data
+//! size (leaf MBRs tighten as density grows), which "could cause a query
+//! optimizer to produce a poor query plan"; with a buffer the real cost of
+//! larger trees is evident.
+
+use rtree_bench::{f, synthetic_region, Loader, Table};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+
+fn main() {
+    let cap = 100;
+    let sizes = [
+        10_000usize, 25_000, 50_000, 100_000, 150_000, 200_000, 250_000, 300_000,
+    ];
+    let workload = Workload::uniform_point();
+
+    let mut table = Table::new(
+        "Fig 9: nodes visited (no buffer) and disk accesses (B=10, B=300) vs data size \
+         (synthetic region, cap 100, point queries)",
+        &[
+            "rects",
+            "nodes",
+            "visit NX",
+            "visit HS",
+            "B10 NX",
+            "B10 HS",
+            "B300 NX",
+            "B300 HS",
+        ],
+    );
+
+    for &n in &sizes {
+        let rects = synthetic_region(n);
+        let nx = TreeDescription::from_tree(&Loader::Nx.build(cap, &rects));
+        let hs = TreeDescription::from_tree(&Loader::Hs.build(cap, &rects));
+        let m_nx = BufferModel::new(&nx, &workload);
+        let m_hs = BufferModel::new(&hs, &workload);
+        table.row(vec![
+            n.to_string(),
+            nx.total_nodes().to_string(),
+            f(m_nx.expected_node_accesses()),
+            f(m_hs.expected_node_accesses()),
+            f(m_nx.expected_disk_accesses(10)),
+            f(m_hs.expected_disk_accesses(10)),
+            f(m_nx.expected_disk_accesses(300)),
+            f(m_hs.expected_disk_accesses(300)),
+        ]);
+    }
+    table.emit("fig9_datasize");
+}

@@ -1,0 +1,74 @@
+//! Runs the complete reproduction suite — every table/figure binary plus
+//! the extension experiments — in paper order, as one process. Accepts the
+//! same `--csv` / `--quick` flags and forwards them implicitly (the
+//! experiments read the process arguments).
+//!
+//! ```text
+//! cargo run --release -p rtree-bench --bin repro_all -- --quick
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_validation",
+    "table2_nodes_per_level",
+    "fig5_cfd_data",
+    "fig6_buffer_sensitivity",
+    "fig7_tiger_datadriven",
+    "fig8_cfd_datadriven",
+    "fig9_datasize",
+    "fig10_pinning_datasize",
+    "fig11_pinning",
+    "validate_disk",
+    "ablation_policies",
+    "ablation_loaders",
+    "ablation_splits",
+    "update_quality",
+    "model_accuracy_sweep",
+    "mixed_workloads",
+    "concurrent_scaling",
+    "nd_generalization",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a directory")
+        .to_path_buf();
+
+    let started = Instant::now();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n######## {name} ########\n");
+        let t = Instant::now();
+        let direct = exe_dir.join(name);
+        // `cargo run --bin repro_all` only builds this binary; fall back to
+        // cargo for siblings that were not built yet.
+        let status = if direct.exists() {
+            Command::new(direct).args(&args).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "rtree-bench", "--bin", name, "--"])
+                .args(&args)
+                .status()
+        }
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        println!("[{name}: {:.1}s]", t.elapsed().as_secs_f64());
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    println!(
+        "\n======== reproduction suite finished in {:.1}s ========",
+        started.elapsed().as_secs_f64()
+    );
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

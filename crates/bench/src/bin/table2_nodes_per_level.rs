@@ -1,0 +1,31 @@
+//! **Table 2** — number of nodes per level for the synthetic point data
+//! sets used in the pinning study (§5.5): 40,000–250,000 points, node size
+//! 25, Hilbert-packed, giving 4-level trees.
+
+use rtree_bench::{synthetic_point, Loader, Table};
+
+fn main() {
+    let cap = 25;
+    let sizes = [40_000usize, 80_000, 120_000, 160_000, 200_000, 250_000];
+
+    let mut table = Table::new(
+        "Table 2: nodes per level (synthetic point data, node size 25, HS)",
+        &["points", "level 0 (root)", "level 1", "level 2", "level 3 (leaf)", "total"],
+    );
+
+    for &n in &sizes {
+        let tree = Loader::Hs.build(cap, &synthetic_point(n));
+        let stats = tree.stats();
+        let per_level = stats.nodes_per_level();
+        assert_eq!(per_level.len(), 4, "expected 4-level trees as in the paper");
+        table.row(vec![
+            n.to_string(),
+            per_level[0].to_string(),
+            per_level[1].to_string(),
+            per_level[2].to_string(),
+            per_level[3].to_string(),
+            stats.total_nodes.to_string(),
+        ]);
+    }
+    table.emit("table2_nodes_per_level");
+}

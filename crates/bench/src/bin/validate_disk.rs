@@ -1,0 +1,66 @@
+//! **End-to-end physical validation** — the same workload measured three
+//! ways:
+//!
+//! 1. the analytic buffer model (eq. 6),
+//! 2. the trace-driven LRU simulation (§4),
+//! 3. actual execution against a page file through the buffer manager
+//!    (`rtree-pager`), counting real page reads.
+//!
+//! All three must agree: that is the claim that "number of disk accesses"
+//! as computed by the model is the physical quantity a database would pay.
+
+use rtree_bench::{f, seeds, sim_scale, synthetic_region, Loader, Table};
+use rtree_buffer::LruPolicy;
+use rtree_core::{BufferModel, TreeDescription, Workload};
+use rtree_pager::{DiskRTree, MemStore};
+use rtree_sim::{QuerySampler, SimConfig, SimTree, Simulation};
+
+fn main() {
+    let cap = 50;
+    let rects = synthetic_region(20_000);
+    let tree = Loader::Hs.build(cap, &rects);
+    let desc = TreeDescription::from_tree(&tree);
+    let sim_tree = SimTree::from_tree(&tree);
+    let workload = Workload::uniform_point();
+    let model = BufferModel::new(&desc, &workload);
+    let (batches, qpb) = sim_scale();
+    let queries = (batches * qpb / 4).max(10_000);
+
+    let mut table = Table::new(
+        "End-to-end: model vs trace simulation vs physical page reads \
+         (synthetic region 20k, HS cap 50, point queries)",
+        &["buffer", "model", "trace sim", "physical", "physical hit ratio"],
+    );
+
+    for b in [25usize, 100, 300] {
+        // 1. Model.
+        let predicted = model.expected_disk_accesses(b);
+
+        // 2. Trace simulation.
+        let cfg = SimConfig::new(b).batches(batches, qpb).seed(seeds::SIM);
+        let sim = Simulation::new(cfg).run(&sim_tree, &workload);
+
+        // 3. Physical execution: serialize to pages, run real queries.
+        let mut disk =
+            DiskRTree::create(MemStore::new(), &tree, b, LruPolicy::new()).expect("create");
+        let mut sampler = QuerySampler::new(&workload, seeds::SIM ^ 0xD15C);
+        // Warm-up, then measure.
+        for _ in 0..queries / 4 {
+            disk.query(&sampler.sample()).expect("query");
+        }
+        disk.reset_counters();
+        for _ in 0..queries {
+            disk.query(&sampler.sample()).expect("query");
+        }
+        let physical = disk.physical_reads() as f64 / queries as f64;
+
+        table.row(vec![
+            b.to_string(),
+            f(predicted),
+            f(sim.disk_accesses_per_query),
+            f(physical),
+            f(disk.hit_ratio()),
+        ]);
+    }
+    table.emit("validate_disk");
+}

@@ -1,0 +1,262 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every table and figure of the paper has a dedicated binary in
+//! `src/bin/`; this module provides the common pieces: standard data sets
+//! (fixed seeds), the loader roster, table formatting, and CSV output.
+//!
+//! Run an experiment with, e.g.:
+//! ```text
+//! cargo run --release -p rtree-bench --bin fig6_buffer_sensitivity
+//! ```
+//! Flags understood by every binary: `--csv` (also write `results/*.csv`)
+//! and `--quick` (shrink simulation sizes for smoke runs).
+
+use rtree_datagen::{CfdLike, SyntheticPoint, SyntheticRegion, TigerLike};
+use rtree_geom::Rect;
+use rtree_index::{BulkLoader, RTree, TupleAtATime};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Seeds: one per data set, fixed so every experiment sees the same data.
+pub mod seeds {
+    /// TIGER-like street map.
+    pub const TIGER: u64 = 0x7169_e201;
+    /// CFD-like mesh.
+    pub const CFD: u64 = 0xcfd0_0737;
+    /// Synthetic region data.
+    pub const REGION: u64 = 0x5e91_0a01;
+    /// Synthetic point data.
+    pub const POINT: u64 = 0x901_717;
+    /// Simulation RNG.
+    pub const SIM: u64 = 0x51u64 << 32 | 0x1aab;
+}
+
+/// The TIGER-like data set at the paper's cardinality (53,145 rectangles).
+pub fn tiger() -> Vec<Rect> {
+    TigerLike::paper().generate(seeds::TIGER)
+}
+
+/// The CFD-like data set at the paper's cardinality (52,510 points).
+pub fn cfd() -> Vec<Rect> {
+    CfdLike::paper().generate(seeds::CFD)
+}
+
+/// The CFD-like Fig. 5 sample (5,088 points).
+pub fn cfd_fig5() -> Vec<Rect> {
+    CfdLike::fig5().generate(seeds::CFD)
+}
+
+/// Synthetic region data (§5.1) of a given size.
+pub fn synthetic_region(n: usize) -> Vec<Rect> {
+    SyntheticRegion::new(n).generate(seeds::REGION)
+}
+
+/// Synthetic point data (§5.1) of a given size.
+pub fn synthetic_point(n: usize) -> Vec<Rect> {
+    SyntheticPoint::new(n).generate(seeds::POINT)
+}
+
+/// The loading algorithms under study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loader {
+    /// Tuple-at-a-time Guttman insertion, quadratic split (§2.2 TAT).
+    Tat,
+    /// Nearest-X packing (§2.2 NX).
+    Nx,
+    /// Hilbert-sort packing (§2.2 HS).
+    Hs,
+    /// Morton/Z-order packing (extension).
+    Morton,
+    /// Sort-tile-recursive packing (extension).
+    Str,
+    /// Full R*-tree insertion: R* split + forced reinsertion (extension).
+    Rstar,
+}
+
+impl Loader {
+    /// The paper's three loaders, in its reporting order.
+    pub const PAPER: [Loader; 3] = [Loader::Tat, Loader::Nx, Loader::Hs];
+    /// All six loaders.
+    pub const ALL: [Loader; 6] = [
+        Loader::Tat,
+        Loader::Rstar,
+        Loader::Nx,
+        Loader::Hs,
+        Loader::Morton,
+        Loader::Str,
+    ];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Loader::Tat => "TAT",
+            Loader::Nx => "NX",
+            Loader::Hs => "HS",
+            Loader::Morton => "MORTON",
+            Loader::Str => "STR",
+            Loader::Rstar => "R*",
+        }
+    }
+
+    /// Builds a tree with node capacity `cap`.
+    pub fn build(self, cap: usize, rects: &[Rect]) -> RTree {
+        match self {
+            Loader::Tat => TupleAtATime::quadratic(cap).load(rects),
+            Loader::Nx => BulkLoader::nearest_x(cap).load(rects),
+            Loader::Hs => BulkLoader::hilbert(cap).load(rects),
+            Loader::Morton => BulkLoader::morton(cap).load(rects),
+            Loader::Str => BulkLoader::str_pack(cap).load(rects),
+            Loader::Rstar => TupleAtATime::rstar(cap).load(rects),
+        }
+    }
+}
+
+/// A printable/exportable result table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).expect("string write");
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = w - c.len();
+                // Right-align numeric-looking cells, left-align labels.
+                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.') {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(c);
+                } else {
+                    out.push_str(c);
+                    out.push_str(&" ".repeat(pad));
+                }
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.headers.join(",")).expect("string write");
+        for row in &self.rows {
+            writeln!(out, "{}", row.join(",")).expect("string write");
+        }
+        out
+    }
+
+    /// Prints the table; when `--csv` was passed, also writes
+    /// `results/<slug>.csv`.
+    pub fn emit(&self, slug: &str) {
+        println!("{}", self.render());
+        if flag("--csv") {
+            let dir = Path::new("results");
+            std::fs::create_dir_all(dir).expect("create results dir");
+            let path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&path, self.to_csv()).expect("write csv");
+            println!("[csv] wrote {}", path.display());
+        }
+    }
+}
+
+/// True if a command-line flag is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Simulation scale: (`batches`, `queries_per_batch`) — reduced by
+/// `--quick`.
+pub fn sim_scale() -> (usize, usize) {
+    if flag("--quick") {
+        (5, 5_000)
+    } else {
+        (20, 50_000)
+    }
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_have_paper_cardinalities() {
+        assert_eq!(tiger().len(), 53_145);
+        assert_eq!(cfd_fig5().len(), 5_088);
+        assert_eq!(synthetic_region(1_000).len(), 1_000);
+        assert_eq!(synthetic_point(1_000).len(), 1_000);
+    }
+
+    #[test]
+    fn loaders_build_valid_trees() {
+        let rects = synthetic_region(600);
+        for loader in Loader::ALL {
+            let t = loader.build(10, &rects);
+            t.validate().unwrap_or_else(|e| panic!("{}: {e}", loader.name()));
+            assert_eq!(t.len(), 600);
+        }
+    }
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new("Demo", &["loader", "value"]);
+        t.row(vec!["HS".into(), "1.25".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("HS"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "loader,value\nHS,1.25\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

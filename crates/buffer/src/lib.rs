@@ -1,0 +1,56 @@
+//! Buffer pool with pluggable replacement policies and page pinning.
+//!
+//! The paper models an **LRU** buffer (following Bhide, Dan & Dias) and
+//! studies pinning the top levels of the R-tree in the pool (§3.3, §5.5).
+//! This crate provides the pool used by both the trace-driven simulator
+//! (`rtree-sim`) and the physical buffer manager (`rtree-pager`), plus
+//! FIFO / Clock / Random replacement as ablation baselines.
+//!
+//! The pool tracks *which* pages are resident, not their contents — content
+//! management is the pager's job. That split keeps the simulator allocation
+//! free on the hot path.
+
+mod clock;
+mod fifo;
+mod lru;
+mod lruk;
+mod pool;
+mod random;
+
+pub use clock::ClockPolicy;
+pub use fifo::FifoPolicy;
+pub use lru::LruPolicy;
+pub use lruk::LruKPolicy;
+pub use pool::{AccessOutcome, BufferPool, BufferStats, PinError};
+pub use random::RandomPolicy;
+
+/// Identifier of a buffered page. In the R-tree study one page holds one
+/// tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// A replacement policy tracks the set of *evictable* (resident, unpinned)
+/// pages and chooses victims.
+///
+/// Contract: a page is either *tracked* (after `on_insert`, until `evict`
+/// returns it or `remove` is called) or not; `on_hit` is only called for
+/// tracked pages, and `evict` is only called when at least one page is
+/// tracked.
+pub trait ReplacementPolicy: Send {
+    /// A tracked page was referenced again.
+    fn on_hit(&mut self, page: PageId);
+    /// Starts tracking a page that just became resident (and evictable).
+    fn on_insert(&mut self, page: PageId);
+    /// Chooses a victim, removes it from tracking and returns it.
+    fn evict(&mut self) -> PageId;
+    /// Stops tracking a page (e.g. it is being pinned).
+    fn remove(&mut self, page: PageId);
+    /// Number of tracked pages.
+    fn len(&self) -> usize;
+    /// True if no pages are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Short policy name for experiment output.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,343 @@
+//! The buffer pool: residency tracking, eviction, pinning, statistics.
+
+use crate::{PageId, ReplacementPolicy};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Result of one page access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The page was resident (no disk access).
+    Hit,
+    /// The page was not resident; it was read from disk and cached,
+    /// evicting `evicted` if the pool was full.
+    Miss { evicted: Option<PageId> },
+    /// The page was not resident and could not be cached because every
+    /// frame is pinned; it was read from disk and bypassed the pool.
+    MissBypass,
+}
+
+impl AccessOutcome {
+    /// True if the access required a disk read.
+    pub fn is_miss(&self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Counters accumulated by a pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Total page accesses.
+    pub accesses: u64,
+    /// Accesses satisfied from the pool.
+    pub hits: u64,
+    /// Accesses that required a disk read.
+    pub misses: u64,
+}
+
+impl BufferStats {
+    /// Fraction of accesses satisfied from the pool.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Error returned by [`BufferPool::pin`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinError {
+    /// Pinning the page would exceed the pool capacity.
+    CapacityExceeded,
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::CapacityExceeded => write!(f, "pinning would exceed buffer capacity"),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// A fixed-capacity buffer pool over page *identities*.
+///
+/// Pinned pages occupy capacity but are exempt from replacement — exactly
+/// the paper's pinning semantics ("simply reduce the number of buffer pages
+/// by the number of pages in these pinned levels").
+///
+/// # Examples
+///
+/// ```
+/// use rtree_buffer::{AccessOutcome, BufferPool, LruPolicy, PageId};
+///
+/// let mut pool = BufferPool::new(2, LruPolicy::new());
+/// assert!(pool.access(PageId(1)).is_miss());
+/// assert_eq!(pool.access(PageId(1)), AccessOutcome::Hit);
+/// pool.access(PageId(2));
+/// // Capacity 2: page 1 is now least recently used and gets evicted.
+/// pool.access(PageId(1));
+/// match pool.access(PageId(3)) {
+///     AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(PageId(2))),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub struct BufferPool {
+    capacity: usize,
+    policy: Box<dyn ReplacementPolicy>,
+    resident: HashSet<PageId>,
+    pinned: HashSet<PageId>,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool with room for `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize, policy: impl ReplacementPolicy + 'static) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BufferPool {
+            capacity,
+            policy: Box::new(policy),
+            resident: HashSet::with_capacity(capacity + 1),
+            pinned: HashSet::new(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages (pinned included).
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// True once the pool holds `capacity` pages — the end of the paper's
+    /// warm-up period (`N*` queries).
+    pub fn is_full(&self) -> bool {
+        self.resident.len() >= self.capacity
+    }
+
+    /// True if the page is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&page)
+    }
+
+    /// True if the page is pinned.
+    pub fn is_pinned(&self, page: PageId) -> bool {
+        self.pinned.contains(&page)
+    }
+
+    /// Replacement policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Resets the statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Accesses a page, updating residency, policy state and statistics.
+    pub fn access(&mut self, page: PageId) -> AccessOutcome {
+        self.stats.accesses += 1;
+        if self.resident.contains(&page) {
+            self.stats.hits += 1;
+            if !self.pinned.contains(&page) {
+                self.policy.on_hit(page);
+            }
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        let evicted = if self.resident.len() >= self.capacity {
+            if self.policy.is_empty() {
+                // Every frame is pinned: the read bypasses the pool.
+                return AccessOutcome::MissBypass;
+            }
+            let victim = self.policy.evict();
+            let removed = self.resident.remove(&victim);
+            debug_assert!(removed, "policy evicted a non-resident page");
+            Some(victim)
+        } else {
+            None
+        };
+        self.resident.insert(page);
+        self.policy.on_insert(page);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Pins a page: it becomes resident (loaded from disk if needed —
+    /// counted as a miss) and exempt from replacement until unpinned.
+    pub fn pin(&mut self, page: PageId) -> Result<(), PinError> {
+        if self.pinned.contains(&page) {
+            return Ok(());
+        }
+        if self.resident.contains(&page) {
+            self.policy.remove(page);
+            self.pinned.insert(page);
+            return Ok(());
+        }
+        if self.pinned.len() >= self.capacity {
+            return Err(PinError::CapacityExceeded);
+        }
+        if self.resident.len() >= self.capacity {
+            if self.policy.is_empty() {
+                return Err(PinError::CapacityExceeded);
+            }
+            let victim = self.policy.evict();
+            self.resident.remove(&victim);
+        }
+        self.stats.accesses += 1;
+        self.stats.misses += 1;
+        self.resident.insert(page);
+        self.pinned.insert(page);
+        Ok(())
+    }
+
+    /// Unpins a page; it stays resident and re-enters the replacement order
+    /// as most recently used.
+    pub fn unpin(&mut self, page: PageId) {
+        if self.pinned.remove(&page) {
+            self.policy.on_insert(page);
+        }
+    }
+
+    /// Number of pinned pages.
+    pub fn pinned_count(&self) -> usize {
+        self.pinned.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FifoPolicy, LruPolicy};
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut pool = BufferPool::new(2, LruPolicy::new());
+        assert!(pool.access(PageId(1)).is_miss());
+        assert_eq!(pool.access(PageId(1)), AccessOutcome::Hit);
+        assert!(pool.access(PageId(2)).is_miss());
+        let s = pool.stats();
+        assert_eq!((s.accesses, s.hits, s.misses), (3, 1, 2));
+        assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_chain() {
+        let mut pool = BufferPool::new(2, LruPolicy::new());
+        pool.access(PageId(1));
+        pool.access(PageId(2));
+        pool.access(PageId(1)); // 2 is now LRU
+        match pool.access(PageId(3)) {
+            AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(PageId(2))),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert!(pool.contains(PageId(1)));
+        assert!(!pool.contains(PageId(2)));
+    }
+
+    #[test]
+    fn pinned_pages_survive_any_pressure() {
+        let mut pool = BufferPool::new(3, LruPolicy::new());
+        pool.pin(PageId(0)).unwrap();
+        for i in 1..100 {
+            pool.access(PageId(i));
+        }
+        assert!(pool.contains(PageId(0)));
+        assert!(pool.is_pinned(PageId(0)));
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn pin_capacity_enforced() {
+        let mut pool = BufferPool::new(2, LruPolicy::new());
+        pool.pin(PageId(0)).unwrap();
+        pool.pin(PageId(1)).unwrap();
+        assert_eq!(pool.pin(PageId(2)), Err(PinError::CapacityExceeded));
+        // Fully pinned pool: misses bypass.
+        assert_eq!(pool.access(PageId(9)), AccessOutcome::MissBypass);
+        assert!(!pool.contains(PageId(9)));
+    }
+
+    #[test]
+    fn pin_resident_page_removes_from_policy() {
+        let mut pool = BufferPool::new(2, LruPolicy::new());
+        pool.access(PageId(1));
+        pool.access(PageId(2));
+        pool.pin(PageId(1)).unwrap(); // 1 no longer evictable
+        match pool.access(PageId(3)) {
+            AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(PageId(2))),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(pool.contains(PageId(1)));
+    }
+
+    #[test]
+    fn unpin_reenters_replacement() {
+        let mut pool = BufferPool::new(1, LruPolicy::new());
+        pool.pin(PageId(1)).unwrap();
+        pool.unpin(PageId(1));
+        match pool.access(PageId(2)) {
+            AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(PageId(1))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pin_is_idempotent() {
+        let mut pool = BufferPool::new(2, LruPolicy::new());
+        pool.pin(PageId(1)).unwrap();
+        pool.pin(PageId(1)).unwrap();
+        assert_eq!(pool.pinned_count(), 1);
+        let s = pool.stats();
+        assert_eq!(s.misses, 1, "second pin must not re-read");
+    }
+
+    #[test]
+    fn works_with_fifo() {
+        let mut pool = BufferPool::new(2, FifoPolicy::new());
+        pool.access(PageId(1));
+        pool.access(PageId(2));
+        pool.access(PageId(1)); // FIFO ignores the touch
+        match pool.access(PageId(3)) {
+            AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(PageId(1))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fill_tracking() {
+        let mut pool = BufferPool::new(3, LruPolicy::new());
+        assert!(!pool.is_full());
+        for i in 0..3 {
+            pool.access(PageId(i));
+        }
+        assert!(pool.is_full());
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(0, LruPolicy::new());
+    }
+}

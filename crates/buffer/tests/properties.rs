@@ -1,0 +1,115 @@
+//! Property tests: the O(1) LRU must match a naive reference model, and all
+//! policies must uphold the pool's residency invariants.
+
+use proptest::prelude::*;
+use rtree_buffer::{
+    AccessOutcome, BufferPool, ClockPolicy, FifoPolicy, LruPolicy, PageId, RandomPolicy,
+};
+
+/// Naive reference LRU: a vector ordered most-recent-first.
+struct NaiveLru {
+    capacity: usize,
+    pages: Vec<u64>,
+}
+
+impl NaiveLru {
+    fn new(capacity: usize) -> Self {
+        NaiveLru {
+            capacity,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Returns true on hit.
+    fn access(&mut self, page: u64) -> bool {
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.pages.remove(pos);
+            self.pages.insert(0, page);
+            true
+        } else {
+            self.pages.insert(0, page);
+            if self.pages.len() > self.capacity {
+                self.pages.pop();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_pool_matches_reference(
+        capacity in 1usize..20,
+        accesses in prop::collection::vec(0u64..40, 1..400),
+    ) {
+        let mut pool = BufferPool::new(capacity, LruPolicy::new());
+        let mut reference = NaiveLru::new(capacity);
+        for &page in &accesses {
+            let expected_hit = reference.access(page);
+            let outcome = pool.access(PageId(page));
+            prop_assert_eq!(outcome == AccessOutcome::Hit, expected_hit, "page {}", page);
+        }
+        // Final residency sets agree.
+        for &page in &reference.pages {
+            prop_assert!(pool.contains(PageId(page)));
+        }
+        prop_assert_eq!(pool.len(), reference.pages.len());
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity(
+        capacity in 1usize..16,
+        policy_pick in 0usize..4,
+        accesses in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut pool = match policy_pick {
+            0 => BufferPool::new(capacity, LruPolicy::new()),
+            1 => BufferPool::new(capacity, FifoPolicy::new()),
+            2 => BufferPool::new(capacity, ClockPolicy::new()),
+            _ => BufferPool::new(capacity, RandomPolicy::new(9)),
+        };
+        for &page in &accesses {
+            let outcome = pool.access(PageId(page));
+            prop_assert!(pool.len() <= capacity);
+            prop_assert!(pool.contains(PageId(page)) || outcome == AccessOutcome::MissBypass);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, accesses.len() as u64);
+    }
+
+    #[test]
+    fn repeat_access_is_always_hit(
+        capacity in 1usize..16,
+        policy_pick in 0usize..4,
+        pages in prop::collection::vec(0u64..64, 1..100),
+    ) {
+        // Accessing the same page twice in a row must hit the second time
+        // under every policy (except a fully pinned pool, not used here).
+        let mut pool = match policy_pick {
+            0 => BufferPool::new(capacity, LruPolicy::new()),
+            1 => BufferPool::new(capacity, FifoPolicy::new()),
+            2 => BufferPool::new(capacity, ClockPolicy::new()),
+            _ => BufferPool::new(capacity, RandomPolicy::new(5)),
+        };
+        for &page in &pages {
+            pool.access(PageId(page));
+            prop_assert_eq!(pool.access(PageId(page)), AccessOutcome::Hit);
+        }
+    }
+
+    #[test]
+    fn pinned_pages_always_hit(
+        capacity in 2usize..16,
+        accesses in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut pool = BufferPool::new(capacity, LruPolicy::new());
+        let pinned = PageId(1000);
+        pool.pin(pinned).unwrap();
+        for &page in &accesses {
+            pool.access(PageId(page));
+        }
+        prop_assert_eq!(pool.access(pinned), AccessOutcome::Hit);
+        prop_assert!(pool.len() <= capacity);
+    }
+}

@@ -1,0 +1,361 @@
+//! The four subcommands.
+
+use crate::args::{err, Args, CliError};
+use rtree_buffer::{
+    BufferPool, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, RandomPolicy, ReplacementPolicy,
+};
+use rtree_core::{BufferModel, TreeDescription, Workload};
+use rtree_datagen::{centers, from_csv, to_csv, CfdLike, ClusteredPoints, SyntheticPoint, SyntheticRegion, TigerLike};
+use rtree_geom::Rect;
+use rtree_index::{BulkLoader, RTree, TupleAtATime};
+use rtree_sim::{flat_trace, QuerySampler};
+use std::fmt::Write as _;
+
+/// Executes a parsed command; returns the text to print. File writes happen
+/// inside (`--out`); everything else is returned.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "build" => build(args),
+        "model" => model(args),
+        "simulate" => simulate(args),
+        other => Err(err(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| err(format!("reading {path}: {e}")))
+}
+
+fn write_or_return(args: &Args, content: String, what: &str) -> Result<String, CliError> {
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, &content).map_err(|e| err(format!("writing {path}: {e}")))?;
+            Ok(format!("wrote {what} to {path}\n"))
+        }
+        None => Ok(content),
+    }
+}
+
+fn generate(args: &Args) -> Result<String, CliError> {
+    args.allow_flags(&["seed", "out"])?;
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let spec = args.positional.as_str();
+    let rects = parse_dataset_spec(spec, seed)?;
+    write_or_return(args, to_csv(&rects), &format!("{} rectangles", rects.len()))
+}
+
+/// Parses `tiger | cfd | region:N | point:N | clustered:N:K:SIGMA`.
+fn parse_dataset_spec(spec: &str, seed: u64) -> Result<Vec<Rect>, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let n_of = |s: &str| -> Result<usize, CliError> {
+        s.parse().map_err(|e| err(format!("bad count {s:?}: {e}")))
+    };
+    match parts.as_slice() {
+        ["tiger"] => Ok(TigerLike::paper().generate(seed)),
+        ["cfd"] => Ok(CfdLike::paper().generate(seed)),
+        ["region", n] => Ok(SyntheticRegion::new(n_of(n)?).generate(seed)),
+        ["point", n] => Ok(SyntheticPoint::new(n_of(n)?).generate(seed)),
+        ["clustered", n, k, sigma] => {
+            let sigma: f64 = sigma
+                .parse()
+                .map_err(|e| err(format!("bad sigma {sigma:?}: {e}")))?;
+            Ok(ClusteredPoints::new(n_of(n)?, n_of(k)?, sigma).generate(seed))
+        }
+        _ => Err(err(format!("unknown data spec {spec:?}"))),
+    }
+}
+
+fn build_tree(rects: &[Rect], loader: &str, cap: usize) -> Result<RTree, CliError> {
+    Ok(match loader.to_uppercase().as_str() {
+        "TAT" => TupleAtATime::quadratic(cap).load(rects),
+        "RSTAR" | "R*" => TupleAtATime::rstar(cap).load(rects),
+        "NX" => BulkLoader::nearest_x(cap).load(rects),
+        "HS" => BulkLoader::hilbert(cap).load(rects),
+        "MORTON" => BulkLoader::morton(cap).load(rects),
+        "STR" => BulkLoader::str_pack(cap).load(rects),
+        other => return Err(err(format!("unknown loader {other:?}"))),
+    })
+}
+
+fn build(args: &Args) -> Result<String, CliError> {
+    args.allow_flags(&["loader", "cap", "out"])?;
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 100usize)?;
+    let loader = args.flag("loader").unwrap_or("HS");
+    let tree = build_tree(&rects, loader, cap)?;
+    let desc = TreeDescription::from_tree(&tree);
+    let mut summary = format!(
+        "# {} items, loader {}, cap {cap}: {} nodes over {} levels {:?}\n",
+        tree.len(),
+        loader.to_uppercase(),
+        desc.total_nodes(),
+        desc.height(),
+        desc.nodes_per_level()
+    );
+    summary.push_str(&desc.to_text());
+    write_or_return(args, summary, "tree description")
+}
+
+fn parse_workload(spec: &str) -> Result<Workload, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let q_of = |s: &str| -> Result<f64, CliError> {
+        let v: f64 = s
+            .parse()
+            .map_err(|e| err(format!("bad query size {s:?}: {e}")))?;
+        if !(0.0..1.0).contains(&v) {
+            return Err(err(format!("query size {v} must be in [0, 1)")));
+        }
+        Ok(v)
+    };
+    match parts.as_slice() {
+        ["point"] => Ok(Workload::uniform_point()),
+        ["region", qx, qy] => Ok(Workload::uniform_region(q_of(qx)?, q_of(qy)?)),
+        ["data", qx, qy, path] => {
+            let (qx, qy) = (q_of(qx)?, q_of(qy)?);
+            let rects = from_csv(&read_file(path)?).map_err(CliError)?;
+            if rects.is_empty() {
+                return Err(err("data-driven workload needs a non-empty data set"));
+            }
+            Ok(Workload::data_driven(qx, qy, centers(&rects)))
+        }
+        _ => Err(err(format!("unknown workload {spec:?}"))),
+    }
+}
+
+fn model(args: &Args) -> Result<String, CliError> {
+    args.allow_flags(&["workload", "buffers", "pin"])?;
+    let desc = TreeDescription::from_text(&read_file(&args.positional)?)
+        .map_err(|e| err(format!("parsing description: {e}")))?;
+    let workload = parse_workload(args.flag("workload").unwrap_or("point"))?;
+    let buffers = args.flag_list("buffers", &[10, 50, 100, 200, 400])?;
+    let pin: usize = args.flag_or("pin", 0usize)?;
+    let model = BufferModel::new(&desc, &workload);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "tree: {} nodes {:?}; expected nodes visited/query (no buffer): {:.4}",
+        desc.total_nodes(),
+        desc.nodes_per_level(),
+        model.expected_node_accesses()
+    )
+    .expect("string write");
+    writeln!(out, "{:>10}  {:>22}", "buffer", "disk accesses/query").expect("string write");
+    for b in buffers {
+        let ed = if pin == 0 {
+            Ok(model.expected_disk_accesses(b))
+        } else {
+            model.expected_disk_accesses_pinned(b, pin).map_err(|e| e.to_string())
+        };
+        match ed {
+            Ok(v) => writeln!(out, "{b:>10}  {v:>22.4}").expect("string write"),
+            Err(e) => writeln!(out, "{b:>10}  {e:>22}").expect("string write"),
+        }
+    }
+    if pin > 0 {
+        writeln!(out, "(top {pin} levels pinned: {} pages)", model.pinned_pages(pin))
+            .expect("string write");
+    }
+    Ok(out)
+}
+
+fn make_policy(name: &str, seed: u64) -> Result<Box<dyn ReplacementPolicy>, CliError> {
+    Ok(match name.to_uppercase().as_str() {
+        "LRU" => Box::new(LruPolicy::new()),
+        "LRU2" | "LRU-2" => Box::new(LruKPolicy::lru2()),
+        "FIFO" => Box::new(FifoPolicy::new()),
+        "CLOCK" => Box::new(ClockPolicy::new()),
+        "RANDOM" => Box::new(RandomPolicy::new(seed)),
+        other => return Err(err(format!("unknown policy {other:?}"))),
+    })
+}
+
+struct BoxedPolicy(Box<dyn ReplacementPolicy>);
+
+impl ReplacementPolicy for BoxedPolicy {
+    fn on_hit(&mut self, page: rtree_buffer::PageId) {
+        self.0.on_hit(page);
+    }
+    fn on_insert(&mut self, page: rtree_buffer::PageId) {
+        self.0.on_insert(page);
+    }
+    fn evict(&mut self) -> rtree_buffer::PageId {
+        self.0.evict()
+    }
+    fn remove(&mut self, page: rtree_buffer::PageId) {
+        self.0.remove(page);
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+fn simulate(args: &Args) -> Result<String, CliError> {
+    args.allow_flags(&["workload", "buffer", "queries", "policy", "seed"])?;
+    let desc = TreeDescription::from_text(&read_file(&args.positional)?)
+        .map_err(|e| err(format!("parsing description: {e}")))?;
+    let workload = parse_workload(args.flag("workload").unwrap_or("point"))?;
+    let buffer: usize = args.flag_or("buffer", 100usize)?;
+    let queries: usize = args.flag_or("queries", 100_000usize)?;
+    let seed: u64 = args.flag_or("seed", 0xC11u64)?;
+    let policy = make_policy(args.flag("policy").unwrap_or("LRU"), seed)?;
+    if buffer == 0 {
+        return Err(err("--buffer must be positive"));
+    }
+
+    // The paper's literal simulator: check every node MBR per query.
+    let mbrs: Vec<Rect> = desc.iter().map(|(_, r)| *r).collect();
+    let mut pool = BufferPool::new(buffer, BoxedPolicy(policy));
+    let mut sampler = QuerySampler::new(&workload, seed);
+
+    let warmup = (queries / 4).max(1);
+    for _ in 0..warmup {
+        let q = sampler.sample();
+        for page in flat_trace(&mbrs, &q) {
+            pool.access(page);
+        }
+    }
+    pool.reset_stats();
+
+    let mut misses = 0u64;
+    let mut nodes = 0u64;
+    for _ in 0..queries {
+        let q = sampler.sample();
+        for page in flat_trace(&mbrs, &q) {
+            nodes += 1;
+            if pool.access(page).is_miss() {
+                misses += 1;
+            }
+        }
+    }
+
+    let model = BufferModel::new(&desc, &workload).expected_disk_accesses(buffer);
+    Ok(format!(
+        "simulated {queries} queries ({} policy, buffer {buffer}):\n\
+         nodes accessed/query: {:.4}\n\
+         disk accesses/query:  {:.4}   (LRU model predicts {model:.4})\n\
+         hit ratio:            {:.4}\n",
+        pool.policy_name(),
+        nodes as f64 / queries as f64,
+        misses as f64 / queries as f64,
+        pool.stats().hit_ratio(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn generate_to_stdout() {
+        let out = run(&args("generate region:500 --seed 3")).unwrap();
+        assert!(out.starts_with("x0,y0,x1,y1\n"));
+        assert_eq!(out.lines().count(), 501);
+    }
+
+    #[test]
+    fn dataset_specs() {
+        assert_eq!(parse_dataset_spec("point:100", 1).unwrap().len(), 100);
+        assert_eq!(
+            parse_dataset_spec("clustered:200:4:0.05", 1).unwrap().len(),
+            200
+        );
+        assert!(parse_dataset_spec("bogus", 1).is_err());
+        assert!(parse_dataset_spec("region:x", 1).is_err());
+    }
+
+    #[test]
+    fn workload_specs() {
+        assert!(parse_workload("point").unwrap().is_point());
+        let w = parse_workload("region:0.1:0.2").unwrap();
+        assert_eq!((w.qx(), w.qy()), (0.1, 0.2));
+        assert!(parse_workload("region:2:0.1").is_err());
+        assert!(parse_workload("wat").is_err());
+    }
+
+    #[test]
+    fn full_pipeline_through_temp_files() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let desc = dir.join("tree.desc");
+
+        let msg = run(&args(&format!(
+            "generate region:2000 --seed 5 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("2000 rectangles"));
+
+        let msg = run(&args(&format!(
+            "build {} --loader STR --cap 25 --out {}",
+            data.display(),
+            desc.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("tree description"));
+
+        let out = run(&args(&format!(
+            "model {} --workload region:0.05:0.05 --buffers 5,20,80",
+            desc.display()
+        )))
+        .unwrap();
+        assert!(out.contains("disk accesses/query"));
+        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with(['5', '2', '8'])).count(), 3);
+
+        let out = run(&args(&format!(
+            "simulate {} --buffer 20 --queries 4000",
+            desc.display()
+        )))
+        .unwrap();
+        assert!(out.contains("hit ratio"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn model_with_pinning() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-pin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.csv");
+        let desc = dir.join("t.desc");
+        run(&args(&format!("generate point:3000 --out {}", data.display()))).unwrap();
+        run(&args(&format!(
+            "build {} --cap 25 --out {}",
+            data.display(),
+            desc.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "model {} --buffers 50 --pin 2",
+            desc.display()
+        )))
+        .unwrap();
+        assert!(out.contains("levels pinned"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        assert!(run(&args("frobnicate x")).is_err());
+    }
+
+    #[test]
+    fn sim_policies_parse() {
+        for p in ["LRU", "LRU2", "FIFO", "CLOCK", "RANDOM"] {
+            assert!(make_policy(p, 1).is_ok());
+        }
+        assert!(make_policy("MRU", 1).is_err());
+    }
+}

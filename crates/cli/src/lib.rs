@@ -1,0 +1,44 @@
+//! Library backing the `rtrees` command-line tool.
+//!
+//! The paper's hybrid workflow as shell commands:
+//!
+//! ```text
+//! rtrees generate region:20000 --seed 7 --out data.csv
+//! rtrees build data.csv --loader HS --cap 100 --out tree.desc
+//! rtrees model tree.desc --workload region:0.1:0.1 --buffers 10,50,200
+//! rtrees simulate tree.desc --workload region:0.1:0.1 --buffer 50 --queries 200000
+//! ```
+//!
+//! Every command is a pure function from arguments + input files to an
+//! output string, so the whole tool is unit-testable without spawning
+//! processes.
+
+mod args;
+mod commands;
+
+pub use args::{Args, CliError};
+pub use commands::run;
+
+/// Usage text printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+rtrees — buffered R-tree cost modelling (Leutenegger & López, ICDE 1998)
+
+USAGE:
+  rtrees generate <SPEC> [--seed N] [--out FILE]
+      SPEC: tiger | cfd | region:<N> | point:<N> | clustered:<N>:<K>:<SIGMA>
+      Writes an x0,y0,x1,y1 CSV data set (stdout without --out).
+
+  rtrees build <DATA.csv> [--loader TAT|NX|HS|MORTON|STR|RSTAR] [--cap N] [--out FILE]
+      Builds an R-tree (default HS, cap 100) and writes its per-level MBR
+      description (`level x0 y0 x1 y1`, level 0 = root).
+
+  rtrees model <TREE.desc> [--workload W] [--buffers B1,B2,...] [--pin P]
+      Predicts expected disk accesses per query for each buffer size.
+      W: point | region:<QX>:<QY> | data:<QX>:<QY>:<DATA.csv>  (default point)
+
+  rtrees simulate <TREE.desc> [--workload W] [--buffer B] [--queries N]
+                  [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
+      Runs the paper's flat LRU simulation over the description.
+
+Common: --help prints this text.
+";

@@ -1,0 +1,78 @@
+//! End-to-end test of the `rtrees` binary: spawn the real executable and
+//! drive the full generate → build → model → simulate pipeline through a
+//! temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rtrees() -> Command {
+    // Integration tests live next to the binary under target/<profile>/.
+    let mut path = PathBuf::from(env!("CARGO_BIN_EXE_rtrees"));
+    if !path.exists() {
+        path = PathBuf::from("target/debug/rtrees");
+    }
+    Command::new(path)
+}
+
+#[test]
+fn pipeline_through_the_real_binary() {
+    let dir = std::env::temp_dir().join(format!("rtrees-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.csv");
+    let desc = dir.join("tree.desc");
+
+    let out = rtrees()
+        .args(["generate", "region:1500", "--seed", "4", "--out"])
+        .arg(&data)
+        .output()
+        .expect("spawn rtrees generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = rtrees()
+        .args(["build"])
+        .arg(&data)
+        .args(["--loader", "STR", "--cap", "20", "--out"])
+        .arg(&desc)
+        .output()
+        .expect("spawn rtrees build");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = rtrees()
+        .args(["model"])
+        .arg(&desc)
+        .args(["--workload", "region:0.05:0.05", "--buffers", "10,40"])
+        .output()
+        .expect("spawn rtrees model");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("disk accesses/query"), "unexpected output: {text}");
+
+    let out = rtrees()
+        .args(["simulate"])
+        .arg(&desc)
+        .args(["--buffer", "20", "--queries", "3000", "--policy", "CLOCK"])
+        .output()
+        .expect("spawn rtrees simulate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CLOCK policy"), "unexpected output: {text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_and_errors() {
+    let out = rtrees().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = rtrees().args(["frobnicate", "x"]).output().expect("spawn");
+    assert!(!out.status.success());
+
+    let out = rtrees()
+        .args(["model", "/definitely/not/a/file"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

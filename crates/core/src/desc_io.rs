@@ -1,0 +1,162 @@
+//! Reading and writing tree descriptions as plain text.
+//!
+//! The paper's workflow is hybrid: loading code builds a tree, the MBRs of
+//! all nodes are dumped, and the model (or the simulator) consumes that
+//! dump. This module fixes the interchange format so descriptions can cross
+//! process boundaries — e.g. feed MBR lists extracted from another R-tree
+//! implementation to this crate's model.
+//!
+//! Format: one node per line, `level x0 y0 x1 y1`, whitespace-separated,
+//! levels in the paper's numbering (0 = root). Blank lines and lines
+//! starting with `#` are ignored. Levels must be contiguous from 0 and
+//! level 0 must hold exactly one node.
+
+use crate::TreeDescription;
+use rtree_geom::Rect;
+use std::io::{self, BufRead, Write};
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl TreeDescription {
+    /// Writes the description in the text format above.
+    pub fn to_writer(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "# R-tree description: level x0 y0 x1 y1 (level 0 = root)")?;
+        for (level, r) in self.iter() {
+            writeln!(w, "{level} {} {} {} {}", r.lo.x, r.lo.y, r.hi.x, r.hi.y)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes to a string.
+    pub fn to_text(&self) -> String {
+        let mut out = Vec::new();
+        self.to_writer(&mut out).expect("write to Vec cannot fail");
+        String::from_utf8(out).expect("format is ASCII")
+    }
+
+    /// Parses a description from the text format.
+    pub fn from_reader(r: impl BufRead) -> io::Result<Self> {
+        let mut levels: Vec<Vec<Rect>> = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mut field = |name: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| bad(format!("line {}: missing {name}", lineno + 1)))
+            };
+            let level: usize = field("level")?
+                .parse()
+                .map_err(|e| bad(format!("line {}: bad level: {e}", lineno + 1)))?;
+            let mut coord = |name: &str| -> io::Result<f64> {
+                field(name)?
+                    .parse()
+                    .map_err(|e| bad(format!("line {}: bad {name}: {e}", lineno + 1)))
+            };
+            let (x0, y0, x1, y1) = (coord("x0")?, coord("y0")?, coord("x1")?, coord("y1")?);
+            if parts.next().is_some() {
+                return Err(bad(format!("line {}: trailing fields", lineno + 1)));
+            }
+            if !(x0 <= x1 && y0 <= y1 && x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite()) {
+                return Err(bad(format!("line {}: invalid rectangle", lineno + 1)));
+            }
+            if level >= levels.len() {
+                if level != levels.len() {
+                    return Err(bad(format!(
+                        "line {}: level {level} skips level {}",
+                        lineno + 1,
+                        levels.len()
+                    )));
+                }
+                levels.push(Vec::new());
+            }
+            levels[level].push(Rect::new(x0, y0, x1, y1));
+        }
+        if levels.is_empty() {
+            return Err(bad("no nodes in description"));
+        }
+        if levels[0].len() != 1 {
+            return Err(bad(format!(
+                "root level must hold exactly one node, found {}",
+                levels[0].len()
+            )));
+        }
+        Ok(TreeDescription::from_levels(levels))
+    }
+
+    /// Parses a description from a string.
+    pub fn from_text(text: &str) -> io::Result<Self> {
+        Self::from_reader(text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TreeDescription {
+        TreeDescription::from_levels(vec![
+            vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
+            vec![
+                Rect::new(0.0, 0.0, 0.5, 1.0),
+                Rect::new(0.5, 0.25, 1.0, 1.0),
+            ],
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        let text = d.to_text();
+        let back = TreeDescription::from_text(&text).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n0 0 0 1 1\n  # indented comment\n1 0 0 0.5 0.5\n";
+        let d = TreeDescription::from_text(text).unwrap();
+        assert_eq!(d.height(), 2);
+        assert_eq!(d.nodes_per_level(), vec![1, 1]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad_text in [
+            "0 0 0 1",               // missing field
+            "0 0 0 1 1 9",           // trailing field
+            "x 0 0 1 1",             // bad level
+            "0 a 0 1 1",             // bad coordinate
+            "0 0.5 0 0.2 1",         // inverted rect
+            "0 0 0 1 1\n2 0 0 1 1",  // skipped level
+            "",                      // empty
+            "0 0 0 1 1\n0 0 0 1 1",  // two roots
+        ] {
+            assert!(
+                TreeDescription::from_text(bad_text).is_err(),
+                "accepted: {bad_text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interop_with_model() {
+        // A description parsed from text drives the model like a native one.
+        let d = TreeDescription::from_text(&sample().to_text()).unwrap();
+        let m = crate::BufferModel::new(&d, &crate::Workload::uniform_point());
+        assert!(m.expected_node_accesses() > 1.0);
+    }
+
+    #[test]
+    fn scientific_notation_coordinates_accepted() {
+        let text = "0 0 0 1 1\n1 1e-3 2.5e-2 0.5 5e-1\n";
+        let d = TreeDescription::from_text(text).unwrap();
+        assert!((d.level(1)[0].lo.x - 0.001).abs() < 1e-15);
+    }
+}

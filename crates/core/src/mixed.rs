@@ -1,0 +1,174 @@
+//! Workload mixtures (extension).
+//!
+//! Real query streams are rarely a single template: a map service mixes
+//! point look-ups with pans of several sizes. If each query is drawn from
+//! component `i` with probability `w_i`, the per-node access probability
+//! of a random query is simply `Σ w_i · A^{Q_i}` — so the buffer model of
+//! §3.3 applies unchanged to the mixture. This module provides that
+//! composition; `rtree-sim` has the matching mixture sampler.
+
+use crate::{TreeDescription, Workload};
+
+/// A weighted mixture of workloads. Weights are normalized on
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use rtree_core::{BufferModel, MixedWorkload, TreeDescription, Workload};
+/// use rtree_geom::Rect;
+///
+/// let desc = TreeDescription::from_levels(vec![
+///     vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
+///     vec![Rect::new(0.0, 0.0, 0.5, 1.0), Rect::new(0.5, 0.0, 1.0, 1.0)],
+/// ]);
+/// // 80% point look-ups, 20% 10%-side pans.
+/// let mix = MixedWorkload::new(vec![
+///     (0.8, Workload::uniform_point()),
+///     (0.2, Workload::uniform_region(0.1, 0.1)),
+/// ]);
+/// let model = BufferModel::new_mixed(&desc, &mix);
+/// assert!(model.expected_node_accesses() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MixedWorkload {
+    components: Vec<(f64, Workload)>,
+}
+
+impl MixedWorkload {
+    /// Creates a mixture from `(weight, workload)` components.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty, any weight is non-positive or
+    /// non-finite, or the weights sum to zero.
+    pub fn new(components: Vec<(f64, Workload)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(
+            components.iter().all(|(w, _)| w.is_finite() && *w > 0.0) && total > 0.0,
+            "weights must be positive and finite"
+        );
+        let components = components
+            .into_iter()
+            .map(|(w, wl)| (w / total, wl))
+            .collect();
+        MixedWorkload { components }
+    }
+
+    /// The normalized components.
+    pub fn components(&self) -> &[(f64, Workload)] {
+        &self.components
+    }
+
+    /// Probability that a node with MBR `r` is accessed by one random
+    /// query of the mixture.
+    pub fn access_probability(&self, r: &rtree_geom::Rect) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, wl)| w * wl.access_probability(r))
+            .sum()
+    }
+
+    /// Access probabilities for every node, grouped by level (root first).
+    pub fn access_probabilities(&self, desc: &TreeDescription) -> Vec<Vec<f64>> {
+        desc.levels()
+            .iter()
+            .map(|level| level.iter().map(|r| self.access_probability(r)).collect())
+            .collect()
+    }
+}
+
+impl crate::BufferModel {
+    /// Builds the buffer model for a workload mixture.
+    pub fn new_mixed(desc: &TreeDescription, mix: &MixedWorkload) -> Self {
+        Self::from_probabilities(mix.access_probabilities(desc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BufferModel;
+    use rtree_geom::Rect;
+
+    fn desc() -> TreeDescription {
+        TreeDescription::from_levels(vec![
+            vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
+            vec![Rect::new(0.0, 0.0, 0.5, 0.5), Rect::new(0.5, 0.5, 1.0, 1.0)],
+        ])
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let m = MixedWorkload::new(vec![
+            (3.0, Workload::uniform_point()),
+            (1.0, Workload::uniform_region(0.1, 0.1)),
+        ]);
+        let w: Vec<f64> = m.components().iter().map(|(w, _)| *w).collect();
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        assert!((w[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_is_weighted_sum() {
+        let a = Workload::uniform_point();
+        let b = Workload::uniform_region(0.2, 0.2);
+        let m = MixedWorkload::new(vec![(0.5, a.clone()), (0.5, b.clone())]);
+        let r = Rect::new(0.1, 0.1, 0.3, 0.3);
+        let expect = 0.5 * a.access_probability(&r) + 0.5 * b.access_probability(&r);
+        assert!((m.access_probability(&r) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_mixture_equals_component() {
+        let d = desc();
+        let w = Workload::uniform_region(0.1, 0.3);
+        let m = MixedWorkload::new(vec![(7.0, w.clone())]);
+        assert_eq!(m.access_probabilities(&d), w.access_probabilities(&d));
+    }
+
+    #[test]
+    fn buffer_model_from_mixture() {
+        let d = desc();
+        let m = MixedWorkload::new(vec![
+            (0.8, Workload::uniform_point()),
+            (0.2, Workload::uniform_region(0.5, 0.5)),
+        ]);
+        let model = BufferModel::new_mixed(&d, &m);
+        // Root: p = 1 in both components. Children: point gives 0.25 each;
+        // region(0.5) gives 1 each. Mixture: 0.8*0.25 + 0.2*1 = 0.4.
+        assert!((model.expected_node_accesses() - (1.0 + 2.0 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_cost_is_between_components() {
+        let d = desc();
+        let point = BufferModel::new(&d, &Workload::uniform_point());
+        let region = BufferModel::new(&d, &Workload::uniform_region(0.3, 0.3));
+        let mix = BufferModel::new_mixed(
+            &d,
+            &MixedWorkload::new(vec![
+                (0.5, Workload::uniform_point()),
+                (0.5, Workload::uniform_region(0.3, 0.3)),
+            ]),
+        );
+        let (a, b, m) = (
+            point.expected_node_accesses(),
+            region.expected_node_accesses(),
+            mix.expected_node_accesses(),
+        );
+        assert!(a.min(b) <= m && m <= a.max(b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        let _ = MixedWorkload::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_weight() {
+        let _ = MixedWorkload::new(vec![(0.0, Workload::uniform_point())]);
+    }
+}

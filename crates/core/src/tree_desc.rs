@@ -1,0 +1,172 @@
+//! The model's input: per-level node MBRs.
+
+use rtree_geom::Rect;
+use rtree_index::RTree;
+
+/// An R-tree described by the MBRs of its nodes, grouped by level in the
+/// **paper's numbering**: index 0 is the root level, index `H` the leaves.
+///
+/// This is the only thing the analytic models ever see — "we compute the
+/// minimum bounding rectangles of tree nodes and use these as input to our
+/// buffer model" (§1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeDescription {
+    levels: Vec<Vec<Rect>>,
+}
+
+impl TreeDescription {
+    /// Builds a description from explicit per-level MBR lists
+    /// (root level first).
+    ///
+    /// # Panics
+    /// Panics if any level is empty, if the root level does not hold exactly
+    /// one node, or if any rectangle is invalid.
+    pub fn from_levels(levels: Vec<Vec<Rect>>) -> Self {
+        assert!(!levels.is_empty(), "a tree has at least one level");
+        assert_eq!(levels[0].len(), 1, "the root level holds exactly one node");
+        for (i, level) in levels.iter().enumerate() {
+            assert!(!level.is_empty(), "level {i} is empty");
+            for r in level {
+                assert!(r.is_valid(), "invalid MBR {r} at level {i}");
+            }
+        }
+        TreeDescription { levels }
+    }
+
+    /// Extracts the description of a real tree.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty (an empty tree has no MBRs to model).
+    pub fn from_tree(tree: &RTree) -> Self {
+        assert!(!tree.is_empty(), "cannot describe an empty tree");
+        Self::from_levels(tree.level_mbrs())
+    }
+
+    /// Number of levels `H + 1`.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The MBRs of one level (0 = root).
+    pub fn level(&self, i: usize) -> &[Rect] {
+        &self.levels[i]
+    }
+
+    /// All levels, root first.
+    pub fn levels(&self) -> &[Vec<Rect>] {
+        &self.levels
+    }
+
+    /// Nodes per level (the paper's `M_i`), root first.
+    pub fn nodes_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of nodes `M` — also the number of pages the tree
+    /// occupies on disk.
+    pub fn total_nodes(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Number of pages in the top `p` levels — what pinning `p` levels
+    /// costs in buffer frames.
+    pub fn pages_in_top_levels(&self, p: usize) -> usize {
+        self.levels.iter().take(p).map(Vec::len).sum()
+    }
+
+    /// Sum of all MBR areas (`A`), x-extents (`Lx`) and y-extents (`Ly`).
+    pub fn aggregates(&self) -> (f64, f64, f64) {
+        let mut a = 0.0;
+        let mut lx = 0.0;
+        let mut ly = 0.0;
+        for level in &self.levels {
+            for r in level {
+                a += r.area();
+                lx += r.x_extent();
+                ly += r.y_extent();
+            }
+        }
+        (a, lx, ly)
+    }
+
+    /// Iterates over all MBRs with their level, root level first.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Rect)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, level)| level.iter().map(move |r| (i, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Point;
+    use rtree_index::BulkLoader;
+
+    fn tiny_desc() -> TreeDescription {
+        TreeDescription::from_levels(vec![
+            vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
+            vec![
+                Rect::new(0.0, 0.0, 0.5, 1.0),
+                Rect::new(0.5, 0.0, 1.0, 1.0),
+            ],
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny_desc();
+        assert_eq!(d.height(), 2);
+        assert_eq!(d.nodes_per_level(), vec![1, 2]);
+        assert_eq!(d.total_nodes(), 3);
+        assert_eq!(d.pages_in_top_levels(0), 0);
+        assert_eq!(d.pages_in_top_levels(1), 1);
+        assert_eq!(d.pages_in_top_levels(2), 3);
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn aggregates_sum_all_levels() {
+        let d = tiny_desc();
+        let (a, lx, ly) = d.aggregates();
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((lx - 2.0).abs() < 1e-12);
+        assert!((ly - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tree_round_trip() {
+        let rects: Vec<Rect> = (0..200)
+            .map(|i| {
+                let x = (i as f64 * 0.618) % 0.95;
+                let y = (i as f64 * 0.414) % 0.95;
+                Rect::centered(Point::new(x + 0.025, y + 0.025), 0.01, 0.01)
+            })
+            .collect();
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let d = TreeDescription::from_tree(&tree);
+        assert_eq!(d.total_nodes(), tree.node_count());
+        assert_eq!(d.nodes_per_level(), vec![1, 2, 20]);
+        // Root MBR covers every other MBR.
+        let root = d.level(0)[0];
+        for (_, r) in d.iter() {
+            assert!(root.contains_rect(r));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_multi_node_root() {
+        let _ = TreeDescription::from_levels(vec![vec![
+            Rect::new(0.0, 0.0, 0.5, 0.5),
+            Rect::new(0.5, 0.5, 1.0, 1.0),
+        ]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_level() {
+        let _ = TreeDescription::from_levels(vec![vec![Rect::new(0.0, 0.0, 1.0, 1.0)], vec![]]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Query workloads and per-node access probabilities `A^Q_ij`.
+
+use crate::TreeDescription;
+use rtree_geom::{Point, Rect};
+
+#[derive(Clone, Debug)]
+enum Kind {
+    /// Queries with the top-right corner uniform in `U' = [qx,1] × [qy,1]`
+    /// (§3.1; the whole query region always fits in the unit square).
+    Uniform,
+    /// Queries centered on a uniformly chosen data point (§3.2). Centers are
+    /// kept sorted by x so probability evaluation can range-scan.
+    DataDriven { centers_by_x: Vec<Point> },
+}
+
+/// A query workload: a query size `qx × qy` plus a placement distribution.
+/// Point queries are the `qx = qy = 0` case.
+///
+/// # Examples
+///
+/// ```
+/// use rtree_core::Workload;
+/// use rtree_geom::Rect;
+///
+/// // Under uniform point queries, the access probability of a node is the
+/// // area of its MBR (§3.1).
+/// let w = Workload::uniform_point();
+/// let r = Rect::new(0.25, 0.25, 0.75, 0.75);
+/// assert!((w.access_probability(&r) - 0.25).abs() < 1e-12);
+///
+/// // Region queries extend the rectangle and normalize by the query
+/// // domain U' (eq. 2 with the boundary correction).
+/// let w = Workload::uniform_region(0.1, 0.1);
+/// assert!(w.access_probability(&r) > 0.25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Workload {
+    qx: f64,
+    qy: f64,
+    kind: Kind,
+}
+
+impl Workload {
+    /// Uniformly distributed point queries.
+    pub fn uniform_point() -> Self {
+        Self::uniform_region(0.0, 0.0)
+    }
+
+    /// Uniformly distributed region queries of size `qx × qy`, constrained
+    /// to fall entirely inside the unit square.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ qx < 1` and `0 ≤ qy < 1`.
+    pub fn uniform_region(qx: f64, qy: f64) -> Self {
+        assert!((0.0..1.0).contains(&qx) && (0.0..1.0).contains(&qy));
+        Workload {
+            qx,
+            qy,
+            kind: Kind::Uniform,
+        }
+    }
+
+    /// Data-driven point queries: the query point is a uniformly chosen
+    /// data center.
+    pub fn data_driven_point(centers: Vec<Point>) -> Self {
+        Self::data_driven(0.0, 0.0, centers)
+    }
+
+    /// Data-driven region queries of size `qx × qy` centered on a uniformly
+    /// chosen data center (§3.2).
+    ///
+    /// # Panics
+    /// Panics if `centers` is empty or the sizes are out of `[0, 1)`.
+    pub fn data_driven(qx: f64, qy: f64, centers: Vec<Point>) -> Self {
+        assert!((0.0..1.0).contains(&qx) && (0.0..1.0).contains(&qy));
+        assert!(!centers.is_empty(), "data-driven workload needs centers");
+        let mut centers_by_x = centers;
+        centers_by_x.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite coordinates"));
+        Workload {
+            qx,
+            qy,
+            kind: Kind::DataDriven { centers_by_x },
+        }
+    }
+
+    /// Query width.
+    pub fn qx(&self) -> f64 {
+        self.qx
+    }
+
+    /// Query height.
+    pub fn qy(&self) -> f64 {
+        self.qy
+    }
+
+    /// True for point queries.
+    pub fn is_point(&self) -> bool {
+        self.qx == 0.0 && self.qy == 0.0
+    }
+
+    /// True for data-driven workloads.
+    pub fn is_data_driven(&self) -> bool {
+        matches!(self.kind, Kind::DataDriven { .. })
+    }
+
+    /// The data centers of a data-driven workload (sorted by x), if any.
+    pub fn centers(&self) -> Option<&[Point]> {
+        match &self.kind {
+            Kind::Uniform => None,
+            Kind::DataDriven { centers_by_x } => Some(centers_by_x),
+        }
+    }
+
+    /// The probability `A^Q` that one node with MBR `r` is accessed by a
+    /// random query of this workload.
+    ///
+    /// * Uniform (§3.1): the fraction of `U' = [qx,1] × [qy,1]` covered by
+    ///   the extended rectangle `R' = ⟨(a,b),(c+qx,d+qy)⟩`, i.e.
+    ///   `C·D / ((1−qx)(1−qy))` with
+    ///   `C = max(0, min(1, c+qx) − max(a, qx))` and
+    ///   `D = max(0, min(1, d+qy) − max(b, qy))`.
+    /// * Data-driven (eq. 4): the fraction of data centers inside the
+    ///   center-fixed expansion of `r` by `qx × qy`.
+    pub fn access_probability(&self, r: &Rect) -> f64 {
+        match &self.kind {
+            Kind::Uniform => {
+                let c = (r.hi.x + self.qx).min(1.0) - r.lo.x.max(self.qx);
+                let d = (r.hi.y + self.qy).min(1.0) - r.lo.y.max(self.qy);
+                if c <= 0.0 || d <= 0.0 {
+                    return 0.0;
+                }
+                (c * d) / ((1.0 - self.qx) * (1.0 - self.qy))
+            }
+            Kind::DataDriven { centers_by_x } => {
+                let expanded = r.expand_centered(self.qx, self.qy);
+                let lo = centers_by_x.partition_point(|p| p.x < expanded.lo.x);
+                let hi = centers_by_x.partition_point(|p| p.x <= expanded.hi.x);
+                let inside = centers_by_x[lo..hi]
+                    .iter()
+                    .filter(|p| p.y >= expanded.lo.y && p.y <= expanded.hi.y)
+                    .count();
+                inside as f64 / centers_by_x.len() as f64
+            }
+        }
+    }
+
+    /// Access probabilities for every node of a tree, grouped by level
+    /// (root level first) — the `A^Q_ij` matrix of the paper.
+    pub fn access_probabilities(&self, desc: &TreeDescription) -> Vec<Vec<f64>> {
+        desc.levels()
+            .iter()
+            .map(|level| level.iter().map(|r| self.access_probability(r)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn uniform_point_probability_is_clamped_area() {
+        let w = Workload::uniform_point();
+        let r = Rect::new(0.2, 0.3, 0.5, 0.7);
+        assert!((w.access_probability(&r) - r.area()).abs() < EPS);
+        // A rectangle poking outside the unit square counts only the inside.
+        let edge = Rect::new(0.9, 0.9, 1.5, 1.5);
+        assert!((w.access_probability(&edge) - 0.01).abs() < EPS);
+    }
+
+    #[test]
+    fn region_probability_reproduces_papers_fig3_example() {
+        // Fig. 3b: a query of size 0.9 x 0.9 against a rectangle like R1
+        // must NOT get probability 1.21 (the unclamped extended area); it is
+        // capped at 1 by the U' normalization.
+        let w = Workload::uniform_region(0.9, 0.9);
+        let r1 = Rect::new(0.0, 0.0, 0.2, 0.2);
+        let p = w.access_probability(&r1);
+        assert!(p <= 1.0 + EPS, "p = {p}");
+        // C = min(1, 0.2+0.9) - max(0, 0.9) = 0.1; D likewise.
+        // AQ = 0.01 / (0.1 * 0.1) = 1.0.
+        assert!((p - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn region_probability_interior_matches_extended_area_formula() {
+        // Away from the boundary the corrected model reduces to the original
+        // Kamel-Faloutsos form: area of R' relative to U'.
+        let w = Workload::uniform_region(0.1, 0.05);
+        let r = Rect::new(0.3, 0.4, 0.45, 0.5);
+        let expect = ((0.45 - 0.3) + 0.1) * ((0.5 - 0.4) + 0.05) / (0.9 * 0.95);
+        assert!((w.access_probability(&r) - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn probability_always_in_unit_interval() {
+        let workloads = [
+            Workload::uniform_point(),
+            Workload::uniform_region(0.25, 0.25),
+            Workload::uniform_region(0.9, 0.9),
+        ];
+        let rects = [
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.95, 0.95, 1.0, 1.0),
+            Rect::new(0.0, 0.0, 0.01, 0.01),
+            Rect::new(0.4, 0.0, 0.6, 1.0),
+        ];
+        for w in &workloads {
+            for r in &rects {
+                let p = w.access_probability(r);
+                assert!((0.0..=1.0 + EPS).contains(&p), "p = {p} for {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_rect_has_zero_probability() {
+        // With q = 0.25, queries cannot reach a sliver beyond x = 1; and a
+        // rect left of U' minus qx is unreachable only if its extension
+        // misses U'. Easier: a rect fully outside the unit square.
+        let w = Workload::uniform_region(0.25, 0.25);
+        let r = Rect::new(1.1, 1.1, 1.2, 1.2);
+        assert_eq!(w.access_probability(&r), 0.0);
+    }
+
+    #[test]
+    fn data_driven_point_counts_centers() {
+        let centers = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.2, 0.2),
+            Point::new(0.9, 0.9),
+            Point::new(0.5, 0.5),
+        ];
+        let w = Workload::data_driven_point(centers);
+        let r = Rect::new(0.0, 0.0, 0.25, 0.25);
+        // 2 of 4 centers inside.
+        assert!((w.access_probability(&r) - 0.5).abs() < EPS);
+        assert!(w.is_data_driven());
+        assert!(w.is_point());
+    }
+
+    #[test]
+    fn data_driven_region_uses_centered_expansion() {
+        let centers = vec![Point::new(0.35, 0.5), Point::new(0.1, 0.1)];
+        let w = Workload::data_driven(0.2, 0.2, centers);
+        // R = [0.4,0.6]^2 expanded by 0.1 each side -> [0.3,0.7]^2;
+        // (0.35,0.5) is inside, (0.1,0.1) is not.
+        let r = Rect::new(0.4, 0.4, 0.6, 0.6);
+        assert!((w.access_probability(&r) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn data_driven_probability_matches_brute_force() {
+        let centers: Vec<Point> = (0..500)
+            .map(|i| {
+                Point::new((i as f64 * 0.754877) % 1.0, (i as f64 * 0.569840) % 1.0)
+            })
+            .collect();
+        let w = Workload::data_driven(0.08, 0.12, centers.clone());
+        for r in [
+            Rect::new(0.2, 0.2, 0.4, 0.3),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.77, 0.13, 0.78, 0.99),
+        ] {
+            let expanded = r.expand_centered(0.08, 0.12);
+            let brute = centers
+                .iter()
+                .filter(|c| expanded.contains_point(c))
+                .count() as f64
+                / centers.len() as f64;
+            assert!((w.access_probability(&r) - brute).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn access_probabilities_shape_matches_tree() {
+        let desc = TreeDescription::from_levels(vec![
+            vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
+            vec![Rect::new(0.0, 0.0, 0.5, 1.0), Rect::new(0.5, 0.0, 1.0, 1.0)],
+        ]);
+        let probs = Workload::uniform_point().access_probabilities(&desc);
+        assert_eq!(probs.len(), 2);
+        assert_eq!(probs[0], vec![1.0]);
+        assert_eq!(probs[1], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_query_size_one() {
+        let _ = Workload::uniform_region(1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_centers() {
+        let _ = Workload::data_driven_point(vec![]);
+    }
+}

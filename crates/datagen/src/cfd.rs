@@ -1,0 +1,212 @@
+//! CFD-like unstructured grid (substitute for the Boeing-737 wing data).
+//!
+//! The paper's CFD data set is a cross-section of a 737 wing with flaps out:
+//! ~52,510 mesh nodes whose density decays with distance from the wing
+//! elements, with the element interiors empty ("the blank ovalish areas are
+//! parts of the wing"). This generator reproduces those properties with
+//! three airfoil-shaped (elliptical) elements — slat, main element, flap —
+//! and an exponential fall-off of node density away from their boundaries,
+//! plus a sparse far field. The result is "highly skewed": most of the unit
+//! square is nearly empty while the neighborhood of the wing is packed,
+//! which is exactly the regime in which the uniform and data-driven query
+//! models diverge (Fig. 8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_geom::{Point, Rect};
+
+/// A rotated ellipse (one wing element).
+#[derive(Clone, Copy, Debug)]
+struct Element {
+    center: Point,
+    a: f64,
+    b: f64,
+    /// Rotation in radians.
+    phi: f64,
+}
+
+impl Element {
+    fn boundary(&self, theta: f64) -> (Point, f64, f64) {
+        let (s, c) = self.phi.sin_cos();
+        let ex = self.a * theta.cos();
+        let ey = self.b * theta.sin();
+        let dx = c * ex - s * ey;
+        let dy = s * ex + c * ey;
+        let p = Point::new(self.center.x + dx, self.center.y + dy);
+        // Outward direction (from center through the boundary point).
+        let norm = (dx * dx + dy * dy).sqrt().max(f64::MIN_POSITIVE);
+        (p, dx / norm, dy / norm)
+    }
+
+    fn contains(&self, p: &Point) -> bool {
+        let (s, c) = self.phi.sin_cos();
+        let dx = p.x - self.center.x;
+        let dy = p.y - self.center.y;
+        // Rotate into the ellipse frame.
+        let ex = c * dx + s * dy;
+        let ey = -s * dx + c * dy;
+        (ex / self.a).powi(2) + (ey / self.b).powi(2) < 1.0
+    }
+}
+
+/// Generator for a CFD-like mesh-node point set.
+#[derive(Clone, Copy, Debug)]
+pub struct CfdLike {
+    count: usize,
+}
+
+impl CfdLike {
+    /// The cardinality of the paper's experimental CFD data set.
+    pub const PAPER_COUNT: usize = 52_510;
+    /// The cardinality of the paper's Fig. 5 illustration.
+    pub const FIG5_COUNT: usize = 5_088;
+
+    /// A generator with the paper's experimental cardinality.
+    pub fn paper() -> Self {
+        CfdLike {
+            count: Self::PAPER_COUNT,
+        }
+    }
+
+    /// A generator with the Fig. 5 plot cardinality.
+    pub fn fig5() -> Self {
+        CfdLike {
+            count: Self::FIG5_COUNT,
+        }
+    }
+
+    /// A generator for an arbitrary number of nodes.
+    pub fn new(count: usize) -> Self {
+        CfdLike { count }
+    }
+
+    /// Wing cross-section: main element, deployed flap, leading-edge slat.
+    fn elements() -> [Element; 3] {
+        [
+            Element {
+                center: Point::new(0.46, 0.52),
+                a: 0.17,
+                b: 0.032,
+                phi: -0.10,
+            },
+            Element {
+                center: Point::new(0.66, 0.455),
+                a: 0.055,
+                b: 0.011,
+                phi: -0.45,
+            },
+            Element {
+                center: Point::new(0.265, 0.565),
+                a: 0.035,
+                b: 0.008,
+                phi: 0.35,
+            },
+        ]
+    }
+
+    /// True if `p` is inside one of the wing elements (the blank areas).
+    pub fn inside_wing(p: &Point) -> bool {
+        Self::elements().iter().any(|e| e.contains(p))
+    }
+
+    /// Generates exactly `count` mesh nodes as degenerate rectangles.
+    pub fn generate(&self, seed: u64) -> Vec<Rect> {
+        let elements = Self::elements();
+        // Element sampling weights roughly proportional to boundary length.
+        let weights = [0.62, 0.24, 0.14];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.count);
+        while out.len() < self.count {
+            let p = if rng.gen_bool(0.06) {
+                // Sparse far field covering the rest of the domain.
+                Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))
+            } else {
+                // Near-field: exponential fall-off from an element boundary.
+                let u: f64 = rng.gen();
+                let e = if u < weights[0] {
+                    &elements[0]
+                } else if u < weights[0] + weights[1] {
+                    &elements[1]
+                } else {
+                    &elements[2]
+                };
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                let (bp, nx, ny) = e.boundary(theta);
+                // d ~ Exp(mean 0.012), occasionally boosted for mid field.
+                let mean = if rng.gen_bool(0.85) { 0.012 } else { 0.06 };
+                let d = -mean * (1.0 - rng.gen::<f64>()).ln();
+                Point::new(bp.x + nx * d, bp.y + ny * d)
+            };
+            if p.x < 0.0 || p.x > 1.0 || p.y < 0.0 || p.y > 1.0 {
+                continue;
+            }
+            if Self::inside_wing(&p) {
+                continue;
+            }
+            out.push(Rect::point(p));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::UNIT;
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(CfdLike::fig5().generate(1).len(), CfdLike::FIG5_COUNT);
+        assert_eq!(CfdLike::new(500).generate(1).len(), 500);
+    }
+
+    #[test]
+    fn nodes_avoid_wing_interiors_and_stay_in_square() {
+        let pts = CfdLike::new(20_000).generate(2);
+        for r in &pts {
+            assert_eq!(r.area(), 0.0);
+            assert!(UNIT.contains_rect(r));
+            assert!(!CfdLike::inside_wing(&r.lo), "node inside wing: {r}");
+        }
+    }
+
+    #[test]
+    fn density_is_highly_skewed() {
+        let pts = CfdLike::new(20_000).generate(3);
+        // A small box hugging the main element's trailing edge vs an
+        // equal-area box in a far corner.
+        let near = Rect::new(0.56, 0.50, 0.66, 0.60);
+        let far = Rect::new(0.02, 0.02, 0.12, 0.12);
+        let count_in = |region: &Rect| {
+            pts.iter()
+                .filter(|r| region.contains_point(&r.lo))
+                .count()
+        };
+        let hot = count_in(&near);
+        let cold = count_in(&far);
+        assert!(hot > 20 * cold.max(1), "near {hot} vs far {cold}");
+    }
+
+    #[test]
+    fn far_field_is_sparse_but_present() {
+        let pts = CfdLike::new(30_000).generate(4);
+        let corner = Rect::new(0.0, 0.0, 0.25, 0.25);
+        let n = pts
+            .iter()
+            .filter(|r| corner.contains_point(&r.lo))
+            .count();
+        assert!(n > 0, "far field missing");
+        assert!((n as f64) < 0.05 * pts.len() as f64, "far field too dense");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(CfdLike::new(800).generate(5), CfdLike::new(800).generate(5));
+    }
+
+    #[test]
+    fn wing_interior_test_is_sane() {
+        assert!(CfdLike::inside_wing(&Point::new(0.46, 0.52)));
+        assert!(!CfdLike::inside_wing(&Point::new(0.05, 0.05)));
+    }
+}

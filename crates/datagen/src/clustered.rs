@@ -1,0 +1,139 @@
+//! Gaussian-mixture clustered points (extension data set).
+//!
+//! The paper's data sets pin down two extremes — uniform and wing-profile
+//! skew. This generator spans the middle ground with a tunable knob: `k`
+//! cluster centers placed uniformly, points scattered around them with
+//! standard deviation `sigma`. Small `sigma` approaches the CFD-like
+//! regime, large `sigma` degenerates toward uniform — which is exactly
+//! what the `model_accuracy_sweep` experiment varies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_geom::{Point, Rect};
+
+/// Generator for a Gaussian-mixture point cloud in the unit square.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusteredPoints {
+    count: usize,
+    clusters: usize,
+    sigma: f64,
+}
+
+impl ClusteredPoints {
+    /// Creates a generator: `count` points around `clusters` centers with
+    /// per-axis standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `clusters` is 0 or `sigma` is not positive and finite.
+    pub fn new(count: usize, clusters: usize, sigma: f64) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        ClusteredPoints {
+            count,
+            clusters,
+            sigma,
+        }
+    }
+
+    /// Generates the point set (as degenerate rectangles). Points falling
+    /// outside the unit square are re-drawn, so marginal density near the
+    /// border is slightly compressed — the same convention the paper's
+    /// normalized data sets use.
+    pub fn generate(&self, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Point> = (0..self.clusters)
+            .map(|_| Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let mut out = Vec::with_capacity(self.count);
+        while out.len() < self.count {
+            let c = centers[rng.gen_range(0..centers.len())];
+            let (gx, gy) = gauss_pair(&mut rng);
+            let p = Point::new(c.x + self.sigma * gx, c.y + self.sigma * gy);
+            if (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y) {
+                out.push(Rect::point(p));
+            }
+        }
+        out
+    }
+}
+
+/// One Box–Muller draw: two independent standard normals.
+fn gauss_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::UNIT;
+
+    #[test]
+    fn cardinality_and_bounds() {
+        let pts = ClusteredPoints::new(5_000, 8, 0.05).generate(1);
+        assert_eq!(pts.len(), 5_000);
+        for r in &pts {
+            assert!(UNIT.contains_rect(r));
+            assert_eq!(r.area(), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ClusteredPoints::new(500, 4, 0.02).generate(9);
+        let b = ClusteredPoints::new(500, 4, 0.02).generate(9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_sigma_is_more_skewed_than_large() {
+        // Discrepancy proxy: fraction of points in the densest of a 4x4
+        // grid of cells. Uniform would put ~1/16 in each.
+        let peak_share = |sigma: f64| {
+            let pts = ClusteredPoints::new(8_000, 4, sigma).generate(3);
+            let mut cells = [0usize; 16];
+            for r in &pts {
+                let i = ((r.lo.x * 4.0) as usize).min(3);
+                let j = ((r.lo.y * 4.0) as usize).min(3);
+                cells[i * 4 + j] += 1;
+            }
+            *cells.iter().max().expect("non-empty") as f64 / pts.len() as f64
+        };
+        let tight = peak_share(0.01);
+        let loose = peak_share(0.5);
+        assert!(tight > 2.0 * loose, "tight {tight} vs loose {loose}");
+        assert!(loose < 0.25, "large sigma should approach uniform");
+    }
+
+    #[test]
+    fn gauss_pair_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let (a, b) = gauss_pair(&mut rng);
+            sum += a + b;
+            sum2 += a * a + b * b;
+        }
+        let mean = sum / (2.0 * n as f64);
+        let var = sum2 / (2.0 * n as f64);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_clusters() {
+        let _ = ClusteredPoints::new(10, 0, 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_sigma() {
+        let _ = ClusteredPoints::new(10, 2, 0.0);
+    }
+}

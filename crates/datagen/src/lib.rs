@@ -1,0 +1,119 @@
+//! Deterministic synthetic spatial data sets (§5.1 of the paper).
+//!
+//! Two of the paper's four data sets are specified exactly and implemented
+//! verbatim:
+//!
+//! * [`SyntheticRegion`] — uniformly placed squares with side
+//!   `~ U(0, ε)`, `ε = 2·√(0.25/10000)`, so 10,000 rectangles cover about a
+//!   quarter of the unit square in total area.
+//! * [`SyntheticPoint`] — uniform points.
+//!
+//! The other two are proprietary and substituted with statistically similar
+//! generators (documented in `DESIGN.md`):
+//!
+//! * [`TigerLike`] — stands in for the TIGER/Long Beach road map: thin
+//!   street-segment rectangles on a jittered grid inside an irregular city
+//!   boundary, with a large empty "ocean" region. Same default cardinality
+//!   (53,145).
+//! * [`CfdLike`] — stands in for the Boeing-737 CFD grid: points packed
+//!   exponentially tightly around airfoil-shaped elements whose interiors
+//!   stay empty, plus a sparse far field. Same default cardinality (52,510).
+//!
+//! All generators take an explicit seed and are fully reproducible.
+
+mod cfd;
+mod clustered;
+mod tiger;
+mod uniform;
+
+pub use cfd::CfdLike;
+pub use clustered::ClusteredPoints;
+pub use tiger::TigerLike;
+pub use uniform::{SyntheticPoint, SyntheticRegion};
+
+use rtree_geom::{Point, Rect};
+
+/// Extracts the center points of a data set — the input of the data-driven
+/// query model (§3.2).
+pub fn centers(rects: &[Rect]) -> Vec<Point> {
+    rects.iter().map(Rect::center).collect()
+}
+
+/// Parses a data set from the `x0,y0,x1,y1` CSV produced by [`to_csv`]
+/// (header line required, blank lines ignored).
+pub fn from_csv(text: &str) -> Result<Vec<Rect>, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == "x0,y0,x1,y1" => {}
+        _ => return Err("missing x0,y0,x1,y1 header".into()),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(format!("line {}: expected 4 fields", i + 1));
+        }
+        let mut v = [0.0f64; 4];
+        for (slot, field) in v.iter_mut().zip(&fields) {
+            *slot = field
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+        }
+        if !(v[0] <= v[2] && v[1] <= v[3]) || v.iter().any(|x| !x.is_finite()) {
+            return Err(format!("line {}: invalid rectangle", i + 1));
+        }
+        out.push(Rect::new(v[0], v[1], v[2], v[3]));
+    }
+    Ok(out)
+}
+
+/// Writes a data set as `x0,y0,x1,y1` CSV lines (used by the figure-5 dump).
+pub fn to_csv(rects: &[Rect]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(rects.len() * 40);
+    out.push_str("x0,y0,x1,y1\n");
+    for r in rects {
+        writeln!(out, "{},{},{},{}", r.lo.x, r.lo.y, r.hi.x, r.hi.y).expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centers_are_midpoints() {
+        let rects = vec![Rect::new(0.0, 0.0, 0.2, 0.4)];
+        let c = centers(&rects);
+        assert_eq!(c, vec![Point::new(0.1, 0.2)]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let rects = vec![Rect::new(0.0, 0.0, 0.5, 0.5), Rect::new(0.1, 0.1, 0.2, 0.2)];
+        let back = from_csv(&to_csv(&rects)).unwrap();
+        assert_eq!(back, rects);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(from_csv("nope").is_err());
+        assert!(from_csv("x0,y0,x1,y1\n1,2,3").is_err());
+        assert!(from_csv("x0,y0,x1,y1\n0.5,0,0.1,1").is_err());
+        assert!(from_csv("x0,y0,x1,y1\na,b,c,d").is_err());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let rects = vec![Rect::new(0.0, 0.0, 0.5, 0.5), Rect::new(0.1, 0.1, 0.2, 0.2)];
+        let csv = to_csv(&rects);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("x0,y0,x1,y1\n"));
+    }
+}

@@ -1,0 +1,199 @@
+//! TIGER-like street map (substitute for the TIGER/Long Beach data set).
+//!
+//! The real data set — 53,145 road-segment rectangles from the U.S. Census
+//! TIGER files — is not redistributable here, so this generator produces a
+//! street map with the same statistical fingerprint the paper relies on:
+//!
+//! * thin, axis-aligned segment rectangles laid along a jittered grid of
+//!   streets (roads digitize into chains of short segments);
+//! * density skew: streets concentrate around a "downtown" point;
+//! * **large portions of empty space** (the coastline/ocean band), which is
+//!   what makes uniform queries cheap relative to data-driven queries on
+//!   this data (§5.4: "Uniform queries often fall in these empty regions
+//!   and, hence, are pruned at the root").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_geom::{Point, Rect};
+
+/// Generator for a TIGER-like street map.
+///
+/// # Examples
+///
+/// ```
+/// use rtree_datagen::TigerLike;
+///
+/// let rects = TigerLike::new(1_000).generate(7);
+/// assert_eq!(rects.len(), 1_000);
+/// // Same seed, same data — every generator here is deterministic.
+/// assert_eq!(rects, TigerLike::new(1_000).generate(7));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TigerLike {
+    count: usize,
+}
+
+impl TigerLike {
+    /// The cardinality of the paper's Long Beach data set.
+    pub const PAPER_COUNT: usize = 53_145;
+
+    /// A generator with the paper's cardinality.
+    pub fn paper() -> Self {
+        TigerLike {
+            count: Self::PAPER_COUNT,
+        }
+    }
+
+    /// A generator for an arbitrary number of segments.
+    pub fn new(count: usize) -> Self {
+        TigerLike { count }
+    }
+
+    /// The downtown focus (streets are densest here).
+    const DOWNTOWN: Point = Point { x: 0.32, y: 0.55 };
+
+    /// True if `p` is on land. The coast runs roughly along `x ≈ 0.72`,
+    /// leaving an empty ocean band of ~25% of the unit square on the right,
+    /// plus an empty harbor notch at the bottom.
+    pub fn on_land(p: &Point) -> bool {
+        let coast = 0.72 + 0.06 * (6.3 * p.y).sin();
+        if p.x >= coast {
+            return false;
+        }
+        // Harbor notch.
+        let harbor = (p.x - 0.55).hypot(p.y - 0.05) < 0.13;
+        !harbor
+    }
+
+    /// Generates exactly `count` segment rectangles.
+    pub fn generate(&self, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.count);
+        while out.len() < self.count {
+            self.generate_street(&mut rng, &mut out);
+        }
+        out.truncate(self.count);
+        out
+    }
+
+    /// Lays one street: picks an orientation and a (downtown-biased) grid
+    /// position, then walks along it emitting short thin segments on land.
+    fn generate_street(&self, rng: &mut StdRng, out: &mut Vec<Rect>) {
+        let horizontal = rng.gen_bool(0.5);
+        // Cross-position of the street: 65% of streets cluster around
+        // downtown (triangular jitter), the rest are city-wide.
+        let focus = if horizontal {
+            Self::DOWNTOWN.y
+        } else {
+            Self::DOWNTOWN.x
+        };
+        let raw = if rng.gen_bool(0.65) {
+            let t = (rng.gen::<f64>() + rng.gen::<f64>()) / 2.0 - 0.5; // triangular on [-0.5, 0.5]
+            focus + t * 0.55
+        } else {
+            rng.gen_range(0.0..1.0)
+        };
+        // Snap to a 1/72 grid with jitter, like a real street plan.
+        let pos = ((raw * 72.0).round() / 72.0 + rng.gen_range(-0.002..0.002)).clamp(0.0, 0.999);
+
+        let start: f64 = rng.gen_range(0.0..0.9);
+        let run: f64 = rng.gen_range(0.05..0.45);
+        let mut t = start;
+        while t < (start + run).min(0.999) && out.len() < self.count {
+            let seg_len = rng.gen_range(0.004..0.016);
+            let thickness = rng.gen_range(0.0004..0.0018);
+            let center = if horizontal {
+                Point::new((t + seg_len / 2.0).min(0.999), pos)
+            } else {
+                Point::new(pos, (t + seg_len / 2.0).min(0.999))
+            };
+            if Self::on_land(&center) {
+                let (w, h) = if horizontal {
+                    (seg_len, thickness)
+                } else {
+                    (thickness, seg_len)
+                };
+                if let Some(r) = Rect::centered(center, w, h).clamp_unit() {
+                    out.push(r);
+                }
+            }
+            t += seg_len + rng.gen_range(0.0..0.002);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::UNIT;
+
+    #[test]
+    fn paper_cardinality() {
+        let rects = TigerLike::paper().generate(42);
+        assert_eq!(rects.len(), 53_145);
+    }
+
+    #[test]
+    fn segments_are_thin_and_inside_unit_square() {
+        let rects = TigerLike::new(5_000).generate(1);
+        for r in &rects {
+            assert!(UNIT.contains_rect(r));
+            let thin = r.x_extent().min(r.y_extent());
+            let long = r.x_extent().max(r.y_extent());
+            assert!(thin <= 0.002, "too thick: {r}");
+            assert!(long <= 0.02, "too long: {r}");
+        }
+    }
+
+    #[test]
+    fn ocean_stays_empty() {
+        let rects = TigerLike::new(20_000).generate(2);
+        let deep_ocean = Rect::new(0.85, 0.3, 1.0, 0.7);
+        assert!(
+            !rects.iter().any(|r| r.intersects(&deep_ocean)),
+            "segments in the ocean"
+        );
+    }
+
+    #[test]
+    fn ocean_is_a_large_fraction() {
+        // Monte-Carlo estimate of the empty fraction: at least ~20%.
+        let mut water = 0usize;
+        let n = 40_000;
+        for i in 0..n {
+            let x = (i % 200) as f64 / 200.0;
+            let y = (i / 200) as f64 / 200.0;
+            if !TigerLike::on_land(&Point::new(x, y)) {
+                water += 1;
+            }
+        }
+        let share = water as f64 / n as f64;
+        assert!((0.2..0.5).contains(&share), "water share {share}");
+    }
+
+    #[test]
+    fn density_is_skewed_toward_downtown() {
+        let rects = TigerLike::new(20_000).generate(3);
+        let downtown = Rect::new(0.22, 0.45, 0.42, 0.65); // area 0.04
+        let outskirt = Rect::new(0.0, 0.78, 0.2, 0.98); // same area
+        let count_in = |region: &Rect| {
+            rects
+                .iter()
+                .filter(|r| region.contains_point(&r.center()))
+                .count()
+        };
+        let hot = count_in(&downtown);
+        let cold = count_in(&outskirt);
+        assert!(
+            hot > 2 * cold.max(1),
+            "no skew: downtown {hot} vs outskirts {cold}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TigerLike::new(1_000).generate(9);
+        let b = TigerLike::new(1_000).generate(9);
+        assert_eq!(a, b);
+    }
+}

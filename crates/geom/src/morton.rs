@@ -1,0 +1,121 @@
+//! The Morton (Z-order) space-filling curve.
+//!
+//! Used as an extension loader: Z-order sorting is the classical cheap
+//! alternative to Hilbert sorting and provides an ablation point for how
+//! much of the Hilbert loader's quality comes from curve locality.
+
+use crate::Point;
+
+/// A Morton (Z-order) curve of a fixed order over the unit square.
+#[derive(Clone, Copy, Debug)]
+pub struct MortonCurve {
+    order: u32,
+}
+
+impl MortonCurve {
+    /// Default order matching [`crate::HilbertCurve::DEFAULT_ORDER`].
+    pub const DEFAULT_ORDER: u32 = 16;
+
+    /// Creates a curve of the given order (grid side `2^order`).
+    ///
+    /// # Panics
+    /// Panics if `order` is 0 or greater than 31.
+    pub fn new(order: u32) -> Self {
+        assert!((1..=31).contains(&order), "morton order must be in 1..=31");
+        MortonCurve { order }
+    }
+
+    /// Grid side length `2^order`.
+    #[inline]
+    pub fn side(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    /// Morton index of the grid cell containing a point of the unit square.
+    /// Coordinates outside `[0,1]` are clamped to the boundary cells.
+    pub fn index_of(&self, p: &Point) -> u64 {
+        let side = self.side();
+        let fx = (p.x.clamp(0.0, 1.0) * side as f64) as u64;
+        let fy = (p.y.clamp(0.0, 1.0) * side as f64) as u64;
+        let x = fx.min(side - 1) as u32;
+        let y = fy.min(side - 1) as u32;
+        morton_index(x, y)
+    }
+}
+
+impl Default for MortonCurve {
+    fn default() -> Self {
+        MortonCurve::new(Self::DEFAULT_ORDER)
+    }
+}
+
+/// Interleaves the bits of `x` (even positions) and `y` (odd positions).
+#[inline]
+pub fn morton_index(x: u32, y: u32) -> u64 {
+    spread_bits(x) | (spread_bits(y) << 1)
+}
+
+/// Spreads the 32 bits of `v` into the even bit positions of a `u64`.
+#[inline]
+fn spread_bits(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_shape_order_one() {
+        // Z-order visits (0,0), (1,0), (0,1), (1,1).
+        assert_eq!(morton_index(0, 0), 0);
+        assert_eq!(morton_index(1, 0), 1);
+        assert_eq!(morton_index(0, 1), 2);
+        assert_eq!(morton_index(1, 1), 3);
+    }
+
+    #[test]
+    fn bijective_on_small_grid() {
+        let side = 32u32;
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..side {
+            for y in 0..side {
+                assert!(seen.insert(morton_index(x, y)));
+            }
+        }
+        assert_eq!(seen.len(), (side * side) as usize);
+    }
+
+    #[test]
+    fn spread_handles_full_width() {
+        assert_eq!(spread_bits(u32::MAX), 0x5555_5555_5555_5555);
+        assert_eq!(morton_index(u32::MAX, u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn curve_clamps_out_of_range() {
+        let c = MortonCurve::default();
+        let max_cell = c.index_of(&Point::new(2.0, 2.0));
+        let corner = c.index_of(&Point::new(1.0, 1.0));
+        assert_eq!(max_cell, corner);
+    }
+
+    #[test]
+    fn monotone_along_x_within_row_prefix() {
+        // Within a fixed y, increasing x never decreases the Morton index.
+        let mut prev = 0;
+        for x in 0..1024u32 {
+            let m = morton_index(x, 7);
+            if x > 0 {
+                assert!(m > prev);
+            }
+            prev = m;
+        }
+    }
+}

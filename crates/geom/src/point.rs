@@ -1,0 +1,101 @@
+//! Points in the plane.
+
+use std::fmt;
+
+/// A point in the plane. Coordinates are plain `f64`; data sets in this
+/// workspace are normalized to the unit square but nothing in the type
+/// enforces that.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// True if both coordinates are finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(0.25, 0.75);
+        assert_eq!(p.distance(&p), 0.0);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(0.1, 0.9);
+        let b = Point::new(0.5, 0.2);
+        assert_eq!(a.min(&b), Point::new(0.1, 0.2));
+        assert_eq!(a.max(&b), Point::new(0.5, 0.9));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(0.0, 1.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (0.5, 0.25).into();
+        assert_eq!(p, Point::new(0.5, 0.25));
+    }
+}

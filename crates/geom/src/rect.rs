@@ -1,0 +1,345 @@
+//! Axis-parallel rectangles and the rectangle algebra of the paper's model.
+
+use crate::{Point, UNIT};
+use std::fmt;
+
+/// An axis-parallel rectangle `⟨(a,b),(c,d)⟩` given by its bottom-left (`lo`)
+/// and top-right (`hi`) corners. Degenerate rectangles (zero width and/or
+/// height, i.e. points and segments) are valid — the paper's point data sets
+/// are stored as degenerate rectangles.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    pub lo: Point,
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates `(a, b)`–`(c, d)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `a > c` or `b > d`, or any coordinate is
+    /// non-finite.
+    #[inline]
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        debug_assert!(a <= c && b <= d, "inverted rect ({a},{b})-({c},{d})");
+        debug_assert!(
+            a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite(),
+            "non-finite rect coordinates"
+        );
+        Rect {
+            lo: Point::new(a, b),
+            hi: Point::new(c, d),
+        }
+    }
+
+    /// A degenerate rectangle covering a single point.
+    #[inline]
+    pub fn point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Rectangle from two arbitrary corner points (order-insensitive).
+    #[inline]
+    pub fn from_corners(p: Point, q: Point) -> Self {
+        Rect {
+            lo: p.min(&q),
+            hi: p.max(&q),
+        }
+    }
+
+    /// Rectangle from a center point and full side lengths `w × h`.
+    #[inline]
+    pub fn centered(center: Point, w: f64, h: f64) -> Self {
+        Rect::new(
+            center.x - w / 2.0,
+            center.y - h / 2.0,
+            center.x + w / 2.0,
+            center.y + h / 2.0,
+        )
+    }
+
+    /// Extent along x (the paper's contribution of this rectangle to `Lx`).
+    #[inline]
+    pub fn x_extent(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Extent along y (contribution to `Ly`).
+    #[inline]
+    pub fn y_extent(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.x_extent() * self.y_extent()
+    }
+
+    /// Half-perimeter (`x_extent + y_extent`), the "margin" used by packing
+    /// quality metrics.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.x_extent() + self.y_extent()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.lo.x + self.hi.x) / 2.0,
+            (self.lo.y + self.hi.y) / 2.0,
+        )
+    }
+
+    /// True if the closed rectangle contains `p` (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.lo.x <= p.x && p.x <= self.hi.x && self.lo.y <= p.y && p.y <= self.hi.y
+    }
+
+    /// True if `self` fully contains `other`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// True if the closed rectangles intersect (touching counts: the paper's
+    /// query semantics retrieve *all* rectangles intersecting the query
+    /// region).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Intersection of two rectangles, or `None` if disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            lo: self.lo.max(&other.lo),
+            hi: self.hi.min(&other.hi),
+        })
+    }
+
+    /// Smallest rectangle enclosing both (the MBR union).
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// MBR of a non-empty slice of rectangles.
+    ///
+    /// # Panics
+    /// Panics if `rects` is empty.
+    pub fn mbr_of(rects: &[Rect]) -> Rect {
+        assert!(!rects.is_empty(), "MBR of empty set is undefined");
+        rects[1..]
+            .iter()
+            .fold(rects[0], |acc, r| acc.union(r))
+    }
+
+    /// Enlargement in area needed to include `other`
+    /// (`area(self ∪ other) − area(self)`, Guttman's ChooseLeaf criterion).
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// The paper's §3.1 *extended rectangle* `R' = ⟨(a,b),(c+qx,d+qy)⟩`:
+    /// a region query of size `qx × qy` intersects `R` iff the query's
+    /// top-right corner lies inside `R'` (Fig. 2).
+    #[inline]
+    pub fn extend_tr(&self, qx: f64, qy: f64) -> Rect {
+        Rect {
+            lo: self.lo,
+            hi: Point::new(self.hi.x + qx, self.hi.y + qy),
+        }
+    }
+
+    /// The paper's §3.2 *center-fixed expansion* (Fig. 4): grow the width by
+    /// `qx` and the height by `qy` keeping the center fixed. A query of size
+    /// `qx × qy` centered at `c` intersects `R` iff `c` lies inside the
+    /// expanded rectangle.
+    #[inline]
+    pub fn expand_centered(&self, qx: f64, qy: f64) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x - qx / 2.0, self.lo.y - qy / 2.0),
+            hi: Point::new(self.hi.x + qx / 2.0, self.hi.y + qy / 2.0),
+        }
+    }
+
+    /// Clamps the rectangle to the unit square.
+    #[inline]
+    pub fn clamp_unit(&self) -> Option<Rect> {
+        self.intersection(&UNIT)
+    }
+
+    /// True if all coordinates are finite and `lo <= hi` component-wise.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lo.is_finite()
+            && self.hi.is_finite()
+            && self.lo.x <= self.hi.x
+            && self.lo.y <= self.hi.y
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn area_margin_extents() {
+        let x = r(0.1, 0.2, 0.4, 0.8);
+        assert!((x.x_extent() - 0.3).abs() < 1e-12);
+        assert!((x.y_extent() - 0.6).abs() < 1e-12);
+        assert!((x.area() - 0.18).abs() < 1e-12);
+        assert!((x.margin() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_point_rect() {
+        let p = Rect::point(Point::new(0.5, 0.5));
+        assert_eq!(p.area(), 0.0);
+        assert!(p.contains_point(&Point::new(0.5, 0.5)));
+        assert!(p.intersects(&p));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r(0.0, 0.0, 1.0, 1.0);
+        let inner = r(0.25, 0.25, 0.75, 0.75);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+
+    #[test]
+    fn intersection_and_touching() {
+        let a = r(0.0, 0.0, 0.5, 0.5);
+        let b = r(0.5, 0.5, 1.0, 1.0);
+        // Touching at a corner counts as intersecting.
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.area(), 0.0);
+
+        let c = r(0.6, 0.0, 1.0, 0.4);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn union_is_mbr() {
+        let a = r(0.0, 0.3, 0.2, 0.5);
+        let b = r(0.1, 0.0, 0.6, 0.4);
+        let u = a.union(&b);
+        assert_eq!(u, r(0.0, 0.0, 0.6, 0.5));
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    #[test]
+    fn mbr_of_slice() {
+        let rects = [r(0.1, 0.1, 0.2, 0.2), r(0.5, 0.0, 0.6, 0.9), r(0.0, 0.4, 0.05, 0.5)];
+        let m = Rect::mbr_of(&rects);
+        assert_eq!(m, r(0.0, 0.0, 0.6, 0.9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mbr_of_empty_panics() {
+        let _ = Rect::mbr_of(&[]);
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(0.2, 0.2, 0.3, 0.3);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn extend_tr_matches_fig2() {
+        // A query of size 0.2 x 0.1 whose top-right corner is inside R'
+        // intersects R, and vice versa.
+        let rect = r(0.3, 0.3, 0.5, 0.6);
+        let (qx, qy) = (0.2, 0.1);
+        let ext = rect.extend_tr(qx, qy);
+        assert_eq!(ext, r(0.3, 0.3, 0.7, 0.7));
+
+        // Query just inside the extension: top-right corner (0.69, 0.69).
+        let q = Rect::new(0.69 - qx, 0.69 - qy, 0.69, 0.69);
+        assert!(ext.contains_point(&q.hi));
+        assert!(rect.intersects(&q));
+
+        // Query just outside the extension does not intersect R.
+        let q2 = Rect::new(0.71 - qx, 0.3, 0.71, 0.3 + qy);
+        assert!(!ext.contains_point(&q2.hi));
+        assert!(!rect.intersects(&q2));
+    }
+
+    #[test]
+    fn expand_centered_matches_fig4() {
+        let rect = r(0.4, 0.4, 0.6, 0.6);
+        let (qx, qy) = (0.2, 0.1);
+        let exp = rect.expand_centered(qx, qy);
+        assert!((exp.lo.x - 0.3).abs() < 1e-12);
+        assert!((exp.hi.x - 0.7).abs() < 1e-12);
+        assert!((exp.lo.y - 0.35).abs() < 1e-12);
+        assert!((exp.hi.y - 0.65).abs() < 1e-12);
+        // Same center.
+        let c0 = rect.center();
+        let c1 = exp.center();
+        assert!((c0.x - c1.x).abs() < 1e-12 && (c0.y - c1.y).abs() < 1e-12);
+
+        // A query centered just inside the expansion intersects R.
+        let center = Point::new(0.3 + 1e-9, 0.5);
+        let q = Rect::centered(center, qx, qy);
+        assert!(rect.intersects(&q));
+        // Centered just outside: no intersection.
+        let center2 = Point::new(0.3 - 1e-9, 0.5);
+        let q2 = Rect::centered(center2, qx, qy);
+        assert!(!rect.intersects(&q2));
+    }
+
+    #[test]
+    fn clamp_unit() {
+        let a = r(-0.5, 0.5, 0.5, 1.5);
+        let c = a.clamp_unit().unwrap();
+        assert_eq!(c, r(0.0, 0.5, 0.5, 1.0));
+        let outside = r(1.5, 1.5, 2.0, 2.0);
+        assert!(outside.clamp_unit().is_none());
+    }
+
+    #[test]
+    fn validity() {
+        assert!(r(0.0, 0.0, 1.0, 1.0).is_valid());
+        let bad = Rect {
+            lo: Point::new(1.0, 0.0),
+            hi: Point::new(0.0, 1.0),
+        };
+        assert!(!bad.is_valid());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the geometry layer.
+
+use proptest::prelude::*;
+use rtree_geom::{hilbert_index, hilbert_point, morton_index, Point, Rect, UNIT};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(p, q)| Rect::from_corners(p, q))
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-12 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn intersects_iff_tr_corner_in_extension(r in arb_rect(), q in arb_rect()) {
+        // The cornerstone of the paper's region-query model (Fig. 2): a query
+        // of size qx x qy intersects R iff its top-right corner lies in
+        // R' = extend_tr(R, qx, qy).
+        let (qx, qy) = (q.x_extent(), q.y_extent());
+        let ext = r.extend_tr(qx, qy);
+        prop_assert_eq!(r.intersects(&q), ext.contains_point(&q.hi));
+    }
+
+    #[test]
+    fn intersects_iff_center_in_expansion(r in arb_rect(), c in arb_point(), q in (0.0f64..=0.5, 0.0f64..=0.5)) {
+        // Fig. 4: a query of size qx x qy centered at c intersects R iff c
+        // lies in the center-fixed expansion of R.
+        let (qx, qy) = q;
+        let query = Rect::centered(c, qx, qy);
+        let expanded = r.expand_centered(qx, qy);
+        prop_assert_eq!(r.intersects(&query), expanded.contains_point(&c));
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= -1e-12);
+    }
+
+    #[test]
+    fn clamp_unit_stays_in_unit(a in arb_rect()) {
+        if let Some(c) = a.clamp_unit() {
+            prop_assert!(UNIT.contains_rect(&c));
+            prop_assert!(c.area() <= a.area() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mbr_of_contains_all(rects in prop::collection::vec(arb_rect(), 1..32)) {
+        let m = Rect::mbr_of(&rects);
+        for r in &rects {
+            prop_assert!(m.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn hilbert_round_trip(order in 1u32..=16, raw in any::<u64>()) {
+        let cells = 1u64 << (2 * order);
+        let d = raw % cells;
+        let (x, y) = hilbert_point(order, d);
+        prop_assert!(x < (1 << order) && y < (1 << order));
+        prop_assert_eq!(hilbert_index(order, x, y), d);
+    }
+
+    #[test]
+    fn hilbert_neighbors_adjacent(order in 2u32..=12, raw in any::<u64>()) {
+        let cells = 1u64 << (2 * order);
+        let d = raw % (cells - 1);
+        let (x0, y0) = hilbert_point(order, d);
+        let (x1, y1) = hilbert_point(order, d + 1);
+        let dist = (x1 as i64 - x0 as i64).abs() + (y1 as i64 - y0 as i64).abs();
+        prop_assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn morton_distinct_for_distinct_cells(a in (0u32..1024, 0u32..1024), b in (0u32..1024, 0u32..1024)) {
+        if a != b {
+            prop_assert_ne!(morton_index(a.0, a.1), morton_index(b.0, b.1));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Deletion with Guttman's condense-tree.
+//!
+//! The paper evaluates *loading* algorithms, but its model is explicitly a
+//! tool "to evaluate the quality of any R-tree update operation"; a complete
+//! index therefore needs deletion so that restructured trees can be fed to
+//! the model too.
+
+use crate::node::NodeId;
+use crate::tree::RTree;
+use rtree_geom::Rect;
+
+impl RTree {
+    /// Removes the item with the given id whose stored rectangle equals
+    /// `rect`. Returns `true` if an item was removed.
+    ///
+    /// Underflowing nodes are dissolved and their entries reinserted at the
+    /// appropriate level (Guttman's CondenseTree); if the root becomes an
+    /// internal node with a single child the tree shrinks by one level.
+    pub fn delete(&mut self, rect: &Rect, id: u64) -> bool {
+        let Some(path) = self.find_leaf(self.root, rect, id) else {
+            return false;
+        };
+        let leaf = *path.last().expect("find_leaf returns non-empty path");
+
+        // Remove the entry from the leaf.
+        let n = self.node_mut(leaf);
+        let pos = n
+            .entries()
+            .position(|(r, p)| p == id && r == *rect)
+            .expect("find_leaf located the entry");
+        n.remove(pos);
+        self.len -= 1;
+
+        self.condense(path);
+        true
+    }
+
+    /// Depth-first search for the leaf containing `(rect, id)`; returns the
+    /// root-to-leaf path.
+    fn find_leaf(&self, node: NodeId, rect: &Rect, id: u64) -> Option<Vec<NodeId>> {
+        let n = self.node(node);
+        if n.is_leaf() {
+            if n.entries().any(|(r, p)| p == id && r == *rect) {
+                return Some(vec![node]);
+            }
+            return None;
+        }
+        for i in 0..n.len() {
+            if n.rect(i).contains_rect(rect) {
+                if let Some(mut path) = self.find_leaf(n.child(i), rect, id) {
+                    path.insert(0, node);
+                    return Some(path);
+                }
+            }
+        }
+        None
+    }
+
+    /// CondenseTree: walk the path leaf-to-root, dissolving underfull nodes
+    /// and collecting their entries for reinsertion; then fix up the root.
+    fn condense(&mut self, mut path: Vec<NodeId>) {
+        // (level, rect, ptr) entries awaiting reinsertion.
+        let mut orphans: Vec<(u32, Rect, u64)> = Vec::new();
+
+        while path.len() > 1 {
+            let node_id = path.pop().expect("loop guard");
+            let parent_id = *path.last().expect("loop guard");
+
+            let slot = {
+                let parent = self.node(parent_id);
+                (0..parent.len())
+                    .find(|&i| parent.child(i) == node_id)
+                    .expect("parent links to child on path")
+            };
+
+            if self.node(node_id).len() < self.min_entries {
+                // Dissolve: remove from parent, queue entries for reinsertion.
+                self.node_mut(parent_id).remove(slot);
+                let level = self.node(node_id).level;
+                let entries: Vec<(Rect, u64)> = self.node(node_id).entries().collect();
+                for (r, p) in entries {
+                    orphans.push((level, r, p));
+                }
+                self.dealloc(node_id);
+            } else {
+                // Keep: tighten the parent's rectangle.
+                let mbr = self.node(node_id).mbr();
+                self.node_mut(parent_id).rects[slot] = mbr;
+            }
+        }
+
+        // Reinsert orphans, higher levels first so subtree heights line up.
+        orphans.sort_by_key(|o| std::cmp::Reverse(o.0));
+        // An entry from a dissolved node at level L must be re-attached to a
+        // node at level L, so its subtree keeps hanging at level L - 1.
+        for (level, rect, ptr) in orphans {
+            self.insert_at_level(rect, ptr, level);
+        }
+
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let root = self.node(self.root);
+            if !root.is_leaf() && root.len() == 1 {
+                let child = root.child(0);
+                let old = self.root;
+                self.root = child;
+                self.dealloc(old);
+            } else {
+                break;
+            }
+        }
+        // An empty tree collapses back to a bare leaf root.
+        if self.len == 0 {
+            let root = self.root;
+            if self.node(root).level != 0 || !self.node(root).is_empty() {
+                self.dealloc(root);
+                let fresh = self.alloc(0);
+                self.root = fresh;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_items(n: usize) -> Vec<(Rect, u64)> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = i as f64 / n as f64;
+                let y = j as f64 / n as f64;
+                out.push((
+                    Rect::new(x, y, x + 0.3 / n as f64, y + 0.3 / n as f64),
+                    (i * n + j) as u64,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut t = RTree::builder(4).build();
+        t.insert(Rect::new(0.1, 0.1, 0.2, 0.2), 1);
+        assert!(!t.delete(&Rect::new(0.5, 0.5, 0.6, 0.6), 1));
+        assert!(!t.delete(&Rect::new(0.1, 0.1, 0.2, 0.2), 2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_single_item() {
+        let mut t = RTree::builder(4).build();
+        let r = Rect::new(0.1, 0.1, 0.2, 0.2);
+        t.insert(r, 1);
+        assert!(t.delete(&r, 1));
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_everything_in_insertion_order() {
+        let mut t = RTree::builder(5).build();
+        let items = grid_items(10);
+        for (r, id) in &items {
+            t.insert(*r, *id);
+        }
+        for (r, id) in &items {
+            assert!(t.delete(r, *id), "lost item {id}");
+            t.validate().unwrap();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn delete_everything_in_reverse_order() {
+        let mut t = RTree::builder(5).build();
+        let items = grid_items(8);
+        for (r, id) in &items {
+            t.insert(*r, *id);
+        }
+        for (r, id) in items.iter().rev() {
+            assert!(t.delete(r, *id));
+        }
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_half_keeps_rest_findable() {
+        let mut t = RTree::builder(6).build();
+        let items = grid_items(12);
+        for (r, id) in &items {
+            t.insert(*r, *id);
+        }
+        for (r, id) in items.iter().filter(|(_, id)| id % 2 == 0) {
+            assert!(t.delete(r, *id));
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), items.len() / 2);
+        for (r, id) in items.iter().filter(|(_, id)| id % 2 == 1) {
+            assert!(t.search(r).contains(id), "survivor {id} lost");
+        }
+    }
+
+    #[test]
+    fn tree_shrinks_after_mass_delete() {
+        let mut t = RTree::builder(4).build();
+        let items = grid_items(10);
+        for (r, id) in &items {
+            t.insert(*r, *id);
+        }
+        let tall = t.height();
+        assert!(tall >= 3);
+        for (r, id) in items.iter().skip(3) {
+            assert!(t.delete(r, *id));
+        }
+        assert!(t.height() < tall);
+        t.validate().unwrap();
+    }
+}

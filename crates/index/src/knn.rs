@@ -1,0 +1,236 @@
+//! k-nearest-neighbor search (branch-and-bound over MBR distances).
+//!
+//! Not part of the buffering study, but table stakes for an R-tree library
+//! a downstream user would adopt. The classic best-first algorithm
+//! (Hjaltason & Samet): a priority queue over minimum distances, expanding
+//! nodes lazily, so only the nodes whose MBR could contain a closer item
+//! are ever touched. The traversal reports accessed nodes through the same
+//! callback shape as region search, so kNN workloads can be traced against
+//! a buffer pool too.
+
+use crate::node::NodeId;
+use crate::tree::RTree;
+use rtree_geom::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Minimum squared Euclidean distance from `p` to `r` (0 if inside).
+fn min_dist2(p: &Point, r: &Rect) -> f64 {
+    let dx = (r.lo.x - p.x).max(0.0).max(p.x - r.hi.x);
+    let dy = (r.lo.y - p.y).max(0.0).max(p.y - r.hi.y);
+    dx * dx + dy * dy
+}
+
+/// A search-queue entry ordered by ascending distance.
+struct QueueEntry {
+    dist2: f64,
+    kind: EntryKind,
+}
+
+enum EntryKind {
+    Node(NodeId),
+    Item { rect: Rect, id: u64 },
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-first.
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .expect("distances are finite")
+    }
+}
+
+/// One kNN result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Item id.
+    pub id: u64,
+    /// The item's stored rectangle.
+    pub rect: Rect,
+    /// Euclidean distance from the query point to the rectangle.
+    pub distance: f64,
+}
+
+impl RTree {
+    /// Returns the `k` items nearest to `p` (by rectangle distance; items
+    /// containing `p` have distance 0), closest first. Ties are broken
+    /// arbitrarily. Returns fewer than `k` if the tree is smaller.
+    pub fn nearest_neighbors(&self, p: &Point, k: usize) -> Vec<Neighbor> {
+        self.nearest_neighbors_with(p, k, |_, _| {})
+    }
+
+    /// kNN with a node-access callback (for buffer tracing).
+    pub fn nearest_neighbors_with(
+        &self,
+        p: &Point,
+        k: usize,
+        mut on_node: impl FnMut(NodeId, u32),
+    ) -> Vec<Neighbor> {
+        let mut result = Vec::with_capacity(k.min(self.len()));
+        if k == 0 || self.is_empty() {
+            return result;
+        }
+        let mut queue = BinaryHeap::new();
+        queue.push(QueueEntry {
+            dist2: min_dist2(p, &self.node(self.root).mbr()),
+            kind: EntryKind::Node(self.root),
+        });
+        while let Some(entry) = queue.pop() {
+            match entry.kind {
+                EntryKind::Item { rect, id } => {
+                    result.push(Neighbor {
+                        id,
+                        rect,
+                        distance: entry.dist2.sqrt(),
+                    });
+                    if result.len() == k {
+                        break;
+                    }
+                }
+                EntryKind::Node(node_id) => {
+                    let n = self.node(node_id);
+                    on_node(node_id, n.level());
+                    if n.is_leaf() {
+                        for (rect, id) in n.entries() {
+                            queue.push(QueueEntry {
+                                dist2: min_dist2(p, &rect),
+                                kind: EntryKind::Item { rect, id },
+                            });
+                        }
+                    } else {
+                        for i in 0..n.len() {
+                            queue.push(QueueEntry {
+                                dist2: min_dist2(p, &n.rect(i)),
+                                kind: EntryKind::Node(n.child(i)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::BulkLoader;
+
+    fn grid_points(n: usize) -> Vec<Rect> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                out.push(Rect::point(Point::new(
+                    i as f64 / (n - 1) as f64,
+                    j as f64 / (n - 1) as f64,
+                )));
+            }
+        }
+        out
+    }
+
+    fn brute_force(rects: &[Rect], p: &Point, k: usize) -> Vec<u64> {
+        let mut d: Vec<(f64, u64)> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (min_dist2(p, r), i as u64))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        d.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn min_dist_cases() {
+        let r = Rect::new(0.4, 0.4, 0.6, 0.6);
+        assert_eq!(min_dist2(&Point::new(0.5, 0.5), &r), 0.0); // inside
+        assert!((min_dist2(&Point::new(0.3, 0.5), &r) - 0.01).abs() < 1e-12); // left
+        assert!((min_dist2(&Point::new(0.7, 0.7), &r) - 0.02).abs() < 1e-12); // corner
+    }
+
+    #[test]
+    fn nearest_one_is_the_containing_cell() {
+        let rects = grid_points(11);
+        let tree = BulkLoader::hilbert(8).load(&rects);
+        let nn = tree.nearest_neighbors(&Point::new(0.5, 0.5), 1);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].distance, 0.0);
+        assert_eq!(nn[0].rect, Rect::point(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let rects = grid_points(13);
+        let tree = BulkLoader::str_pack(10).load(&rects);
+        for (px, py, k) in [(0.21, 0.37, 5), (0.0, 0.0, 3), (0.99, 0.5, 10), (0.5, 0.5, 1)] {
+            let p = Point::new(px, py);
+            let got: Vec<f64> = tree
+                .nearest_neighbors(&p, k)
+                .iter()
+                .map(|n| n.distance)
+                .collect();
+            let want: Vec<f64> = brute_force(&rects, &p, k)
+                .iter()
+                .map(|&i| min_dist2(&p, &rects[i as usize]).sqrt())
+                .collect();
+            // Compare distances (ids can tie).
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12, "query ({px},{py}) k={k}");
+            }
+            assert_eq!(got.len(), k);
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let rects = grid_points(9);
+        let tree = BulkLoader::nearest_x(6).load(&rects);
+        let nn = tree.nearest_neighbors(&Point::new(0.33, 0.66), 12);
+        for w in nn.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-15);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let rects = grid_points(3);
+        let tree = BulkLoader::hilbert(4).load(&rects);
+        let nn = tree.nearest_neighbors(&Point::new(0.5, 0.5), 100);
+        assert_eq!(nn.len(), 9);
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let rects = grid_points(3);
+        let tree = BulkLoader::hilbert(4).load(&rects);
+        assert!(tree.nearest_neighbors(&Point::new(0.5, 0.5), 0).is_empty());
+        let empty = RTree::builder(4).build();
+        assert!(empty.nearest_neighbors(&Point::new(0.5, 0.5), 3).is_empty());
+    }
+
+    #[test]
+    fn knn_touches_fewer_nodes_than_full_scan() {
+        let rects = grid_points(40); // 1,600 points
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let mut touched = 0usize;
+        let _ = tree.nearest_neighbors_with(&Point::new(0.5, 0.5), 4, |_, _| touched += 1);
+        assert!(
+            touched * 5 < tree.node_count(),
+            "kNN touched {touched} of {} nodes",
+            tree.node_count()
+        );
+    }
+}

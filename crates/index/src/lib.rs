@@ -1,0 +1,40 @@
+//! An R-tree index with the loading algorithms studied in
+//! Leutenegger & López (ICDE 1998).
+//!
+//! The crate provides:
+//!
+//! * [`RTree`] — an arena-backed R-tree storing `(Rect, u64)` items, with
+//!   Guttman insertion ([`RTreeBuilder`], quadratic or linear node splits),
+//!   deletion with condense-tree, and region/point search.
+//! * [`BulkLoader`] — bottom-up packing loaders: **NX** (nearest-X),
+//!   **HS** (Hilbert sort), plus Morton and STR as extensions. Together with
+//!   tuple-at-a-time insertion (**TAT**) these are the paper's §2.2 loading
+//!   algorithms.
+//! * Per-level MBR extraction ([`RTree::level_mbrs`]) — the input of the
+//!   analytic models in `rtree-core`, using the paper's level numbering
+//!   (level 0 = root).
+//! * [`RTree::validate`] — structural invariant checking used heavily by
+//!   the property-based tests.
+//!
+//! One tree node corresponds to one disk page throughout the study, so the
+//! node capacity (`max_entries`) is the paper's "n rectangles per node".
+
+mod bulk;
+mod delete;
+mod insert;
+mod knn;
+mod node;
+mod query;
+mod rstar;
+mod split;
+mod stats;
+mod tree;
+
+pub use bulk::{BulkLoader, PackingOrder, TupleAtATime};
+pub use knn::Neighbor;
+pub use node::{Node, NodeId};
+pub use query::QueryStats;
+pub use rstar::RStarSplit;
+pub use split::{LinearSplit, QuadraticSplit, SplitPolicy};
+pub use stats::{rect_aggregates, LevelStats, TreeStats};
+pub use tree::{RTree, RTreeBuilder, ValidationError};

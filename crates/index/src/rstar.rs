@@ -1,0 +1,254 @@
+//! The R*-tree split heuristic (Beckmann, Kriegel, Schneider & Seeger —
+//! reference [1] of the paper).
+//!
+//! The paper's TAT loader uses Guttman's quadratic split; the R* split is
+//! the strongest classical alternative and is included as an extension so
+//! the buffer model can rank all three split heuristics (`ablation_splits`).
+//! This implements the R* *split* (ChooseSplitAxis by minimum total margin,
+//! ChooseSplitIndex by minimum overlap, ties by area); forced reinsertion —
+//! the other half of the R*-tree — is an insertion-path policy, not a split
+//! policy, and is out of scope here.
+
+use crate::split::SplitPolicy;
+use rtree_geom::Rect;
+
+/// The R* split heuristic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RStarSplit;
+
+/// One candidate distribution: the first `k` of `order` against the rest.
+struct Distribution<'a> {
+    order: &'a [usize],
+    k: usize,
+    mbr1: Rect,
+    mbr2: Rect,
+}
+
+impl Distribution<'_> {
+    fn margin(&self) -> f64 {
+        self.mbr1.margin() + self.mbr2.margin()
+    }
+
+    fn overlap(&self) -> f64 {
+        self.mbr1
+            .intersection(&self.mbr2)
+            .map_or(0.0, |i| i.area())
+    }
+
+    fn area(&self) -> f64 {
+        self.mbr1.area() + self.mbr2.area()
+    }
+}
+
+fn mbr_of_indices(rects: &[Rect], idx: &[usize]) -> Rect {
+    idx[1..]
+        .iter()
+        .fold(rects[idx[0]], |acc, &i| acc.union(&rects[i]))
+}
+
+/// Enumerates the R* distributions of one axis ordering and folds them with
+/// `f`.
+fn for_each_distribution<'a>(
+    rects: &[Rect],
+    order: &'a [usize],
+    min: usize,
+    mut f: impl FnMut(Distribution<'a>),
+) {
+    let n = order.len();
+    // Prefix and suffix MBRs to make each distribution O(1).
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = rects[order[0]];
+    prefix.push(acc);
+    for &i in &order[1..] {
+        acc = acc.union(&rects[i]);
+        prefix.push(acc);
+    }
+    let mut suffix = vec![rects[order[n - 1]]; n];
+    for j in (0..n - 1).rev() {
+        suffix[j] = suffix[j + 1].union(&rects[order[j]]);
+    }
+    for k in min..=(n - min) {
+        f(Distribution {
+            order,
+            k,
+            mbr1: prefix[k - 1],
+            mbr2: suffix[k],
+        });
+    }
+}
+
+impl SplitPolicy for RStarSplit {
+    fn split(&self, rects: &[Rect], min: usize) -> (Vec<usize>, Vec<usize>) {
+        let n = rects.len();
+        assert!(n >= 2 && 2 * min <= n, "cannot split {n} entries with min {min}");
+
+        // Four sort orders: by lower and upper value on each axis.
+        let mut orders: [Vec<usize>; 4] = std::array::from_fn(|_| (0..n).collect());
+        let keys: [fn(&Rect) -> f64; 4] = [
+            |r| r.lo.x,
+            |r| r.hi.x,
+            |r| r.lo.y,
+            |r| r.hi.y,
+        ];
+        for (order, key) in orders.iter_mut().zip(keys) {
+            order.sort_by(|&a, &b| {
+                key(&rects[a])
+                    .partial_cmp(&key(&rects[b]))
+                    .expect("finite coordinates")
+            });
+        }
+
+        // ChooseSplitAxis: the axis (x = orders 0,1; y = orders 2,3) with
+        // the smallest sum of distribution margins.
+        let margin_sum = |a: &[usize], b: &[usize]| {
+            let mut s = 0.0;
+            for order in [a, b] {
+                for_each_distribution(rects, order, min, |d| s += d.margin());
+            }
+            s
+        };
+        let sx = margin_sum(&orders[0], &orders[1]);
+        let sy = margin_sum(&orders[2], &orders[3]);
+        let axis_orders: [&Vec<usize>; 2] = if sx <= sy {
+            [&orders[0], &orders[1]]
+        } else {
+            [&orders[2], &orders[3]]
+        };
+
+        // ChooseSplitIndex: minimum overlap, ties by minimum total area.
+        let mut best: Option<(f64, f64, &[usize], usize)> = None;
+        for order in axis_orders {
+            for_each_distribution(rects, order, min, |d| {
+                let key = (d.overlap(), d.area());
+                let better = match &best {
+                    None => true,
+                    Some((o, a, _, _)) => key.0 < *o || (key.0 == *o && key.1 < *a),
+                };
+                if better {
+                    best = Some((key.0, key.1, d.order, d.k));
+                }
+            });
+        }
+        let (_, _, order, k) = best.expect("at least one distribution exists");
+        let g1 = order[..k].to_vec();
+        let g2 = order[k..].to_vec();
+        debug_assert_eq!(mbr_of_indices(rects, &g1), {
+            let mut m = rects[g1[0]];
+            for &i in &g1[1..] {
+                m = m.union(&rects[i]);
+            }
+            m
+        });
+        (g1, g2)
+    }
+
+    fn name(&self) -> &'static str {
+        "rstar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition(rects: &[Rect], min: usize) -> (Vec<usize>, Vec<usize>) {
+        let (g1, g2) = RStarSplit.split(rects, min);
+        assert!(g1.len() >= min && g2.len() >= min);
+        let mut all: Vec<usize> = g1.iter().chain(g2.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..rects.len()).collect::<Vec<_>>());
+        (g1, g2)
+    }
+
+    #[test]
+    fn splits_two_clusters_with_zero_overlap() {
+        let rects = vec![
+            Rect::new(0.0, 0.0, 0.1, 0.1),
+            Rect::new(0.05, 0.02, 0.12, 0.09),
+            Rect::new(0.02, 0.05, 0.09, 0.15),
+            Rect::new(0.8, 0.8, 0.9, 0.9),
+            Rect::new(0.85, 0.82, 0.95, 0.88),
+            Rect::new(0.82, 0.85, 0.89, 0.95),
+        ];
+        let (g1, g2) = check_partition(&rects, 2);
+        let mbr = |g: &[usize]| {
+            g[1..]
+                .iter()
+                .fold(rects[g[0]], |acc, &i| acc.union(&rects[i]))
+        };
+        // Perfect split: the two cluster MBRs must not overlap.
+        assert!(mbr(&g1).intersection(&mbr(&g2)).is_none());
+    }
+
+    #[test]
+    fn respects_min_fill() {
+        let mut rects = vec![Rect::new(0.9, 0.9, 1.0, 1.0)];
+        for i in 0..8 {
+            let o = i as f64 * 0.01;
+            rects.push(Rect::new(o, o, o + 0.004, o + 0.004));
+        }
+        let (g1, g2) = check_partition(&rects, 4);
+        assert!(g1.len() >= 4 && g2.len() >= 4);
+    }
+
+    #[test]
+    fn identical_rects_still_split() {
+        let rects = vec![Rect::new(0.4, 0.4, 0.6, 0.6); 7];
+        check_partition(&rects, 3);
+    }
+
+    #[test]
+    fn degenerate_points_split() {
+        let rects: Vec<Rect> = (0..6)
+            .map(|i| {
+                let v = i as f64 / 6.0;
+                Rect::point(rtree_geom::Point::new(v, 1.0 - v))
+            })
+            .collect();
+        check_partition(&rects, 2);
+    }
+
+    #[test]
+    fn splits_along_elongated_axis() {
+        // Entries in a horizontal line: the split must cut on x, producing
+        // two horizontally adjacent groups rather than interleaving.
+        let rects: Vec<Rect> = (0..8)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                Rect::new(x, 0.5, x + 0.05, 0.55)
+            })
+            .collect();
+        let (g1, g2) = check_partition(&rects, 3);
+        let max1 = g1.iter().map(|&i| rects[i].hi.x).fold(f64::MIN, f64::max);
+        let min2 = g2.iter().map(|&i| rects[i].lo.x).fold(f64::MAX, f64::min);
+        let max2 = g2.iter().map(|&i| rects[i].hi.x).fold(f64::MIN, f64::max);
+        let min1 = g1.iter().map(|&i| rects[i].lo.x).fold(f64::MAX, f64::min);
+        // One group entirely left of the other.
+        assert!(max1 <= min2 + 0.051 || max2 <= min1 + 0.051);
+    }
+
+    #[test]
+    fn rstar_beats_linear_on_overlap() {
+        use crate::split::LinearSplit;
+        // Scattered rects: R* should produce no worse group overlap than
+        // the linear heuristic on average. Single deterministic check:
+        let rects: Vec<Rect> = (0..12)
+            .map(|i| {
+                let x = (i as f64 * 0.618) % 0.9;
+                let y = (i as f64 * 0.414) % 0.9;
+                Rect::new(x, y, x + 0.08, y + 0.08)
+            })
+            .collect();
+        let overlap = |(g1, g2): (Vec<usize>, Vec<usize>)| {
+            let mbr = |g: &[usize]| {
+                g[1..]
+                    .iter()
+                    .fold(rects[g[0]], |acc, &i| acc.union(&rects[i]))
+            };
+            mbr(&g1).intersection(&mbr(&g2)).map_or(0.0, |i| i.area())
+        };
+        let rs = overlap(RStarSplit.split(&rects, 5));
+        let lin = overlap(LinearSplit.split(&rects, 5));
+        assert!(rs <= lin + 1e-12, "R* overlap {rs} vs linear {lin}");
+    }
+}

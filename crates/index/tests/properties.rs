@@ -1,0 +1,145 @@
+//! Property-based tests: every construction path must yield a structurally
+//! valid tree whose queries agree with a linear scan.
+
+use proptest::prelude::*;
+use rtree_geom::{Point, Rect};
+use rtree_index::{BulkLoader, LinearSplit, RStarSplit, RTree, TupleAtATime};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    ((0.0f64..=1.0, 0.0f64..=1.0), (0.0f64..=0.2, 0.0f64..=0.2)).prop_map(|((x, y), (w, h))| {
+        Rect::new(x * 0.8, y * 0.8, (x * 0.8 + w).min(1.0), (y * 0.8 + h).min(1.0))
+    })
+}
+
+fn arb_rects(max: usize) -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec(arb_rect(), 1..max)
+}
+
+fn scan(rects: &[Rect], q: &Rect) -> Vec<u64> {
+    let mut v: Vec<u64> = rects
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.intersects(q))
+        .map(|(i, _)| i as u64)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn assert_agrees(tree: &RTree, rects: &[Rect], q: &Rect) {
+    tree.validate().expect("invariants");
+    let mut hits = tree.search(q);
+    hits.sort_unstable();
+    assert_eq!(hits, scan(rects, q));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_loaders_agree_with_scan(rects in arb_rects(300), q in arb_rect(), cap in 4usize..32) {
+        for loader in [
+            BulkLoader::nearest_x(cap),
+            BulkLoader::hilbert(cap),
+            BulkLoader::morton(cap),
+            BulkLoader::str_pack(cap),
+        ] {
+            let tree = loader.load(&rects);
+            assert_agrees(&tree, &rects, &q);
+        }
+    }
+
+    #[test]
+    fn tat_quadratic_agrees_with_scan(rects in arb_rects(200), q in arb_rect(), cap in 4usize..16) {
+        let tree = TupleAtATime::quadratic(cap).load(&rects);
+        assert_agrees(&tree, &rects, &q);
+    }
+
+    #[test]
+    fn tat_linear_agrees_with_scan(rects in arb_rects(150), q in arb_rect(), cap in 4usize..16) {
+        let tree = TupleAtATime::with_split(cap, LinearSplit).load(&rects);
+        assert_agrees(&tree, &rects, &q);
+    }
+
+    #[test]
+    fn tat_rstar_agrees_with_scan(rects in arb_rects(150), q in arb_rect(), cap in 4usize..16) {
+        let tree = TupleAtATime::with_split(cap, RStarSplit).load(&rects);
+        assert_agrees(&tree, &rects, &q);
+    }
+
+    #[test]
+    fn packed_node_count_is_exact(rects in arb_rects(400), cap in 2usize..32) {
+        // The general algorithm is fully deterministic in shape:
+        // ceil(R/n) nodes per level until a single root remains.
+        let tree = BulkLoader::hilbert(cap).load(&rects);
+        let mut expected = 0usize;
+        let mut level_count = rects.len();
+        loop {
+            level_count = level_count.div_ceil(cap);
+            expected += level_count;
+            if level_count == 1 {
+                break;
+            }
+        }
+        prop_assert_eq!(tree.node_count(), expected);
+    }
+
+    #[test]
+    fn delete_then_search_consistent(rects in arb_rects(120), keep_mod in 2u64..5) {
+        let mut tree = TupleAtATime::quadratic(6).load(&rects);
+        for (i, r) in rects.iter().enumerate() {
+            if !(i as u64).is_multiple_of(keep_mod) {
+                prop_assert!(tree.delete(r, i as u64));
+            }
+        }
+        tree.validate().expect("invariants after deletes");
+        let survivors: Vec<(usize, &Rect)> = rects
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u64).is_multiple_of(keep_mod))
+            .collect();
+        prop_assert_eq!(tree.len(), survivors.len());
+        for (i, r) in survivors {
+            prop_assert!(tree.search(r).contains(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn insert_after_bulk_load(rects in arb_rects(150), extra in arb_rects(30)) {
+        // Mixed workload: packed base + TAT additions stays consistent.
+        let mut tree = BulkLoader::str_pack(8).load(&rects);
+        for (j, r) in extra.iter().enumerate() {
+            tree.insert(*r, (rects.len() + j) as u64);
+        }
+        tree.validate().expect("invariants");
+        let q = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let all: Vec<Rect> = rects.iter().chain(extra.iter()).copied().collect();
+        let mut hits = tree.search(&q);
+        hits.sort_unstable();
+        prop_assert_eq!(hits.len(), all.len());
+    }
+
+    #[test]
+    fn point_search_agrees(rects in arb_rects(200), p in (0.0f64..=1.0, 0.0f64..=1.0)) {
+        let tree = BulkLoader::hilbert(8).load(&rects);
+        let pt = Point::new(p.0, p.1);
+        let mut hits = tree.point_search(&pt);
+        hits.sort_unstable();
+        prop_assert_eq!(hits, scan(&rects, &Rect::point(pt)));
+    }
+
+    #[test]
+    fn trace_covers_exactly_intersecting_nodes(rects in arb_rects(250), q in arb_rect()) {
+        let tree = BulkLoader::nearest_x(6).load(&rects);
+        let mut traced = tree.trace(&q);
+        traced.sort_unstable();
+        traced.dedup();
+        let mut flat: Vec<_> = tree
+            .node_ids()
+            .into_iter()
+            .filter(|id| tree.node(*id).mbr().intersects(&q))
+            .collect();
+        flat.sort_unstable();
+        prop_assert_eq!(traced, flat);
+    }
+}

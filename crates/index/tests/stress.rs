@@ -1,0 +1,144 @@
+//! Randomized operation-sequence stress test: an R-tree driven by a long
+//! mixed stream of inserts, deletes and searches must agree with a naive
+//! oracle (a `Vec` scan) at every step and keep its invariants.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_geom::{Point, Rect};
+use rtree_index::{LinearSplit, RStarSplit, RTree, TupleAtATime};
+
+/// The oracle: a flat list of live items.
+#[derive(Default)]
+struct Oracle {
+    items: Vec<(Rect, u64)>,
+}
+
+impl Oracle {
+    fn insert(&mut self, r: Rect, id: u64) {
+        self.items.push((r, id));
+    }
+
+    fn delete(&mut self, r: &Rect, id: u64) -> bool {
+        if let Some(pos) = self.items.iter().position(|(ir, ii)| ii == &id && ir == r) {
+            self.items.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn search(&self, q: &Rect) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .items
+            .iter()
+            .filter(|(r, _)| r.intersects(q))
+            .map(|(_, id)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+fn random_rect(rng: &mut StdRng) -> Rect {
+    let x: f64 = rng.gen_range(0.0..0.95);
+    let y: f64 = rng.gen_range(0.0..0.95);
+    let w: f64 = rng.gen_range(0.0..0.05);
+    let h: f64 = rng.gen_range(0.0..0.05);
+    Rect::new(x, y, x + w, y + h)
+}
+
+fn stress(mut tree: RTree, seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut oracle = Oracle::default();
+    let mut next_id = 0u64;
+
+    for step in 0..ops {
+        let roll: f64 = rng.gen();
+        if roll < 0.55 || oracle.items.is_empty() {
+            // Insert.
+            let r = random_rect(&mut rng);
+            tree.insert(r, next_id);
+            oracle.insert(r, next_id);
+            next_id += 1;
+        } else if roll < 0.8 {
+            // Delete a random live item.
+            let k = rng.gen_range(0..oracle.items.len());
+            let (r, id) = oracle.items[k];
+            assert!(tree.delete(&r, id), "step {step}: delete lost item {id}");
+            assert!(oracle.delete(&r, id));
+        } else if roll < 0.95 {
+            // Region search.
+            let q = random_rect(&mut rng);
+            let mut got = tree.search(&q);
+            got.sort_unstable();
+            assert_eq!(got, oracle.search(&q), "step {step}: search diverged");
+        } else {
+            // Point search.
+            let p = Point::new(rng.gen(), rng.gen());
+            let mut got = tree.point_search(&p);
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                oracle.search(&Rect::point(p)),
+                "step {step}: point search diverged"
+            );
+        }
+        assert_eq!(tree.len(), oracle.items.len(), "step {step}: len diverged");
+        if step % 251 == 0 {
+            tree.validate().unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+    }
+    tree.validate().expect("final invariants");
+    // Final state equivalence.
+    let everything = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let mut got = tree.search(&everything);
+    got.sort_unstable();
+    assert_eq!(got, oracle.search(&everything));
+}
+
+#[test]
+fn stress_guttman_quadratic() {
+    stress(RTree::builder(8).build(), 1, 3_000);
+}
+
+#[test]
+fn stress_guttman_linear() {
+    stress(RTree::builder(6).split_policy(LinearSplit).build(), 2, 2_500);
+}
+
+#[test]
+fn stress_rstar_full() {
+    stress(
+        RTree::builder(8)
+            .split_policy(RStarSplit)
+            .forced_reinsert(0.3)
+            .build(),
+        3,
+        3_000,
+    );
+}
+
+#[test]
+fn stress_small_capacity_deep_tree() {
+    stress(RTree::builder(4).build(), 4, 2_000);
+}
+
+#[test]
+fn stress_on_top_of_bulk_load() {
+    // Start from a packed tree, then churn.
+    let mut rng = StdRng::seed_from_u64(5);
+    let base: Vec<Rect> = (0..500).map(|_| random_rect(&mut rng)).collect();
+    let tree = TupleAtATime::rstar(8).load(&base);
+    // Re-drive the same items through the oracle by reusing the stress
+    // harness starting from scratch is simpler: here just verify churn on
+    // the loaded tree keeps invariants and count.
+    let mut tree = tree;
+    for (i, r) in base.iter().enumerate().take(250) {
+        assert!(tree.delete(r, i as u64));
+    }
+    for (i, r) in base.iter().enumerate().take(250) {
+        tree.insert(*r, i as u64);
+    }
+    tree.validate().unwrap();
+    assert_eq!(tree.len(), 500);
+}

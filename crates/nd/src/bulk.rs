@@ -1,0 +1,284 @@
+//! N-dimensional bulk loading: STR and Morton.
+//!
+//! The 2-D paper loaders generalize differently: NX (sort by one axis)
+//! degrades rapidly with dimension and is omitted; STR (slab-partition one
+//! axis, recurse on the rest) and Morton (interleave bits of all axes)
+//! generalize directly; Hilbert generalizes through Skilling's transpose
+//! algorithm (`crate::hilbert`).
+
+use crate::tree::NodeN;
+use crate::{PointN, RTreeN, RectN};
+
+/// Packing order for the N-dimensional general algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderN {
+    /// Sort-tile-recursive slab partitioning.
+    Str,
+    /// Morton (Z-order) on quantized centers.
+    Morton,
+    /// Hilbert order on quantized centers (Skilling's algorithm).
+    Hilbert,
+}
+
+/// A bottom-up packing loader for [`RTreeN`].
+#[derive(Clone, Copy, Debug)]
+pub struct BulkLoaderN {
+    cap: usize,
+    order: OrderN,
+}
+
+impl BulkLoaderN {
+    /// STR loader.
+    pub fn str_pack(cap: usize) -> Self {
+        assert!(cap >= 2, "node capacity must be at least 2");
+        BulkLoaderN {
+            cap,
+            order: OrderN::Str,
+        }
+    }
+
+    /// Morton loader.
+    pub fn morton(cap: usize) -> Self {
+        assert!(cap >= 2, "node capacity must be at least 2");
+        BulkLoaderN {
+            cap,
+            order: OrderN::Morton,
+        }
+    }
+
+    /// Hilbert loader (the paper's HS, in N dimensions).
+    pub fn hilbert(cap: usize) -> Self {
+        assert!(cap >= 2, "node capacity must be at least 2");
+        BulkLoaderN {
+            cap,
+            order: OrderN::Hilbert,
+        }
+    }
+
+    /// Loads rectangles, assigning ids `0..rects.len()`.
+    pub fn load<const D: usize>(&self, rects: &[RectN<D>]) -> RTreeN<D> {
+        let mut tree = RTreeN {
+            nodes: Vec::new(),
+            root: 0,
+            max_entries: self.cap,
+            min_entries: 2,
+            len: 0,
+        };
+        if rects.is_empty() {
+            // Keep the "empty tree = bare leaf root" convention.
+            tree.nodes.push(NodeN {
+                level: 0,
+                rects: Vec::new(),
+                ptrs: Vec::new(),
+            });
+            return tree;
+        }
+        for r in rects {
+            assert!(r.is_valid(), "cannot load invalid rect");
+        }
+        tree.len = rects.len();
+
+        let mut entries: Vec<(RectN<D>, u64)> = rects
+            .iter()
+            .copied()
+            .zip(0..rects.len() as u64)
+            .collect();
+
+        let mut level = 0u32;
+        loop {
+            match self.order {
+                OrderN::Str => str_arrange(&mut entries, self.cap, 0),
+                OrderN::Morton => {
+                    entries.sort_by_key(|(r, _)| morton_nd(&r.center()));
+                }
+                OrderN::Hilbert => {
+                    let curve = crate::HilbertCurveN::<D>::finest();
+                    entries.sort_by_key(|(r, _)| curve.index_of(&r.center()));
+                }
+            }
+            let mut upper: Vec<(RectN<D>, u64)> =
+                Vec::with_capacity(entries.len().div_ceil(self.cap));
+            for chunk in entries.chunks(self.cap) {
+                let node = NodeN {
+                    level,
+                    rects: chunk.iter().map(|(r, _)| *r).collect(),
+                    ptrs: chunk.iter().map(|(_, p)| *p).collect(),
+                };
+                let mbr = node.mbr();
+                tree.nodes.push(node);
+                upper.push((mbr, (tree.nodes.len() - 1) as u64));
+            }
+            if upper.len() == 1 {
+                tree.root = upper[0].1 as usize;
+                break;
+            }
+            entries = upper;
+            level += 1;
+        }
+        tree
+    }
+}
+
+/// STR: slab-partition along `axis`, recurse into the remaining axes.
+fn str_arrange<const D: usize>(entries: &mut [(RectN<D>, u64)], cap: usize, axis: usize) {
+    sort_by_center(entries, axis);
+    if axis + 1 >= D {
+        return;
+    }
+    let pages = entries.len().div_ceil(cap);
+    // Number of slabs along this axis: pages^(1/(D - axis)). Slab lengths
+    // must be multiples of the node capacity, otherwise the final
+    // consecutive-chunking step would create leaves straddling slab
+    // boundaries (with near-full extent on the remaining axes).
+    let remaining_dims = (D - axis) as f64;
+    let slabs = (pages as f64).powf(1.0 / remaining_dims).ceil() as usize;
+    let pages_per_slab = pages.div_ceil(slabs.max(1)).max(1);
+    let slab_len = pages_per_slab * cap;
+    for chunk in entries.chunks_mut(slab_len) {
+        str_arrange(chunk, cap, axis + 1);
+    }
+}
+
+fn sort_by_center<const D: usize>(entries: &mut [(RectN<D>, u64)], axis: usize) {
+    entries.sort_by(|a, b| {
+        a.0.center()
+            .coord(axis)
+            .partial_cmp(&b.0.center().coord(axis))
+            .expect("finite coordinates")
+    });
+}
+
+/// Morton index of a point in the unit hypercube: interleaves the top bits
+/// of each quantized coordinate (`floor(64 / D)` bits per axis).
+fn morton_nd<const D: usize>(p: &PointN<D>) -> u64 {
+    let bits = (64 / D).clamp(1, 21);
+    let side = 1u64 << bits;
+    let mut cells = [0u64; 64]; // D <= 64
+    for (i, cell) in cells.iter_mut().enumerate().take(D) {
+        let c = (p.coord(i).clamp(0.0, 1.0) * side as f64) as u64;
+        *cell = c.min(side - 1);
+    }
+    let mut out = 0u64;
+    for bit in (0..bits).rev() {
+        for cell in cells.iter().take(D) {
+            out = (out << 1) | ((cell >> bit) & 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random scatter (splitmix-style hash, decorrelated per axis —
+    /// a rank-1 lattice would put everything on parallel lines and make a
+    /// misleading packing benchmark).
+    fn scattered<const D: usize>(n: usize) -> Vec<RectN<D>> {
+        let hash = |mut x: u64| -> f64 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let mut c = [0.0; D];
+                for (d, v) in c.iter_mut().enumerate() {
+                    *v = hash((i as u64) << 8 | d as u64) * 0.94 + 0.03;
+                }
+                RectN::centered(PointN::new(c), [0.01; D])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn str_3d_structure_and_search() {
+        let rects = scattered::<3>(1_000);
+        let tree = BulkLoaderN::str_pack(10).load(&rects);
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 1_000);
+        // ceil division per level: 100 + 10 + 1.
+        assert_eq!(tree.node_count(), 111);
+        for (i, r) in rects.iter().enumerate().step_by(37) {
+            assert!(tree.search(r).contains(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn morton_3d_structure_and_search() {
+        let rects = scattered::<3>(1_000);
+        let tree = BulkLoaderN::morton(10).load(&rects);
+        tree.validate().unwrap();
+        assert_eq!(tree.node_count(), 111);
+        for (i, r) in rects.iter().enumerate().step_by(41) {
+            assert!(tree.search(r).contains(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn hilbert_3d_structure_and_search() {
+        let rects = scattered::<3>(1_000);
+        let tree = BulkLoaderN::hilbert(10).load(&rects);
+        tree.validate().unwrap();
+        assert_eq!(tree.node_count(), 111);
+        for (i, r) in rects.iter().enumerate().step_by(43) {
+            assert!(tree.search(r).contains(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn hilbert_no_worse_than_morton_3d() {
+        // Curve locality: Hilbert leaves should pack at least as tightly as
+        // Morton on scattered data (total MBR volume + margin).
+        let rects = scattered::<3>(4_000);
+        let metric = |t: &RTreeN<3>| -> f64 {
+            t.level_mbrs().iter().flatten().map(RectN::margin).sum()
+        };
+        let hs = metric(&BulkLoaderN::hilbert(16).load(&rects));
+        let mo = metric(&BulkLoaderN::morton(16).load(&rects));
+        assert!(hs <= mo * 1.02, "hilbert margin {hs} vs morton {mo}");
+    }
+
+    #[test]
+    fn str_beats_insertion_on_total_volume_4d() {
+        let rects = scattered::<4>(2_000);
+        let packed = BulkLoaderN::str_pack(16).load(&rects);
+        let mut inserted = RTreeN::new(16);
+        for (i, r) in rects.iter().enumerate() {
+            inserted.insert(*r, i as u64);
+        }
+        let total = |t: &RTreeN<4>| -> f64 {
+            t.level_mbrs()
+                .iter()
+                .flatten()
+                .map(RectN::volume)
+                .sum()
+        };
+        assert!(total(&packed) < total(&inserted));
+        assert!(packed.node_count() < inserted.node_count());
+    }
+
+    #[test]
+    fn morton_nd_is_monotone_along_axis_prefix() {
+        let a = morton_nd(&PointN::new([0.1, 0.5, 0.5]));
+        let b = morton_nd(&PointN::new([0.9, 0.5, 0.5]));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn single_node_load() {
+        let rects = scattered::<3>(5);
+        let tree = BulkLoaderN::str_pack(10).load(&rects);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.node_count(), 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_load() {
+        let tree = BulkLoaderN::str_pack(10).load(&[] as &[RectN<2>]);
+        assert!(tree.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Points in D-dimensional space.
+
+use std::fmt;
+
+/// A point in `D`-dimensional space.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PointN<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> PointN<D> {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        PointN { coords }
+    }
+
+    /// The origin.
+    pub fn origin() -> Self {
+        PointN { coords: [0.0; D] }
+    }
+
+    /// Coordinate along axis `axis`.
+    #[inline]
+    pub fn coord(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+
+    /// All coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.coords.iter().zip(&other.coords)) {
+            *o = a.min(*b);
+        }
+        PointN { coords: out }
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (o, (a, b)) in out.iter_mut().zip(self.coords.iter().zip(&other.coords)) {
+            *o = a.max(*b);
+        }
+        PointN { coords: out }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Self) -> f64 {
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// True if every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+}
+
+impl<const D: usize> fmt::Display for PointN<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_origin() {
+        let p = PointN::new([0.1, 0.2, 0.3]);
+        assert_eq!(p.coord(1), 0.2);
+        assert_eq!(PointN::<3>::origin().coords(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = PointN::new([0.1, 0.9, 0.5]);
+        let b = PointN::new([0.5, 0.2, 0.5]);
+        assert_eq!(a.min(&b), PointN::new([0.1, 0.2, 0.5]));
+        assert_eq!(a.max(&b), PointN::new([0.5, 0.9, 0.5]));
+    }
+
+    #[test]
+    fn distance_in_four_dims() {
+        let a = PointN::new([0.0, 0.0, 0.0, 0.0]);
+        let b = PointN::new([1.0, 1.0, 1.0, 1.0]);
+        assert!((a.distance(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(PointN::new([0.0, 1.0]).is_finite());
+        assert!(!PointN::new([f64::NAN, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PointN::new([0.5, 1.0]).to_string(), "(0.5, 1)");
+    }
+}

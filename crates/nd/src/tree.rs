@@ -1,0 +1,456 @@
+//! The N-dimensional R-tree: Guttman insertion and search.
+
+use crate::{PointN, RectN};
+
+/// One node: level tag plus parallel rectangle/pointer arrays (exactly the
+/// 2-D layout, generalized).
+#[derive(Clone, Debug)]
+pub struct NodeN<const D: usize> {
+    pub(crate) level: u32,
+    pub(crate) rects: Vec<RectN<D>>,
+    pub(crate) ptrs: Vec<u64>,
+}
+
+impl<const D: usize> NodeN<D> {
+    fn new(level: u32) -> Self {
+        NodeN {
+            level,
+            rects: Vec::new(),
+            ptrs: Vec::new(),
+        }
+    }
+
+    /// Node level (0 = leaf).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// MBR of all entries.
+    ///
+    /// # Panics
+    /// Panics if empty.
+    pub fn mbr(&self) -> RectN<D> {
+        RectN::mbr_of(&self.rects)
+    }
+}
+
+/// An R-tree over `(RectN<D>, u64)` items with Guttman quadratic-split
+/// insertion and region search. Bulk loading lives in
+/// [`crate::BulkLoaderN`].
+pub struct RTreeN<const D: usize> {
+    pub(crate) nodes: Vec<NodeN<D>>,
+    pub(crate) root: usize,
+    pub(crate) max_entries: usize,
+    pub(crate) min_entries: usize,
+    pub(crate) len: usize,
+}
+
+impl<const D: usize> RTreeN<D> {
+    /// Creates an empty tree with the given node capacity.
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 4`.
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "node capacity must be at least 4");
+        RTreeN {
+            nodes: vec![NodeN::new(0)],
+            root: 0,
+            max_entries,
+            min_entries: (max_entries * 2 / 5).max(2),
+            len: 0,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node capacity.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Number of levels.
+    pub fn height(&self) -> u32 {
+        self.nodes[self.root].level + 1
+    }
+
+    /// Live node count. (The N-D tree has no deletion, so every allocated
+    /// node is live.)
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inserts one item (Guttman: least volume enlargement, quadratic
+    /// split on overflow).
+    pub fn insert(&mut self, rect: RectN<D>, id: u64) {
+        assert!(rect.is_valid(), "cannot insert invalid rect");
+        // Descend to the leaf.
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        let mut current = self.root;
+        while !self.nodes[current].is_leaf() {
+            let n = &self.nodes[current];
+            let mut best = 0usize;
+            let mut key = (f64::INFINITY, f64::INFINITY);
+            for (i, r) in n.rects.iter().enumerate() {
+                let k = (r.enlargement(&rect), r.volume());
+                if k < key {
+                    key = k;
+                    best = i;
+                }
+            }
+            path.push((current, best));
+            current = n.ptrs[best] as usize;
+        }
+        self.nodes[current].rects.push(rect);
+        self.nodes[current].ptrs.push(id);
+        self.len += 1;
+
+        // Split and adjust upward.
+        let mut split_off = (self.nodes[current].len() > self.max_entries)
+            .then(|| self.split_node(current));
+        while let Some((parent, slot)) = path.pop() {
+            let child = self.nodes[parent].ptrs[slot] as usize;
+            self.nodes[parent].rects[slot] = self.nodes[child].mbr();
+            if let Some(new_node) = split_off.take() {
+                let mbr = self.nodes[new_node].mbr();
+                self.nodes[parent].rects.push(mbr);
+                self.nodes[parent].ptrs.push(new_node as u64);
+                if self.nodes[parent].len() > self.max_entries {
+                    split_off = Some(self.split_node(parent));
+                }
+            }
+        }
+        if let Some(new_node) = split_off {
+            let level = self.nodes[self.root].level + 1;
+            let mut root = NodeN::new(level);
+            root.rects.push(self.nodes[self.root].mbr());
+            root.ptrs.push(self.root as u64);
+            root.rects.push(self.nodes[new_node].mbr());
+            root.ptrs.push(new_node as u64);
+            self.nodes.push(root);
+            self.root = self.nodes.len() - 1;
+        }
+    }
+
+    /// Guttman quadratic split, generalized to volumes.
+    fn split_node(&mut self, id: usize) -> usize {
+        let level = self.nodes[id].level;
+        let rects = std::mem::take(&mut self.nodes[id].rects);
+        let ptrs = std::mem::take(&mut self.nodes[id].ptrs);
+        let n = rects.len();
+        let min = self.min_entries.min(n / 2);
+
+        // PickSeeds.
+        let (mut s1, mut s2) = (0usize, 1usize);
+        let mut worst = f64::NEG_INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = rects[i].union(&rects[j]).volume() - rects[i].volume() - rects[j].volume();
+                if d > worst {
+                    worst = d;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+        let mut g1 = vec![s1];
+        let mut g2 = vec![s2];
+        let mut m1 = rects[s1];
+        let mut m2 = rects[s2];
+        let mut remaining: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+        while !remaining.is_empty() {
+            if g1.len() + remaining.len() == min {
+                g1.append(&mut remaining);
+                break;
+            }
+            if g2.len() + remaining.len() == min {
+                g2.append(&mut remaining);
+                break;
+            }
+            // PickNext.
+            let (mut bk, mut bd) = (0usize, f64::NEG_INFINITY);
+            for (k, &i) in remaining.iter().enumerate() {
+                let diff = (m1.enlargement(&rects[i]) - m2.enlargement(&rects[i])).abs();
+                if diff > bd {
+                    bd = diff;
+                    bk = k;
+                }
+            }
+            let i = remaining.swap_remove(bk);
+            let (d1, d2) = (m1.enlargement(&rects[i]), m2.enlargement(&rects[i]));
+            let to_first = d1 < d2
+                || (d1 == d2 && (m1.volume() < m2.volume() || (m1.volume() == m2.volume() && g1.len() <= g2.len())));
+            if to_first {
+                m1 = m1.union(&rects[i]);
+                g1.push(i);
+            } else {
+                m2 = m2.union(&rects[i]);
+                g2.push(i);
+            }
+        }
+
+        for &i in &g1 {
+            self.nodes[id].rects.push(rects[i]);
+            self.nodes[id].ptrs.push(ptrs[i]);
+        }
+        let mut sib = NodeN::new(level);
+        for &i in &g2 {
+            sib.rects.push(rects[i]);
+            sib.ptrs.push(ptrs[i]);
+        }
+        self.nodes.push(sib);
+        self.nodes.len() - 1
+    }
+
+    /// Returns the ids of items intersecting `query` (paper semantics: a
+    /// node is accessed iff its MBR intersects the query).
+    pub fn search(&self, query: &RectN<D>) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.search_with(query, |_| {}, |id| out.push(id));
+        out
+    }
+
+    /// Items containing the point `p`.
+    pub fn point_search(&self, p: &PointN<D>) -> Vec<u64> {
+        self.search(&RectN::point(*p))
+    }
+
+    /// Search with callbacks; `on_node` receives raw node ids (map them
+    /// through [`RTreeN::page_numbers`] for buffer tracing).
+    pub fn search_with(
+        &self,
+        query: &RectN<D>,
+        mut on_node: impl FnMut(usize),
+        mut on_item: impl FnMut(u64),
+    ) -> usize {
+        if self.is_empty() || !self.nodes[self.root].mbr().intersects(query) {
+            return 0;
+        }
+        let mut accessed = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            accessed += 1;
+            on_node(id);
+            let n = &self.nodes[id];
+            for (i, r) in n.rects.iter().enumerate() {
+                if r.intersects(query) {
+                    if n.is_leaf() {
+                        on_item(n.ptrs[i]);
+                    } else {
+                        stack.push(n.ptrs[i] as usize);
+                    }
+                }
+            }
+        }
+        accessed
+    }
+
+    /// Node ids in level order, root first.
+    fn level_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut frontier = vec![self.root];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &id in &frontier {
+                let n = &self.nodes[id];
+                if !n.is_leaf() {
+                    next.extend(n.ptrs.iter().map(|&p| p as usize));
+                }
+            }
+            out.extend_from_slice(&frontier);
+            frontier = next;
+        }
+        out
+    }
+
+    /// Level-ordered page number of every node (root = 0), aligned with the
+    /// probability matrix of [`crate::WorkloadN::access_probabilities`].
+    pub fn page_numbers(&self) -> Vec<usize> {
+        let mut pages = vec![usize::MAX; self.nodes.len()];
+        for (page, id) in self.level_order().into_iter().enumerate() {
+            pages[id] = page;
+        }
+        pages
+    }
+
+    /// Per-level node MBRs in the paper's numbering (0 = root) — the
+    /// model's input.
+    pub fn level_mbrs(&self) -> Vec<Vec<RectN<D>>> {
+        let height = self.height() as usize;
+        let mut levels: Vec<Vec<RectN<D>>> = vec![Vec::new(); height];
+        for id in self.level_order() {
+            let n = &self.nodes[id];
+            if n.is_empty() {
+                continue;
+            }
+            levels[height - 1 - n.level as usize].push(n.mbr());
+        }
+        levels
+    }
+
+    /// Structural invariant check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        let mut items = 0usize;
+        self.validate_node(self.root, self.nodes[self.root].level, &mut items)?;
+        if items != self.len {
+            return Err(format!("item count mismatch: {items} vs {}", self.len));
+        }
+        Ok(())
+    }
+
+    fn validate_node(&self, id: usize, level: u32, items: &mut usize) -> Result<(), String> {
+        let n = &self.nodes[id];
+        if n.level != level {
+            return Err(format!("node {id}: level {} expected {level}", n.level));
+        }
+        if n.len() > self.max_entries {
+            return Err(format!("node {id}: overflow"));
+        }
+        if n.is_leaf() {
+            *items += n.len();
+            return Ok(());
+        }
+        for (i, r) in n.rects.iter().enumerate() {
+            let child = n.ptrs[i] as usize;
+            let mbr = self.nodes[child].mbr();
+            if *r != mbr {
+                return Err(format!("node {id} entry {i}: stale MBR"));
+            }
+            self.validate_node(child, level - 1, items)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3(n: usize) -> Vec<RectN<3>> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let c = PointN::new([
+                        i as f64 / n as f64 + 0.01,
+                        j as f64 / n as f64 + 0.01,
+                        k as f64 / n as f64 + 0.01,
+                    ]);
+                    out.push(RectN::centered(c, [0.01; 3]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn insert_search_3d() {
+        let rects = grid3(6); // 216 items
+        let mut t = RTreeN::new(8);
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 216);
+        assert!(t.height() >= 3);
+        for (i, r) in rects.iter().enumerate() {
+            assert!(t.search(r).contains(&(i as u64)), "item {i} lost");
+        }
+    }
+
+    #[test]
+    fn search_matches_scan_3d() {
+        let rects = grid3(5);
+        let mut t = RTreeN::new(6);
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let q = RectN::new(PointN::new([0.1, 0.1, 0.1]), PointN::new([0.5, 0.4, 0.6]));
+        let mut got = t.search(&q);
+        got.sort_unstable();
+        let mut want: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&q))
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn four_dimensional_tree() {
+        let mut t: RTreeN<4> = RTreeN::new(5);
+        for i in 0..200u64 {
+            let c = PointN::new([
+                (i as f64 * 0.618) % 1.0,
+                (i as f64 * 0.414) % 1.0,
+                (i as f64 * 0.259) % 1.0,
+                (i as f64 * 0.175) % 1.0,
+            ]);
+            t.insert(RectN::point(c), i);
+        }
+        t.validate().unwrap();
+        assert_eq!(t.search(&RectN::unit()).len(), 200);
+    }
+
+    #[test]
+    fn level_mbrs_shape() {
+        let rects = grid3(5);
+        let mut t = RTreeN::new(6);
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let levels = t.level_mbrs();
+        assert_eq!(levels.len(), t.height() as usize);
+        assert_eq!(levels[0].len(), 1);
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, t.node_count());
+    }
+
+    #[test]
+    fn page_numbers_are_a_permutation() {
+        let rects = grid3(4);
+        let mut t = RTreeN::new(6);
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let mut pages = t.page_numbers();
+        pages.sort_unstable();
+        let expect: Vec<usize> = (0..t.node_count()).collect();
+        assert_eq!(pages, expect);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTreeN<3> = RTreeN::new(4);
+        assert!(t.is_empty());
+        assert!(t.search(&RectN::unit()).is_empty());
+        t.validate().unwrap();
+    }
+}

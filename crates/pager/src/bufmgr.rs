@@ -1,0 +1,195 @@
+//! The buffer manager: a [`BufferPool`] plus page frames over a
+//! [`PageStore`], counting physical reads.
+
+use crate::{PageStore, PAGE_SIZE};
+use rtree_buffer::{AccessOutcome, BufferPool, PageId, PinError, ReplacementPolicy};
+use std::collections::HashMap;
+use std::io;
+
+/// A buffer manager: caches page contents according to the pool's
+/// replacement decisions and counts every physical read. One page frame per
+/// resident page; fetches return a borrowed frame.
+pub struct BufferManager<S: PageStore> {
+    store: S,
+    pool: BufferPool,
+    frames: HashMap<PageId, Box<[u8]>>,
+    /// Scratch frame for reads that bypass a fully pinned pool.
+    scratch: Box<[u8]>,
+    physical_reads: u64,
+}
+
+impl<S: PageStore> BufferManager<S> {
+    /// Creates a manager with `capacity` frames and the given policy.
+    pub fn new(store: S, capacity: usize, policy: impl ReplacementPolicy + 'static) -> Self {
+        BufferManager {
+            store,
+            pool: BufferPool::new(capacity, policy),
+            frames: HashMap::with_capacity(capacity + 1),
+            scratch: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            physical_reads: 0,
+        }
+    }
+
+    /// Number of physical page reads so far.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads
+    }
+
+    /// Resets the physical read counter (e.g. after warm-up).
+    pub fn reset_counters(&mut self) {
+        self.physical_reads = 0;
+        self.pool.reset_stats();
+    }
+
+    /// The underlying pool (for hit-ratio statistics).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The underlying store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Fetches a page, going to the store only on a miss.
+    pub fn fetch(&mut self, id: PageId) -> io::Result<&[u8]> {
+        match self.pool.access(id) {
+            AccessOutcome::Hit => {}
+            AccessOutcome::Miss { evicted } => {
+                if let Some(victim) = evicted {
+                    self.frames.remove(&victim);
+                }
+                let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
+                self.store.read_page(id, &mut frame)?;
+                self.physical_reads += 1;
+                self.frames.insert(id, frame);
+            }
+            AccessOutcome::MissBypass => {
+                self.store.read_page(id, &mut self.scratch)?;
+                self.physical_reads += 1;
+                return Ok(&self.scratch);
+            }
+        }
+        Ok(self.frames.get(&id).expect("resident page has a frame"))
+    }
+
+    /// Pins a page: loads it (counting the read) and keeps it resident.
+    pub fn pin(&mut self, id: PageId) -> io::Result<()> {
+        let was_resident = self.pool.contains(id);
+        self.pool
+            .pin(id)
+            .map_err(|e: PinError| io::Error::new(io::ErrorKind::OutOfMemory, e.to_string()))?;
+        if !was_resident {
+            let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
+            self.store.read_page(id, &mut frame)?;
+            self.physical_reads += 1;
+            self.frames.insert(id, frame);
+        }
+        Ok(())
+    }
+
+    /// Borrows the frame of a resident page without touching policy state.
+    pub(crate) fn peek_frame(&self, id: PageId) -> Option<&[u8]> {
+        self.frames.get(&id).map(|b| &b[..])
+    }
+
+    /// Reads a page into the scratch frame, bypassing the pool and the
+    /// physical-read counter (used for the uncharged root-MBR peek).
+    pub(crate) fn read_scratch(&mut self, id: PageId) -> io::Result<&[u8]> {
+        self.store.read_page(id, &mut self.scratch)?;
+        Ok(&self.scratch)
+    }
+
+    /// Writes a page through the cache to the store.
+    pub fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE);
+        if let Some(frame) = self.frames.get_mut(&id) {
+            frame.copy_from_slice(data);
+        }
+        self.store.write_page(id, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use rtree_buffer::LruPolicy;
+
+    fn make(pages: usize, capacity: usize) -> BufferManager<MemStore> {
+        let mut store = MemStore::new();
+        for i in 0..pages {
+            let id = store.allocate().unwrap();
+            let mut buf = vec![0u8; PAGE_SIZE];
+            buf[0] = i as u8;
+            store.write_page(id, &buf).unwrap();
+        }
+        BufferManager::new(store, capacity, LruPolicy::new())
+    }
+
+    #[test]
+    fn fetch_caches_and_counts() {
+        let mut m = make(4, 2);
+        assert_eq!(m.fetch(PageId(1)).unwrap()[0], 1);
+        assert_eq!(m.fetch(PageId(1)).unwrap()[0], 1);
+        assert_eq!(m.physical_reads(), 1, "second fetch must hit");
+        assert_eq!(m.fetch(PageId(2)).unwrap()[0], 2);
+        assert_eq!(m.physical_reads(), 2);
+        // Capacity 2: fetching a third page evicts the LRU (page 1).
+        assert_eq!(m.fetch(PageId(3)).unwrap()[0], 3);
+        assert_eq!(m.physical_reads(), 3);
+        assert_eq!(m.fetch(PageId(1)).unwrap()[0], 1);
+        assert_eq!(m.physical_reads(), 4, "page 1 was evicted");
+        assert_eq!(m.frames.len(), 2, "frames track residency");
+    }
+
+    #[test]
+    fn pinned_page_never_reread() {
+        let mut m = make(8, 2);
+        m.pin(PageId(0)).unwrap();
+        for i in 1..8 {
+            m.fetch(PageId(i)).unwrap();
+        }
+        let before = m.physical_reads();
+        assert_eq!(m.fetch(PageId(0)).unwrap()[0], 0);
+        assert_eq!(m.physical_reads(), before);
+    }
+
+    #[test]
+    fn bypass_when_fully_pinned() {
+        let mut m = make(4, 2);
+        m.pin(PageId(0)).unwrap();
+        m.pin(PageId(1)).unwrap();
+        assert_eq!(m.fetch(PageId(2)).unwrap()[0], 2);
+        assert_eq!(m.fetch(PageId(2)).unwrap()[0], 2);
+        // Bypass reads are never cached.
+        assert_eq!(m.physical_reads(), 4);
+    }
+
+    #[test]
+    fn write_through_updates_frame() {
+        let mut m = make(2, 2);
+        m.fetch(PageId(0)).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0] = 0xEE;
+        m.write(PageId(0), &buf).unwrap();
+        assert_eq!(m.fetch(PageId(0)).unwrap()[0], 0xEE);
+        let before = m.physical_reads();
+        assert_eq!(before, 1, "write must not invalidate the frame");
+    }
+
+    #[test]
+    fn reset_counters() {
+        let mut m = make(2, 2);
+        m.fetch(PageId(0)).unwrap();
+        m.reset_counters();
+        assert_eq!(m.physical_reads(), 0);
+        assert_eq!(m.pool().stats().accesses, 0);
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let mut m = make(2, 2);
+        assert!(m.fetch(PageId(77)).is_err());
+    }
+}

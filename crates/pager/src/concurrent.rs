@@ -1,0 +1,323 @@
+//! Concurrent disk-backed query execution.
+//!
+//! A database serves many clients at once; this module provides a
+//! shared-ownership [`ConcurrentDiskRTree`] that multiple threads can query
+//! concurrently. The design is the classical latch-protected mapping table:
+//! pool bookkeeping (residency, replacement, read counting) sits behind one
+//! short [`parking_lot::Mutex`] critical section per page access, while
+//! frames are shared as `Arc<[u8]>` so decoding and geometry tests — the
+//! CPU-heavy part of a query — run outside the lock.
+
+use crate::disk_tree::materialize;
+use crate::{NodePage, PageMeta, PageStore, PAGE_SIZE};
+use parking_lot::Mutex;
+use rtree_buffer::{AccessOutcome, BufferPool, PageId, ReplacementPolicy};
+use rtree_geom::Rect;
+use rtree_index::RTree;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+struct PoolState<S: PageStore> {
+    store: S,
+    pool: BufferPool,
+    frames: HashMap<PageId, Arc<[u8]>>,
+    physical_reads: u64,
+}
+
+impl<S: PageStore> PoolState<S> {
+    fn fetch(&mut self, id: PageId) -> io::Result<Arc<[u8]>> {
+        match self.pool.access(id) {
+            AccessOutcome::Hit => Ok(Arc::clone(
+                self.frames.get(&id).expect("resident page has a frame"),
+            )),
+            AccessOutcome::Miss { evicted } => {
+                if let Some(victim) = evicted {
+                    self.frames.remove(&victim);
+                }
+                let mut buf = vec![0u8; PAGE_SIZE];
+                self.store.read_page(id, &mut buf)?;
+                self.physical_reads += 1;
+                let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
+                self.frames.insert(id, Arc::clone(&frame));
+                Ok(frame)
+            }
+            AccessOutcome::MissBypass => {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                self.store.read_page(id, &mut buf)?;
+                self.physical_reads += 1;
+                Ok(Arc::from(buf.into_boxed_slice()))
+            }
+        }
+    }
+}
+
+/// A disk-backed R-tree that can be queried from many threads at once
+/// (`&self` queries; wrap in an `Arc` to share).
+pub struct ConcurrentDiskRTree<S: PageStore> {
+    state: Mutex<PoolState<S>>,
+    meta: PageMeta,
+}
+
+impl<S: PageStore> ConcurrentDiskRTree<S> {
+    /// Serializes `tree` into `store` and returns a shareable handle.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty or its node capacity exceeds
+    /// [`crate::MAX_ENTRIES_PER_PAGE`].
+    pub fn create(
+        mut store: S,
+        tree: &RTree,
+        buffer_capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+    ) -> io::Result<Self> {
+        let meta = materialize(&mut store, tree)?;
+        Ok(ConcurrentDiskRTree {
+            state: Mutex::new(PoolState {
+                store,
+                pool: BufferPool::new(buffer_capacity, policy),
+                frames: HashMap::with_capacity(buffer_capacity + 1),
+                physical_reads: 0,
+            }),
+            meta,
+        })
+    }
+
+    /// Opens a previously materialized tree.
+    pub fn open(
+        mut store: S,
+        buffer_capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+    ) -> io::Result<Self> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_page(PageId(0), &mut buf)?;
+        let meta = PageMeta::decode(&buf)?;
+        Ok(ConcurrentDiskRTree {
+            state: Mutex::new(PoolState {
+                store,
+                pool: BufferPool::new(buffer_capacity, policy),
+                frames: HashMap::with_capacity(buffer_capacity + 1),
+                physical_reads: 0,
+            }),
+            meta,
+        })
+    }
+
+    /// The stored metadata.
+    pub fn meta(&self) -> &PageMeta {
+        &self.meta
+    }
+
+    /// Physical page reads so far (all threads).
+    pub fn physical_reads(&self) -> u64 {
+        self.state.lock().physical_reads
+    }
+
+    /// Resets the read counter and pool statistics.
+    pub fn reset_counters(&self) {
+        let mut s = self.state.lock();
+        s.physical_reads = 0;
+        s.pool.reset_stats();
+    }
+
+    /// Pins the top `p` levels (reads them once).
+    pub fn pin_top_levels(&self, p: usize) -> io::Result<()> {
+        assert!(p <= self.meta.level_starts.len(), "not that many levels");
+        let end = if p == self.meta.level_starts.len() {
+            self.meta.nodes + 1
+        } else {
+            self.meta.level_starts[p]
+        };
+        let mut s = self.state.lock();
+        for page in 1..end {
+            let id = PageId(page);
+            let was_resident = s.pool.contains(id);
+            s.pool
+                .pin(id)
+                .map_err(|e| io::Error::new(io::ErrorKind::OutOfMemory, e.to_string()))?;
+            if !was_resident {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                s.store.read_page(id, &mut buf)?;
+                s.physical_reads += 1;
+                s.frames.insert(id, Arc::from(buf.into_boxed_slice()));
+            }
+        }
+        Ok(())
+    }
+
+    fn fetch(&self, id: PageId) -> io::Result<Arc<[u8]>> {
+        self.state.lock().fetch(id)
+    }
+
+    /// Executes a region query; safe to call from many threads.
+    pub fn query(&self, query: &Rect) -> io::Result<Vec<u64>> {
+        let mut results = Vec::new();
+        let root = PageId(self.meta.root);
+
+        // Uncharged root peek (model semantics: a node is accessed iff its
+        // MBR intersects the query).
+        let root_frame = {
+            let mut s = self.state.lock();
+            if let Some(f) = s.frames.get(&root) {
+                Arc::clone(f)
+            } else {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                s.store.read_page(root, &mut buf)?;
+                Arc::from(buf.into_boxed_slice())
+            }
+        };
+        let root_node = NodePage::decode(&root_frame)?;
+        if root_node.entries.is_empty() {
+            return Ok(results);
+        }
+        let root_mbr = root_node
+            .entries
+            .iter()
+            .skip(1)
+            .fold(root_node.entries[0].0, |acc, (r, _)| acc.union(r));
+        if !root_mbr.intersects(query) {
+            return Ok(results);
+        }
+
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            let frame = self.fetch(pid)?;
+            let node = NodePage::decode(&frame)?;
+            for (r, ptr) in &node.entries {
+                if r.intersects(query) {
+                    if node.level == 0 {
+                        results.push(*ptr);
+                    } else {
+                        stack.push(PageId(*ptr));
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+    use rtree_buffer::LruPolicy;
+    use rtree_geom::Point;
+    use rtree_index::BulkLoader;
+
+    fn sample_rects(n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.618_033) % 0.97;
+                let y = (i as f64 * 0.414_213) % 0.97;
+                Rect::new(x, y, x + 0.01, y + 0.01)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_matches_in_memory() {
+        let rects = sample_rects(800);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 64, LruPolicy::new()).unwrap();
+        for q in [
+            Rect::new(0.1, 0.1, 0.4, 0.3),
+            Rect::point(Point::new(0.5, 0.5)),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+        ] {
+            let mut a = disk.query(&q).unwrap();
+            let mut b = tree.search(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_are_correct_and_counted() {
+        let rects = sample_rects(2_000);
+        let tree = BulkLoader::hilbert(20).load(&rects);
+        let disk = Arc::new(
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 50, LruPolicy::new()).unwrap(),
+        );
+
+        let queries: Vec<Rect> = (0..64)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 0.8;
+                let y = (i as f64 * 0.59) % 0.8;
+                Rect::new(x, y, x + 0.1, y + 0.1)
+            })
+            .collect();
+        let expected: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| {
+                let mut v = tree.search(q);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let disk = Arc::clone(&disk);
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for (q, want) in queries.iter().zip(expected).skip(t).step_by(4) {
+                        let mut got = disk.query(q).unwrap();
+                        got.sort_unstable();
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+        });
+        assert!(disk.physical_reads() > 0);
+    }
+
+    #[test]
+    fn pinning_works_shared() {
+        let rects = sample_rects(1_500);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 40, LruPolicy::new()).unwrap();
+        disk.pin_top_levels(2).unwrap();
+        disk.reset_counters();
+        disk.query(&Rect::point(Point::new(0.3, 0.3))).unwrap();
+        // Only unpinned levels can cost reads.
+        assert!(disk.physical_reads() <= u64::from(disk.meta().height));
+    }
+
+    #[test]
+    fn open_round_trip() {
+        let rects = sample_rects(400);
+        let tree = BulkLoader::nearest_x(10).load(&rects);
+        let mut store = MemStore::new();
+        {
+            let d = ConcurrentDiskRTree::create(&mut store, &tree, 8, LruPolicy::new()).unwrap();
+            assert_eq!(d.meta().items, 400);
+        }
+        let d = ConcurrentDiskRTree::open(&mut store, 8, LruPolicy::new()).unwrap();
+        assert_eq!(d.query(&Rect::new(0.0, 0.0, 1.0, 1.0)).unwrap().len(), 400);
+    }
+
+    #[test]
+    fn shared_counts_match_sequential_counts() {
+        // With one thread, the concurrent wrapper must count exactly like
+        // the plain DiskRTree (same LRU decisions).
+        let rects = sample_rects(1_200);
+        let tree = BulkLoader::hilbert(12).load(&rects);
+        let concurrent =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 25, LruPolicy::new()).unwrap();
+        let mut plain =
+            crate::DiskRTree::create(MemStore::new(), &tree, 25, LruPolicy::new()).unwrap();
+        for i in 0..300 {
+            let x = (i as f64 * 0.217) % 0.9;
+            let y = (i as f64 * 0.431) % 0.9;
+            let q = Rect::new(x, y, x + 0.05, y + 0.05);
+            concurrent.query(&q).unwrap();
+            plain.query(&q).unwrap();
+        }
+        assert_eq!(concurrent.physical_reads(), plain.physical_reads());
+    }
+}

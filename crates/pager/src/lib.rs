@@ -1,0 +1,27 @@
+//! Physical page storage for R-trees: page format, page stores, a buffer
+//! manager, and disk-backed query execution.
+//!
+//! The paper's whole argument is that *disk accesses*, not nodes visited,
+//! determine query cost. This crate closes the loop physically: tree nodes
+//! are serialized one-per-page (the paper assumes "exactly one node fits
+//! per page"), queries run against a [`DiskRTree`] through a
+//! [`BufferManager`], and the manager counts real page reads — giving an
+//! end-to-end measurement the analytic model and the trace simulation can
+//! be checked against (`validate_disk` experiment).
+//!
+//! Pages are 4 KiB with an explicit little-endian layout (40-byte entries:
+//! a rectangle and a pointer, exactly Guttman's node entry). A 4 KiB page
+//! holds up to 102 entries, comfortably above the paper's largest node
+//! capacity of 100.
+
+mod bufmgr;
+mod concurrent;
+mod disk_tree;
+mod page;
+mod store;
+
+pub use bufmgr::BufferManager;
+pub use concurrent::ConcurrentDiskRTree;
+pub use disk_tree::DiskRTree;
+pub use page::{NodePage, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+pub use store::{FileStore, MemStore, PageStore};

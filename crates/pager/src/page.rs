@@ -1,0 +1,285 @@
+//! On-disk page layout.
+//!
+//! All integers are little-endian.
+//!
+//! **Meta page** (page 0):
+//! ```text
+//! offset  size  field
+//! 0       4     magic "RTDB"
+//! 4       4     format version (1)
+//! 8       8     root page id
+//! 16      4     height (number of levels)
+//! 20      4     node capacity (max entries)
+//! 24      8     item count
+//! 32      8     node count
+//! 40      4     level count L (= height)
+//! 44      8*L   first page id of each level, root level first
+//! ```
+//!
+//! **Node page**:
+//! ```text
+//! 0       2     magic 0x5254 ("RT")
+//! 2       2     node level (0 = leaf)
+//! 4       2     entry count
+//! 6       2     reserved (0)
+//! 8       40*k  entries: lo.x f64, lo.y f64, hi.x f64, hi.y f64, ptr u64
+//! ```
+//! At leaf level `ptr` is the item id; at internal levels it is the child
+//! *page* id.
+
+use rtree_geom::Rect;
+use std::io;
+
+/// Page size in bytes (one R-tree node per page, as the paper assumes).
+pub const PAGE_SIZE: usize = 4096;
+
+const NODE_HEADER: usize = 8;
+const ENTRY_SIZE: usize = 40;
+
+/// Maximum entries a node page can hold: `(4096 − 8) / 40`.
+pub const MAX_ENTRIES_PER_PAGE: usize = (PAGE_SIZE - NODE_HEADER) / ENTRY_SIZE;
+
+const META_MAGIC: [u8; 4] = *b"RTDB";
+const NODE_MAGIC: u16 = 0x5254;
+const FORMAT_VERSION: u32 = 1;
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Decoded meta page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Page id of the root node.
+    pub root: u64,
+    /// Number of levels.
+    pub height: u32,
+    /// Node capacity the tree was built with.
+    pub max_entries: u32,
+    /// Number of items.
+    pub items: u64,
+    /// Number of node pages.
+    pub nodes: u64,
+    /// First page id of each level, root level first.
+    pub level_starts: Vec<u64>,
+}
+
+impl PageMeta {
+    /// Encodes into a page buffer.
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        buf.fill(0);
+        buf[0..4].copy_from_slice(&META_MAGIC);
+        buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.root.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.height.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.max_entries.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.items.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.nodes.to_le_bytes());
+        let l = self.level_starts.len() as u32;
+        buf[40..44].copy_from_slice(&l.to_le_bytes());
+        let mut off = 44;
+        for s in &self.level_starts {
+            buf[off..off + 8].copy_from_slice(&s.to_le_bytes());
+            off += 8;
+        }
+    }
+
+    /// Decodes from a page buffer.
+    pub fn decode(buf: &[u8]) -> io::Result<Self> {
+        if buf.len() != PAGE_SIZE {
+            return Err(bad_data("short meta page"));
+        }
+        if buf[0..4] != META_MAGIC {
+            return Err(bad_data("bad meta magic"));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(bad_data(format!("unsupported format version {version}")));
+        }
+        let root = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let height = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
+        let max_entries = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes"));
+        let items = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
+        let nodes = u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes"));
+        let l = u32::from_le_bytes(buf[40..44].try_into().expect("4 bytes")) as usize;
+        if l != height as usize || 44 + 8 * l > PAGE_SIZE {
+            return Err(bad_data("inconsistent level table"));
+        }
+        let mut level_starts = Vec::with_capacity(l);
+        let mut off = 44;
+        for _ in 0..l {
+            level_starts.push(u64::from_le_bytes(
+                buf[off..off + 8].try_into().expect("8 bytes"),
+            ));
+            off += 8;
+        }
+        Ok(PageMeta {
+            root,
+            height,
+            max_entries,
+            items,
+            nodes,
+            level_starts,
+        })
+    }
+}
+
+/// Decoded node page.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodePage {
+    /// Node level (0 = leaf).
+    pub level: u16,
+    /// Entries: rectangle plus pointer (item id or child page id).
+    pub entries: Vec<(Rect, u64)>,
+}
+
+impl NodePage {
+    /// Encodes into a page buffer.
+    ///
+    /// # Panics
+    /// Panics if there are more than [`MAX_ENTRIES_PER_PAGE`] entries.
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        assert!(
+            self.entries.len() <= MAX_ENTRIES_PER_PAGE,
+            "{} entries exceed page capacity {MAX_ENTRIES_PER_PAGE}",
+            self.entries.len()
+        );
+        buf.fill(0);
+        buf[0..2].copy_from_slice(&NODE_MAGIC.to_le_bytes());
+        buf[2..4].copy_from_slice(&self.level.to_le_bytes());
+        buf[4..6].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut off = NODE_HEADER;
+        for (r, p) in &self.entries {
+            buf[off..off + 8].copy_from_slice(&r.lo.x.to_le_bytes());
+            buf[off + 8..off + 16].copy_from_slice(&r.lo.y.to_le_bytes());
+            buf[off + 16..off + 24].copy_from_slice(&r.hi.x.to_le_bytes());
+            buf[off + 24..off + 32].copy_from_slice(&r.hi.y.to_le_bytes());
+            buf[off + 32..off + 40].copy_from_slice(&p.to_le_bytes());
+            off += ENTRY_SIZE;
+        }
+    }
+
+    /// Decodes from a page buffer.
+    pub fn decode(buf: &[u8]) -> io::Result<Self> {
+        if buf.len() != PAGE_SIZE {
+            return Err(bad_data("short node page"));
+        }
+        if u16::from_le_bytes(buf[0..2].try_into().expect("2 bytes")) != NODE_MAGIC {
+            return Err(bad_data("bad node magic"));
+        }
+        let level = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes"));
+        let count = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
+        if count > MAX_ENTRIES_PER_PAGE {
+            return Err(bad_data(format!("entry count {count} exceeds capacity")));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut off = NODE_HEADER;
+        let f = |b: &[u8]| f64::from_le_bytes(b.try_into().expect("8 bytes"));
+        for _ in 0..count {
+            let lo_x = f(&buf[off..off + 8]);
+            let lo_y = f(&buf[off + 8..off + 16]);
+            let hi_x = f(&buf[off + 16..off + 24]);
+            let hi_y = f(&buf[off + 24..off + 32]);
+            let ptr = u64::from_le_bytes(buf[off + 32..off + 40].try_into().expect("8 bytes"));
+            let rect = Rect {
+                lo: rtree_geom::Point::new(lo_x, lo_y),
+                hi: rtree_geom::Point::new(hi_x, hi_y),
+            };
+            if !rect.is_valid() {
+                return Err(bad_data("corrupt rectangle"));
+            }
+            entries.push((rect, ptr));
+            off += ENTRY_SIZE;
+        }
+        Ok(NodePage { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Point;
+
+    #[test]
+    fn page_capacity_exceeds_papers_largest_node() {
+        assert_eq!(MAX_ENTRIES_PER_PAGE, 102); // >= the paper's largest cap (100)
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let meta = PageMeta {
+            root: 1,
+            height: 3,
+            max_entries: 100,
+            items: 53_145,
+            nodes: 539,
+            level_starts: vec![1, 2, 8],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        assert_eq!(PageMeta::decode(&buf).unwrap(), meta);
+    }
+
+    #[test]
+    fn node_round_trip() {
+        let node = NodePage {
+            level: 2,
+            entries: (0..100)
+                .map(|i| {
+                    let v = i as f64 / 100.0;
+                    (Rect::new(v * 0.5, v * 0.3, v * 0.5 + 0.1, v * 0.3 + 0.2), i)
+                })
+                .collect(),
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        assert_eq!(NodePage::decode(&buf).unwrap(), node);
+    }
+
+    #[test]
+    fn empty_node_round_trip() {
+        let node = NodePage {
+            level: 0,
+            entries: vec![],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        assert_eq!(NodePage::decode(&buf).unwrap(), node);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let buf = vec![0xABu8; PAGE_SIZE];
+        assert!(NodePage::decode(&buf).is_err());
+        assert!(PageMeta::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_rect() {
+        let node = NodePage {
+            level: 0,
+            entries: vec![(Rect::new(0.0, 0.0, 1.0, 1.0), 9)],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        // Swap lo.x / hi.x bytes to invert the rectangle.
+        let lo: [u8; 8] = buf[8..16].try_into().unwrap();
+        let hi: [u8; 8] = buf[24..32].try_into().unwrap();
+        buf[8..16].copy_from_slice(&hi);
+        buf[24..32].copy_from_slice(&lo);
+        assert!(NodePage::decode(&buf).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_rejects_overflow() {
+        let node = NodePage {
+            level: 0,
+            entries: vec![(Rect::point(Point::new(0.5, 0.5)), 0); MAX_ENTRIES_PER_PAGE + 1],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+    }
+}

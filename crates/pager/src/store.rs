@@ -1,0 +1,216 @@
+//! Page stores: where pages physically live.
+
+use crate::PAGE_SIZE;
+use rtree_buffer::PageId;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Backing storage addressed in whole pages.
+pub trait PageStore {
+    /// Reads page `id` into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()>;
+    /// Writes page `id` from `buf`.
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> io::Result<()>;
+    /// Appends a zeroed page and returns its id.
+    fn allocate(&mut self) -> io::Result<PageId>;
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+}
+
+impl<S: PageStore + ?Sized> PageStore for &mut S {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_page(id, buf)
+    }
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        (**self).write_page(id, buf)
+    }
+    fn allocate(&mut self) -> io::Result<PageId> {
+        (**self).allocate()
+    }
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+}
+
+/// In-memory page store (the default substrate for simulations: the point
+/// of the study is *counting* accesses, not waiting for a spindle).
+#[derive(Default)]
+pub struct MemStore {
+    data: Vec<u8>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    fn check(&self, id: PageId) -> io::Result<usize> {
+        let off = (id.0 as usize) * PAGE_SIZE;
+        if off + PAGE_SIZE > self.data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("page {} out of bounds", id.0),
+            ));
+        }
+        Ok(off)
+    }
+}
+
+impl PageStore for MemStore {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let off = self.check(id)?;
+        buf.copy_from_slice(&self.data[off..off + PAGE_SIZE]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let off = self.check(id)?;
+        self.data[off..off + PAGE_SIZE].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> io::Result<PageId> {
+        let id = PageId(self.page_count());
+        self.data.resize(self.data.len() + PAGE_SIZE, 0);
+        Ok(id)
+    }
+
+    fn page_count(&self) -> u64 {
+        (self.data.len() / PAGE_SIZE) as u64
+    }
+}
+
+/// File-backed page store.
+pub struct FileStore {
+    file: File,
+    pages: u64,
+}
+
+impl FileStore {
+    /// Creates (truncating) a page file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStore { file, pages: 0 })
+    }
+
+    /// Opens an existing page file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file length is not a multiple of the page size",
+            ));
+        }
+        Ok(FileStore {
+            file,
+            pages: len / PAGE_SIZE as u64,
+        })
+    }
+
+    fn seek_to(&mut self, id: PageId) -> io::Result<()> {
+        if id.0 >= self.pages {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("page {} out of bounds", id.0),
+            ));
+        }
+        self.file
+            .seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))
+            .map(|_| ())
+    }
+}
+
+impl PageStore for FileStore {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        self.seek_to(id)?;
+        self.file.read_exact(buf)
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        self.seek_to(id)?;
+        self.file.write_all(buf)
+    }
+
+    fn allocate(&mut self) -> io::Result<PageId> {
+        let id = PageId(self.pages);
+        self.file.seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        self.pages += 1;
+        Ok(id)
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn PageStore) {
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        assert_eq!(store.page_count(), 2);
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 0xAA;
+        page[PAGE_SIZE - 1] = 0xBB;
+        store.write_page(b, &page).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        store.read_page(b, &mut out).unwrap();
+        assert_eq!(out, page);
+        // Page `a` stays zeroed.
+        store.read_page(a, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+        // Out-of-bounds access errors.
+        assert!(store.read_page(PageId(99), &mut out).is_err());
+        assert!(store.write_page(PageId(99), &page).is_err());
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn file_store_round_trip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("rtree-pager-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.pages");
+        {
+            let mut fs = FileStore::create(&path).unwrap();
+            exercise(&mut fs);
+        }
+        {
+            let mut fs = FileStore::open(&path).unwrap();
+            assert_eq!(fs.page_count(), 2);
+            let mut out = vec![0u8; PAGE_SIZE];
+            fs.read_page(PageId(1), &mut out).unwrap();
+            assert_eq!(out[0], 0xAA);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_ragged_file() {
+        let dir = std::env::temp_dir().join(format!("rtree-pager-rag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.pages");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

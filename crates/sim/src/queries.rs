@@ -1,0 +1,192 @@
+//! Random query generation matching the model's workload definitions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_core::{MixedWorkload, Workload};
+use rtree_geom::{Point, Rect};
+
+/// Draws random query rectangles from a [`Workload`]'s distribution:
+///
+/// * uniform point — the point is uniform in the unit square;
+/// * uniform region — the top-right corner is uniform in
+///   `U' = [qx,1] × [qy,1]` (§3.1), so the query always fits in the square;
+/// * data-driven — the query is centered on a uniformly chosen data center
+///   (§3.2).
+pub struct QuerySampler {
+    qx: f64,
+    qy: f64,
+    centers: Option<Vec<Point>>,
+    rng: StdRng,
+}
+
+impl QuerySampler {
+    /// Creates a sampler for `workload`, seeded deterministically.
+    pub fn new(workload: &Workload, seed: u64) -> Self {
+        QuerySampler {
+            qx: workload.qx(),
+            qy: workload.qy(),
+            centers: workload.centers().map(<[Point]>::to_vec),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next query rectangle.
+    pub fn sample(&mut self) -> Rect {
+        match &self.centers {
+            None => {
+                let trx = self.rng.gen_range(self.qx..=1.0);
+                let try_ = self.rng.gen_range(self.qy..=1.0);
+                Rect::new(trx - self.qx, try_ - self.qy, trx, try_)
+            }
+            Some(centers) => {
+                let c = centers[self.rng.gen_range(0..centers.len())];
+                Rect::centered(c, self.qx, self.qy)
+            }
+        }
+    }
+}
+
+/// Draws queries from a [`MixedWorkload`]: each query picks a component by
+/// weight, then samples that component's distribution.
+pub struct MixedSampler {
+    cumulative: Vec<f64>,
+    samplers: Vec<QuerySampler>,
+    rng: StdRng,
+}
+
+impl MixedSampler {
+    /// Creates a sampler for the mixture, seeded deterministically.
+    pub fn new(mix: &MixedWorkload, seed: u64) -> Self {
+        let mut cumulative = Vec::with_capacity(mix.components().len());
+        let mut samplers = Vec::with_capacity(mix.components().len());
+        let mut acc = 0.0;
+        for (i, (w, wl)) in mix.components().iter().enumerate() {
+            acc += w;
+            cumulative.push(acc);
+            samplers.push(QuerySampler::new(wl, seed.wrapping_add(i as u64 + 1)));
+        }
+        MixedSampler {
+            cumulative,
+            samplers,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next query rectangle.
+    pub fn sample(&mut self) -> Rect {
+        let u: f64 = self.rng.gen();
+        let i = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.samplers.len() - 1);
+        self.samplers[i].sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::UNIT;
+
+    #[test]
+    fn uniform_point_queries_are_points_in_unit_square() {
+        let mut s = QuerySampler::new(&Workload::uniform_point(), 1);
+        for _ in 0..1000 {
+            let q = s.sample();
+            assert_eq!(q.area(), 0.0);
+            assert!(UNIT.contains_rect(&q));
+        }
+    }
+
+    #[test]
+    fn uniform_region_queries_fit_in_unit_square() {
+        let mut s = QuerySampler::new(&Workload::uniform_region(0.25, 0.1), 2);
+        for _ in 0..1000 {
+            let q = s.sample();
+            assert!((q.x_extent() - 0.25).abs() < 1e-12);
+            assert!((q.y_extent() - 0.1).abs() < 1e-12);
+            assert!(UNIT.contains_rect(&q), "{q} outside unit square");
+        }
+    }
+
+    #[test]
+    fn data_driven_queries_center_on_data() {
+        let centers = vec![Point::new(0.2, 0.8), Point::new(0.6, 0.4)];
+        let w = Workload::data_driven(0.1, 0.1, centers.clone());
+        let mut s = QuerySampler::new(&w, 3);
+        let mut seen = [false, false];
+        for _ in 0..200 {
+            let q = s.sample();
+            let c = q.center();
+            let hit = centers
+                .iter()
+                .position(|p| (p.x - c.x).abs() < 1e-9 && (p.y - c.y).abs() < 1e-9)
+                .expect("query centered on a data center");
+            seen[hit] = true;
+        }
+        assert!(seen[0] && seen[1], "both centers should be drawn");
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let w = Workload::uniform_region(0.05, 0.05);
+        let mut a = QuerySampler::new(&w, 9);
+        let mut b = QuerySampler::new(&w, 9);
+        for _ in 0..50 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn mixed_sampler_draws_all_components() {
+        let mix = MixedWorkload::new(vec![
+            (0.5, Workload::uniform_point()),
+            (0.5, Workload::uniform_region(0.2, 0.2)),
+        ]);
+        let mut s = MixedSampler::new(&mix, 8);
+        let mut points = 0usize;
+        let mut regions = 0usize;
+        let n = 2_000;
+        for _ in 0..n {
+            let q = s.sample();
+            if q.area() == 0.0 {
+                points += 1;
+            } else {
+                regions += 1;
+            }
+        }
+        let share = points as f64 / n as f64;
+        assert!((0.42..=0.58).contains(&share), "component skew: {share}");
+        assert!(regions > 0);
+    }
+
+    #[test]
+    fn mixed_sampler_respects_weights() {
+        let mix = MixedWorkload::new(vec![
+            (9.0, Workload::uniform_point()),
+            (1.0, Workload::uniform_region(0.2, 0.2)),
+        ]);
+        let mut s = MixedSampler::new(&mix, 9);
+        let n = 5_000;
+        let points = (0..n).filter(|_| s.sample().area() == 0.0).count();
+        let share = points as f64 / n as f64;
+        assert!((0.85..=0.95).contains(&share), "weight skew: {share}");
+    }
+
+    #[test]
+    fn uniform_point_coverage_is_roughly_uniform() {
+        // Chi-square-free sanity check: each quadrant gets 20-30% of points.
+        let mut s = QuerySampler::new(&Workload::uniform_point(), 4);
+        let mut counts = [0usize; 4];
+        let n = 10_000;
+        for _ in 0..n {
+            let p = s.sample().lo;
+            let q = (usize::from(p.x >= 0.5)) * 2 + usize::from(p.y >= 0.5);
+            counts[q] += 1;
+        }
+        for c in counts {
+            let share = c as f64 / n as f64;
+            assert!((0.2..=0.3).contains(&share), "skewed quadrant: {share}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Traversable tree snapshots with level-ordered page numbering.
+
+use rtree_buffer::PageId;
+use rtree_core::TreeDescription;
+use rtree_geom::Rect;
+use rtree_index::RTree;
+
+struct SimPage {
+    mbr: Rect,
+    rects: Vec<Rect>,
+    /// Child page numbers, parallel to `rects`; empty for leaves.
+    children: Vec<u32>,
+}
+
+/// A compact copy of an R-tree for simulation. Pages are numbered in level
+/// order, root first — the same numbering the analytic model's pinning
+/// variant uses, so "pin the top `p` levels" means "pin pages
+/// `0..pages_in_top_levels(p)`" in both worlds.
+pub struct SimTree {
+    pages: Vec<SimPage>,
+    /// Start page of each level (root level first), plus a final sentinel.
+    level_offsets: Vec<usize>,
+}
+
+impl SimTree {
+    /// Snapshots a real tree.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty.
+    pub fn from_tree(tree: &RTree) -> Self {
+        assert!(!tree.is_empty(), "cannot simulate an empty tree");
+        let ids = tree.node_ids(); // BFS: level order, root first
+        let mut page_of_node = vec![u32::MAX; tree.node_ids().iter().map(|i| i.index() + 1).max().unwrap_or(1)];
+        for (page, id) in ids.iter().enumerate() {
+            if id.index() >= page_of_node.len() {
+                page_of_node.resize(id.index() + 1, u32::MAX);
+            }
+            page_of_node[id.index()] = page as u32;
+        }
+
+        let height = tree.height();
+        let mut level_counts = vec![0usize; height as usize];
+        let mut pages = Vec::with_capacity(ids.len());
+        for id in &ids {
+            let n = tree.node(*id);
+            let paper_level = (height - 1 - n.level()) as usize;
+            level_counts[paper_level] += 1;
+            let children = if n.is_leaf() {
+                Vec::new()
+            } else {
+                (0..n.len())
+                    .map(|i| page_of_node[n.child(i).index()])
+                    .collect()
+            };
+            pages.push(SimPage {
+                mbr: n.mbr(),
+                rects: n.rects().to_vec(),
+                children,
+            });
+        }
+
+        let mut level_offsets = Vec::with_capacity(height as usize + 1);
+        let mut acc = 0usize;
+        level_offsets.push(0);
+        for c in level_counts {
+            acc += c;
+            level_offsets.push(acc);
+        }
+        SimTree {
+            pages,
+            level_offsets,
+        }
+    }
+
+    /// Number of pages (= tree nodes).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of levels.
+    pub fn height(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// Pages per level, root level first.
+    pub fn pages_per_level(&self) -> Vec<usize> {
+        self.level_offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect()
+    }
+
+    /// Number of pages in the top `p` levels.
+    pub fn pages_in_top_levels(&self, p: usize) -> usize {
+        self.level_offsets[p.min(self.height())]
+    }
+
+    /// MBR list in page order — feeding this to [`flat_trace`] reproduces
+    /// the paper's simulator verbatim.
+    pub fn mbrs(&self) -> Vec<Rect> {
+        self.pages.iter().map(|p| p.mbr).collect()
+    }
+
+    /// Appends to `out` the pages accessed by a query: every page whose MBR
+    /// intersects `query`, discovered by pruned traversal, root first.
+    pub fn trace_into(&self, query: &Rect, out: &mut Vec<PageId>) {
+        if !self.pages[0].mbr.intersects(query) {
+            return;
+        }
+        let mut stack = vec![0u32];
+        while let Some(page) = stack.pop() {
+            out.push(PageId(page as u64));
+            let p = &self.pages[page as usize];
+            for (i, r) in p.rects.iter().enumerate() {
+                if !p.children.is_empty() && r.intersects(query) {
+                    stack.push(p.children[i]);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`SimTree::trace_into`].
+    pub fn trace(&self, query: &Rect) -> Vec<PageId> {
+        let mut out = Vec::new();
+        self.trace_into(query, &mut out);
+        out
+    }
+}
+
+/// The paper's literal simulator step: check **every** node MBR
+/// independently and return the page numbers of those intersecting the
+/// query. `mbrs` must be in page order (see [`SimTree::mbrs`] or a
+/// flattened [`TreeDescription`]).
+pub fn flat_trace(mbrs: &[Rect], query: &Rect) -> Vec<PageId> {
+    mbrs.iter()
+        .enumerate()
+        .filter(|(_, r)| r.intersects(query))
+        .map(|(i, _)| PageId(i as u64))
+        .collect()
+}
+
+/// Flattens a [`TreeDescription`] into page-ordered MBRs (root = page 0).
+pub fn description_mbrs(desc: &TreeDescription) -> Vec<Rect> {
+    desc.iter().map(|(_, r)| *r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Point;
+    use rtree_index::BulkLoader;
+
+    fn sample_tree(n: usize, cap: usize) -> RTree {
+        let rects: Vec<Rect> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.618_033) % 0.98;
+                let y = (i as f64 * 0.414_213) % 0.98;
+                Rect::new(x, y, x + 0.01, y + 0.01)
+            })
+            .collect();
+        BulkLoader::hilbert(cap).load(&rects)
+    }
+
+    #[test]
+    fn page_numbering_is_level_order() {
+        let tree = sample_tree(500, 10);
+        let sim = SimTree::from_tree(&tree);
+        assert_eq!(sim.page_count(), tree.node_count());
+        assert_eq!(sim.pages_per_level(), vec![1, 5, 50]);
+        assert_eq!(sim.pages_in_top_levels(0), 0);
+        assert_eq!(sim.pages_in_top_levels(1), 1);
+        assert_eq!(sim.pages_in_top_levels(2), 6);
+        assert_eq!(sim.pages_in_top_levels(3), 56);
+        // Root page must cover the whole tree.
+        let mbrs = sim.mbrs();
+        for r in &mbrs {
+            assert!(mbrs[0].contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn traversal_matches_flat_scan() {
+        let tree = sample_tree(700, 8);
+        let sim = SimTree::from_tree(&tree);
+        let mbrs = sim.mbrs();
+        for (i, q) in [
+            Rect::new(0.1, 0.1, 0.3, 0.3),
+            Rect::point(Point::new(0.5, 0.5)),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(0.95, 0.95, 0.99, 0.99),
+            Rect::new(2.0, 2.0, 3.0, 3.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut traced = sim.trace(q);
+            traced.sort_unstable();
+            let flat = flat_trace(&mbrs, q);
+            assert_eq!(traced, flat, "query {i}");
+        }
+    }
+
+    #[test]
+    fn description_mbrs_align_with_sim_tree() {
+        let tree = sample_tree(300, 10);
+        let sim = SimTree::from_tree(&tree);
+        let desc = TreeDescription::from_tree(&tree);
+        // Same multiset per level; same aggregate geometry overall.
+        let a: f64 = sim.mbrs().iter().map(Rect::area).sum();
+        let (b, _, _) = desc.aggregates();
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(description_mbrs(&desc).len(), sim.page_count());
+    }
+
+    #[test]
+    fn trace_is_root_first() {
+        let tree = sample_tree(400, 10);
+        let sim = SimTree::from_tree(&tree);
+        let t = sim.trace(&Rect::new(0.4, 0.4, 0.6, 0.6));
+        assert_eq!(t[0], PageId(0));
+    }
+}

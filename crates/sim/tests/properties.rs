@@ -1,0 +1,93 @@
+//! Property tests for the simulation layer: trace equivalence and batch
+//! statistics.
+
+use proptest::prelude::*;
+use rtree_core::Workload;
+use rtree_geom::{Point, Rect};
+use rtree_index::BulkLoader;
+use rtree_sim::{flat_trace, BatchMeans, QuerySampler, SimTree};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    ((0.0f64..=0.95, 0.0f64..=0.95), (0.0f64..=0.05, 0.0f64..=0.05))
+        .prop_map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruned_trace_equals_flat_scan(
+        rects in prop::collection::vec(arb_rect(), 1..250),
+        q in arb_rect(),
+        cap in 4usize..24,
+    ) {
+        // The paper's literal simulator (check every MBR) and the pruned
+        // traversal must touch the same page set for any tree and query.
+        let tree = BulkLoader::hilbert(cap).load(&rects);
+        let sim = SimTree::from_tree(&tree);
+        let mut traced = sim.trace(&q);
+        traced.sort_unstable();
+        let flat = flat_trace(&sim.mbrs(), &q);
+        prop_assert_eq!(traced, flat);
+    }
+
+    #[test]
+    fn page_layout_invariants(rects in prop::collection::vec(arb_rect(), 1..250), cap in 4usize..24) {
+        let tree = BulkLoader::str_pack(cap).load(&rects);
+        let sim = SimTree::from_tree(&tree);
+        // Pages per level sum to the page count, root level holds one page,
+        // prefix sums match pages_in_top_levels.
+        let per_level = sim.pages_per_level();
+        prop_assert_eq!(per_level[0], 1);
+        prop_assert_eq!(per_level.iter().sum::<usize>(), sim.page_count());
+        let mut acc = 0;
+        for (i, n) in per_level.iter().enumerate() {
+            prop_assert_eq!(sim.pages_in_top_levels(i), acc);
+            acc += n;
+        }
+        prop_assert_eq!(sim.pages_in_top_levels(sim.height()), sim.page_count());
+    }
+
+    #[test]
+    fn sampled_queries_fit_workload(qx in 0.0f64..0.9, qy in 0.0f64..0.9, seed in any::<u64>()) {
+        let w = Workload::uniform_region(qx, qy);
+        let mut s = QuerySampler::new(&w, seed);
+        for _ in 0..64 {
+            let q = s.sample();
+            prop_assert!((q.x_extent() - qx).abs() < 1e-12);
+            prop_assert!((q.y_extent() - qy).abs() < 1e-12);
+            prop_assert!(q.lo.x >= 0.0 && q.hi.x <= 1.0 + 1e-12);
+            prop_assert!(q.lo.y >= 0.0 && q.hi.y <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn data_driven_samples_center_on_data(
+        pts in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..40),
+        q in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let centers: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let w = Workload::data_driven(q, q, centers.clone());
+        let mut s = QuerySampler::new(&w, seed);
+        for _ in 0..32 {
+            let sample = s.sample();
+            let c = sample.center();
+            prop_assert!(
+                centers.iter().any(|p| (p.x - c.x).abs() < 1e-9 && (p.y - c.y).abs() < 1e-9),
+                "query not centered on any data point"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_means_mean_is_arithmetic_mean(values in prop::collection::vec(-1e3f64..1e3, 1..64)) {
+        let mut b = BatchMeans::new();
+        for &v in &values {
+            b.push(v);
+        }
+        let expect = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((b.mean() - expect).abs() < 1e-9);
+        prop_assert!(b.ci_half_width_90() >= 0.0);
+    }
+}

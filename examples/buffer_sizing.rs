@@ -1,0 +1,65 @@
+//! Capacity planning for a GIS workload (§5.3 "Choosing a Buffer Size"):
+//! given a street-map index and a target query cost, find the smallest
+//! buffer that achieves it — and show the diminishing returns past the
+//! knee of the curve.
+//!
+//! ```text
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use buffered_rtrees::datagen::TigerLike;
+use buffered_rtrees::index::BulkLoader;
+use buffered_rtrees::model::{BufferModel, TreeDescription, Workload};
+
+/// Smallest buffer (pages) whose predicted disk accesses per query is at
+/// most `target`, found by bisection over the model.
+fn smallest_buffer_for(model: &BufferModel, target: f64, upper: usize) -> Option<usize> {
+    if model.expected_disk_accesses(upper) > target {
+        return None;
+    }
+    let (mut lo, mut hi) = (1usize, upper);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if model.expected_disk_accesses(mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+fn main() {
+    // A city-scale street map: 53,145 road segments (TIGER-like).
+    let rects = TigerLike::paper().generate(7);
+    let tree = BulkLoader::hilbert(100).load(&rects);
+    let desc = TreeDescription::from_tree(&tree);
+    println!(
+        "street index: {} segments in {} pages",
+        tree.len(),
+        desc.total_nodes()
+    );
+
+    // The map viewer issues 1%-of-the-map region queries.
+    let workload = Workload::uniform_region(0.1, 0.1);
+    let model = BufferModel::new(&desc, &workload);
+
+    println!("\nbuffer(pages)  disk accesses/query  speedup vs B=2");
+    let base = model.expected_disk_accesses(2);
+    for b in [2usize, 10, 25, 50, 100, 200, 350, 500] {
+        let ed = model.expected_disk_accesses(b);
+        println!("{b:>13}  {ed:>19.3}  {:>14.2}x", base / ed.max(1e-9));
+    }
+
+    let total = desc.total_nodes();
+    println!("\ntarget-driven sizing:");
+    for target in [5.0f64, 2.0, 1.0, 0.5] {
+        match smallest_buffer_for(&model, target, total) {
+            Some(b) => println!(
+                "  <= {target:.1} disk accesses/query needs {b} pages ({:.1}% of the tree)",
+                100.0 * b as f64 / total as f64
+            ),
+            None => println!("  <= {target:.1} disk accesses/query is unreachable by buffering"),
+        }
+    }
+}

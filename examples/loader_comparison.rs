@@ -1,0 +1,68 @@
+//! Choosing a loading algorithm *for your buffer budget* (§5.2): the
+//! paper's headline result is that the loader ranking can flip once
+//! buffering is taken into account. This example compares TAT, NX, HS and
+//! STR on a street map and prints the winner at each buffer size.
+//!
+//! ```text
+//! cargo run --release --example loader_comparison
+//! ```
+
+use buffered_rtrees::datagen::TigerLike;
+use buffered_rtrees::index::{BulkLoader, TupleAtATime};
+use buffered_rtrees::model::{BufferModel, TreeDescription, Workload};
+
+fn main() {
+    let rects = TigerLike::paper().generate(11);
+    let cap = 100;
+
+    let trees = [
+        ("TAT", TupleAtATime::quadratic(cap).load(&rects)),
+        ("R*", TupleAtATime::rstar(cap).load(&rects)),
+        ("NX", BulkLoader::nearest_x(cap).load(&rects)),
+        ("HS", BulkLoader::hilbert(cap).load(&rects)),
+        ("STR", BulkLoader::str_pack(cap).load(&rects)),
+    ];
+
+    let workload = Workload::uniform_region(0.1, 0.1);
+    let models: Vec<(&str, usize, BufferModel)> = trees
+        .iter()
+        .map(|(name, t)| {
+            let desc = TreeDescription::from_tree(t);
+            let nodes = desc.total_nodes();
+            (*name, nodes, BufferModel::new(&desc, &workload))
+        })
+        .collect();
+
+    println!("loading 53,145 street segments at {cap} entries/node:");
+    for (name, nodes, model) in &models {
+        println!(
+            "  {name:>4}: {nodes} pages, {:.2} nodes visited/query (bufferless)",
+            model.expected_node_accesses()
+        );
+    }
+
+    println!("\ndisk accesses per 1% region query by buffer size:");
+    print!("{:>8}", "buffer");
+    for (name, _, _) in &models {
+        print!("{name:>10}");
+    }
+    println!("{:>10}", "winner");
+    for b in [5usize, 25, 50, 100, 200, 400] {
+        let eds: Vec<f64> = models
+            .iter()
+            .map(|(_, _, m)| m.expected_disk_accesses(b))
+            .collect();
+        let winner = models
+            .iter()
+            .zip(&eds)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|((name, _, _), _)| *name)
+            .expect("non-empty");
+        print!("{b:>8}");
+        for ed in &eds {
+            print!("{ed:>10.3}");
+        }
+        println!("{winner:>10}");
+    }
+    println!("\nIf the ranking changes down the column, a bufferless comparison would have picked wrong.");
+}

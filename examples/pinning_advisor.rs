@@ -1,0 +1,59 @@
+//! Should you pin the top of the R-tree? (§5.5 "Choosing the Number of
+//! Levels to be Pinned".) For a scientific-visualization index over a
+//! CFD-like mesh, this example evaluates every feasible pinning depth at
+//! several buffer sizes and prints a recommendation.
+//!
+//! ```text
+//! cargo run --release --example pinning_advisor
+//! ```
+
+use buffered_rtrees::datagen::{centers, CfdLike};
+use buffered_rtrees::index::BulkLoader;
+use buffered_rtrees::model::{BufferModel, TreeDescription, Workload};
+
+fn main() {
+    // Mesh nodes of a 737-wing-like CFD cross-section, indexed at 25
+    // entries per node to get a deeper (4-level) tree.
+    let rects = CfdLike::paper().generate(3);
+    let tree = BulkLoader::hilbert(25).load(&rects);
+    let desc = TreeDescription::from_tree(&tree);
+    println!(
+        "mesh index: {} points, pages per level (root first): {:?}",
+        tree.len(),
+        desc.nodes_per_level()
+    );
+
+    // Researchers query where the data is: the data-driven model.
+    let workload = Workload::data_driven(0.02, 0.02, centers(&rects));
+    let model = BufferModel::new(&desc, &workload);
+
+    for buffer in [200usize, 500, 2_500] {
+        println!("\nbuffer = {buffer} pages:");
+        let unpinned = model.expected_disk_accesses(buffer);
+        println!("  pin 0 levels: {unpinned:.4} disk accesses/query");
+        let max_pin = model.max_pinnable_levels(buffer);
+        for p in 1..=max_pin {
+            match model.expected_disk_accesses_pinned(buffer, p) {
+                Ok(ed) => {
+                    let gain = 100.0 * (unpinned - ed) / unpinned.max(1e-12);
+                    println!(
+                        "  pin {p} levels ({} pages): {ed:.4} disk accesses/query ({gain:+.1}% vs none)",
+                        model.pinned_pages(p)
+                    );
+                }
+                Err(e) => println!("  pin {p} levels: {e}"),
+            }
+        }
+        let best = model.best_pinning(buffer);
+        if best.0 == 0 || (unpinned - best.1) / unpinned.max(1e-12) < 0.02 {
+            println!("  -> recommendation: don't pin; LRU already keeps the top levels hot");
+        } else {
+            println!(
+                "  -> recommendation: pin {} levels ({:.1}% fewer disk accesses)",
+                best.0,
+                100.0 * (unpinned - best.1) / unpinned
+            );
+        }
+    }
+    println!("\n(Pinning only pays when the pinned pages rival the buffer size — the paper's rule of thumb.)");
+}

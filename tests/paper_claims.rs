@@ -1,0 +1,184 @@
+//! The paper's qualitative claims, asserted as integration tests on
+//! down-scaled versions of its experiments. Absolute numbers differ (our
+//! data sets are synthetic substitutes) but each *direction* the paper
+//! reports must reproduce.
+
+use buffered_rtrees::datagen::{centers, CfdLike, SyntheticPoint, TigerLike};
+use buffered_rtrees::index::{BulkLoader, TupleAtATime};
+use buffered_rtrees::model::{BufferModel, TreeDescription, Workload};
+
+fn tiger(n: usize) -> Vec<buffered_rtrees::geom::Rect> {
+    TigerLike::new(n).generate(0x7169)
+}
+
+#[test]
+fn packed_trees_beat_tat_without_buffer() {
+    // §2.2: TAT has worse structure and utilization, so more node accesses.
+    let rects = tiger(8_000);
+    let cap = 50;
+    let visits = |desc: &TreeDescription| {
+        BufferModel::new(desc, &Workload::uniform_point()).expected_node_accesses()
+    };
+    let tat = TreeDescription::from_tree(&TupleAtATime::quadratic(cap).load(&rects));
+    let hs = TreeDescription::from_tree(&BulkLoader::hilbert(cap).load(&rects));
+    assert!(visits(&hs) < visits(&tat), "HS {} vs TAT {}", visits(&hs), visits(&tat));
+    assert!(hs.total_nodes() < tat.total_nodes(), "packing uses fewer pages");
+}
+
+#[test]
+fn buffering_changes_loader_gaps_quantitatively() {
+    // §5.2: the gap between loaders shrinks dramatically once a buffer
+    // absorbs the hot top of the tree.
+    let rects = tiger(8_000);
+    let cap = 50;
+    let tat = TreeDescription::from_tree(&TupleAtATime::quadratic(cap).load(&rects));
+    let hs = TreeDescription::from_tree(&BulkLoader::hilbert(cap).load(&rects));
+    let w = Workload::uniform_region(0.1, 0.1);
+    let m_tat = BufferModel::new(&tat, &w);
+    let m_hs = BufferModel::new(&hs, &w);
+
+    let gap_small = m_tat.expected_disk_accesses(5) / m_hs.expected_disk_accesses(5);
+    let gap_large = m_tat.expected_disk_accesses(120) / m_hs.expected_disk_accesses(120);
+    assert!(
+        gap_large != gap_small,
+        "buffer size must change the relative gap"
+    );
+}
+
+#[test]
+fn larger_trees_cost_more_once_buffered() {
+    // §5.2 / Fig. 9: with a fixed buffer, more data means more disk
+    // accesses — the fact the bufferless metric hides.
+    let w = Workload::uniform_point();
+    let ed = |n: usize, b: usize| {
+        let rects = buffered_rtrees::datagen::SyntheticRegion::new(n).generate(3);
+        let desc = TreeDescription::from_tree(&BulkLoader::hilbert(100).load(&rects));
+        BufferModel::new(&desc, &w).expected_disk_accesses(b)
+    };
+    assert!(ed(60_000, 10) > ed(15_000, 10));
+    assert!(ed(60_000, 300) > ed(15_000, 300));
+}
+
+#[test]
+fn uniform_queries_benefit_more_from_buffer_than_data_driven() {
+    // §5.4 / Fig. 7: the uniform model has hot nodes that extra buffer
+    // captures; the data-driven model spreads accesses evenly.
+    let rects = tiger(12_000);
+    let desc = TreeDescription::from_tree(&BulkLoader::hilbert(50).load(&rects));
+    let uniform = BufferModel::new(&desc, &Workload::uniform_point());
+    let driven = BufferModel::new(&desc, &Workload::data_driven_point(centers(&rects)));
+
+    let speedup = |m: &BufferModel| {
+        m.expected_disk_accesses(10) / m.expected_disk_accesses(150).max(1e-9)
+    };
+    assert!(
+        speedup(&uniform) > speedup(&driven),
+        "uniform speedup {:.2} should exceed data-driven {:.2}",
+        speedup(&uniform),
+        speedup(&driven)
+    );
+}
+
+#[test]
+fn cfd_uniform_queries_become_nearly_free_with_buffer() {
+    // §5.4 / Fig. 8: a few huge MBRs cover the empty far field; a moderate
+    // buffer makes uniform point queries nearly free.
+    let rects = CfdLike::new(12_000).generate(9);
+    let desc = TreeDescription::from_tree(&BulkLoader::hilbert(100).load(&rects));
+    let uniform = BufferModel::new(&desc, &Workload::uniform_point());
+    let at100 = uniform.expected_disk_accesses(100);
+    assert!(at100 < 0.5, "expected near-zero, got {at100}");
+
+    let driven = BufferModel::new(&desc, &Workload::data_driven_point(centers(&rects)));
+    assert!(
+        driven.expected_disk_accesses(100) > at100,
+        "data-driven queries must stay more expensive"
+    );
+}
+
+#[test]
+fn pinning_helps_only_when_pinned_pages_rival_buffer() {
+    // §5.5 / Fig. 10: pinning the top 3 levels of a 4-level tree matters
+    // when those pages are ~half the buffer, not when they are a sliver.
+    let w = Workload::uniform_point();
+    let gain = |points: usize, buffer: usize| -> f64 {
+        let rects = SyntheticPoint::new(points).generate(17);
+        let desc = TreeDescription::from_tree(&BulkLoader::hilbert(25).load(&rects));
+        let m = BufferModel::new(&desc, &w);
+        assert_eq!(desc.height(), 4, "paper's pinning study uses 4-level trees");
+        let base = m.expected_disk_accesses(buffer);
+        let pinned = m.expected_disk_accesses_pinned(buffer, 3).expect("feasible");
+        (base - pinned) / base.max(1e-12)
+    };
+    // 100k points at cap 25 -> 1 + 7 + 160 pinned pages (about 1/3 of 500);
+    // 20k points -> 1 + 2 + 32 pages (a sliver of 500).
+    let big = gain(100_000, 500);
+    let small = gain(20_000, 500);
+    assert!(
+        big > small + 0.01,
+        "pin gain should grow with pinned share: {big:.3} vs {small:.3}"
+    );
+}
+
+#[test]
+fn pinning_one_or_two_levels_changes_nothing_with_ample_buffer() {
+    // Fig. 10/11: "The number of disk accesses for not pinning any levels,
+    // pinning the first level, and pinning the first two levels is the
+    // same" — LRU keeps those few pages hot anyway.
+    let rects = SyntheticPoint::new(60_000).generate(21);
+    let desc = TreeDescription::from_tree(&BulkLoader::hilbert(25).load(&rects));
+    let m = BufferModel::new(&desc, &Workload::uniform_point());
+    let b = 500;
+    let base = m.expected_disk_accesses(b);
+    for pin in [1usize, 2] {
+        let pinned = m.expected_disk_accesses_pinned(b, pin).expect("feasible");
+        let rel = (base - pinned).abs() / base.max(1e-12);
+        assert!(rel < 0.02, "pin {pin} moved cost by {rel:.3}");
+    }
+}
+
+#[test]
+fn pinning_never_hurts_in_the_model() {
+    // §5.5: "pinning never hurts performance".
+    let rects = tiger(10_000);
+    let desc = TreeDescription::from_tree(&BulkLoader::hilbert(25).load(&rects));
+    for w in [Workload::uniform_point(), Workload::uniform_region(0.05, 0.05)] {
+        let m = BufferModel::new(&desc, &w);
+        for b in [120usize, 300, 800] {
+            let base = m.expected_disk_accesses(b);
+            for pin in 1..=m.max_pinnable_levels(b).min(3) {
+                let pinned = m.expected_disk_accesses_pinned(b, pin).expect("feasible");
+                assert!(
+                    pinned <= base + 1e-9,
+                    "pin {pin} at B={b}: {pinned} > {base}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn region_queries_dilute_pinning_benefit() {
+    // Fig. 11 (right): larger queries fetch many leaves, so the relative
+    // benefit of pinning internal levels shrinks.
+    let rects = SyntheticPoint::new(100_000).generate(23);
+    let desc = TreeDescription::from_tree(&BulkLoader::hilbert(25).load(&rects));
+    let b = 500;
+    let gain = |qx: f64| {
+        let w = if qx == 0.0 {
+            Workload::uniform_point()
+        } else {
+            Workload::uniform_region(qx, qx)
+        };
+        let m = BufferModel::new(&desc, &w);
+        let base = m.expected_disk_accesses(b);
+        let pinned = m.expected_disk_accesses_pinned(b, 3).expect("feasible");
+        (base - pinned) / base.max(1e-12)
+    };
+    let g_point = gain(0.0);
+    let g_region = gain(0.1);
+    assert!(
+        g_point > g_region,
+        "point-query gain {g_point:.3} should exceed region gain {g_region:.3}"
+    );
+}
