@@ -14,11 +14,9 @@ fn bench_loaders(c: &mut Criterion) {
             if loader == Loader::Tat && n > 2_000 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(loader.name(), n),
-                &rects,
-                |b, rects| b.iter(|| loader.build(50, std::hint::black_box(rects))),
-            );
+            group.bench_with_input(BenchmarkId::new(loader.name(), n), &rects, |b, rects| {
+                b.iter(|| loader.build(50, std::hint::black_box(rects)))
+            });
         }
     }
     group.finish();

@@ -16,7 +16,10 @@ fn bench_codec(c: &mut Criterion) {
         entries: (0..100u64)
             .map(|i| {
                 let v = i as f64 / 100.0;
-                (Rect::new(v * 0.9, v * 0.8, v * 0.9 + 0.05, v * 0.8 + 0.05), i)
+                (
+                    Rect::new(v * 0.9, v * 0.8, v * 0.9 + 0.05, v * 0.8 + 0.05),
+                    i,
+                )
             })
             .collect(),
     };
@@ -87,9 +90,8 @@ fn bench_disk_query(c: &mut Criterion) {
             BenchmarkId::new("point_query", buffer),
             &buffer,
             |b, &buffer| {
-                let mut disk =
-                    DiskRTree::create(MemStore::new(), &tree, buffer, LruPolicy::new())
-                        .expect("create");
+                let mut disk = DiskRTree::create(MemStore::new(), &tree, buffer, LruPolicy::new())
+                    .expect("create");
                 let mut rng = StdRng::seed_from_u64(3);
                 b.iter(|| {
                     let p = rtree_geom::Point::new(rng.gen(), rng.gen());

@@ -27,7 +27,15 @@ fn main() {
     ];
     let mut table = Table::new(
         "Ablation: replacement policy vs disk accesses (TIGER-like, HS cap 100, point queries)",
-        &["buffer", "model(LRU)", "LRU", "LRU-2", "CLOCK", "FIFO", "RANDOM"],
+        &[
+            "buffer",
+            "model(LRU)",
+            "LRU",
+            "LRU-2",
+            "CLOCK",
+            "FIFO",
+            "RANDOM",
+        ],
     );
     for b in [10usize, 50, 200, 400] {
         let mut cells = vec![b.to_string(), f(model.expected_disk_accesses(b))];

@@ -47,7 +47,14 @@ fn main() {
         let m_full = BufferModel::new(&d_full, &workload);
         let mut table = Table::new(
             title,
-            &["buffer", "quadratic", "linear", "rstar-split", "full R*", "full R*/quadratic"],
+            &[
+                "buffer",
+                "quadratic",
+                "linear",
+                "rstar-split",
+                "full R*",
+                "full R*/quadratic",
+            ],
         );
         table.row(vec![
             "(no buffer)".to_string(),

@@ -17,12 +17,17 @@ use rtree_core::TreeDescription;
 use std::path::Path;
 
 fn usage() -> ! {
-    eprintln!("usage: describe_tree <tiger|cfd|region:N|point:N> <capacity> <TAT|NX|HS|MORTON|STR>");
+    eprintln!(
+        "usage: describe_tree <tiger|cfd|region:N|point:N> <capacity> <TAT|NX|HS|MORTON|STR>"
+    );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     if args.len() != 3 {
         usage();
     }
@@ -30,7 +35,9 @@ fn main() {
         "tiger" => tiger(),
         "cfd" => cfd(),
         other => {
-            let Some((kind, n)) = other.split_once(':') else { usage() };
+            let Some((kind, n)) = other.split_once(':') else {
+                usage()
+            };
             let n: usize = n.parse().unwrap_or_else(|_| usage());
             match kind {
                 "region" => synthetic_region(n),

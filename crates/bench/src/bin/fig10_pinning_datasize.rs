@@ -22,14 +22,25 @@ fn main() {
         .iter()
         .map(|&n| {
             let tree = Loader::Hs.build(cap, &synthetic_point(n));
-            (n, BufferModel::new(&TreeDescription::from_tree(&tree), &workload))
+            (
+                n,
+                BufferModel::new(&TreeDescription::from_tree(&tree), &workload),
+            )
         })
         .collect();
 
     for &b in &buffers {
         let mut table = Table::new(
             format!("Fig 10: disk accesses vs data size, buffer = {b} (HS, cap 25, point queries)"),
-            &["points", "pin 0", "pin 1", "pin 2", "pin 3", "pinned pages(3)", "pin-3 gain"],
+            &[
+                "points",
+                "pin 0",
+                "pin 1",
+                "pin 2",
+                "pin 3",
+                "pinned pages(3)",
+                "pin-3 gain",
+            ],
         );
         for (n, model) in &models {
             let mut ed = Vec::new();
@@ -37,7 +48,9 @@ fn main() {
                 let v = if pin == 0 {
                     model.expected_disk_accesses(b)
                 } else {
-                    model.expected_disk_accesses_pinned(b, pin).unwrap_or(f64::NAN)
+                    model
+                        .expected_disk_accesses_pinned(b, pin)
+                        .unwrap_or(f64::NAN)
                 };
                 ed.push(v);
             }

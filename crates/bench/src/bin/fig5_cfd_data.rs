@@ -23,8 +23,14 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create results dir");
     std::fs::write(dir.join("fig5_cfd_sample.csv"), to_csv(&sample)).expect("write sample");
     std::fs::write(dir.join("fig5_cfd_full.csv"), to_csv(&full)).expect("write full");
-    println!("[csv] wrote results/fig5_cfd_sample.csv ({} points)", sample.len());
-    println!("[csv] wrote results/fig5_cfd_full.csv ({} points)", full.len());
+    println!(
+        "[csv] wrote results/fig5_cfd_sample.csv ({} points)",
+        sample.len()
+    );
+    println!(
+        "[csv] wrote results/fig5_cfd_full.csv ({} points)",
+        full.len()
+    );
 
     // Relative density (1.0 = uniform): near-wing boxes vs far corners.
     let mut table = Table::new(

@@ -12,9 +12,7 @@ use rtree_core::{BufferModel, TreeDescription, Workload};
 
 fn main() {
     let cap = 100;
-    let buffers = [
-        2usize, 5, 10, 25, 50, 75, 100, 150, 200, 250, 300, 400, 500,
-    ];
+    let buffers = [2usize, 5, 10, 25, 50, 75, 100, 150, 200, 250, 300, 400, 500];
     let rects = tiger();
 
     let trees: Vec<(Loader, TreeDescription)> = Loader::PAPER

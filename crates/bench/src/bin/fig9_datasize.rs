@@ -13,7 +13,14 @@ use rtree_core::{BufferModel, TreeDescription, Workload};
 fn main() {
     let cap = 100;
     let sizes = [
-        10_000usize, 25_000, 50_000, 100_000, 150_000, 200_000, 250_000, 300_000,
+        10_000usize,
+        25_000,
+        50_000,
+        100_000,
+        150_000,
+        200_000,
+        250_000,
+        300_000,
     ];
     let workload = Workload::uniform_point();
 
@@ -21,14 +28,7 @@ fn main() {
         "Fig 9: nodes visited (no buffer) and disk accesses (B=10, B=300) vs data size \
          (synthetic region, cap 100, point queries)",
         &[
-            "rects",
-            "nodes",
-            "visit NX",
-            "visit HS",
-            "B10 NX",
-            "B10 HS",
-            "B300 NX",
-            "B300 HS",
+            "rects", "nodes", "visit NX", "visit HS", "B10 NX", "B10 HS", "B300 NX", "B300 HS",
         ],
     );
 

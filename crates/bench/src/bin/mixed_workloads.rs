@@ -18,9 +18,7 @@ fn main() {
     let buffer = 100;
 
     let mut table = Table::new(
-        format!(
-            "Mixed workloads: point/1%-region blends, B = {buffer} (TIGER-like, HS cap {cap})"
-        ),
+        format!("Mixed workloads: point/1%-region blends, B = {buffer} (TIGER-like, HS cap {cap})"),
         &["% region", "visits/query", "sim", "model", "diff"],
     );
 
@@ -34,7 +32,9 @@ fn main() {
             ]),
         };
         let model = BufferModel::new_mixed(&desc, &mix);
-        let cfg = SimConfig::new(buffer).batches(batches, qpb).seed(seeds::SIM);
+        let cfg = SimConfig::new(buffer)
+            .batches(batches, qpb)
+            .seed(seeds::SIM);
         let sim = Simulation::new(cfg).run_mixed(&sim_tree, &mix);
         let predicted = model.expected_disk_accesses(buffer);
         let diff = (predicted - sim.disk_accesses_per_query) / sim.disk_accesses_per_query;

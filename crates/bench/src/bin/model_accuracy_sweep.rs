@@ -33,8 +33,8 @@ fn main() {
             let cfg = SimConfig::new(b).batches(batches, qpb).seed(seeds::SIM);
             let sim = Simulation::new(cfg).run(&sim_tree, &workload);
             let predicted = model.expected_disk_accesses(b);
-            let diff = (predicted - sim.disk_accesses_per_query)
-                / sim.disk_accesses_per_query.max(1e-9);
+            let diff =
+                (predicted - sim.disk_accesses_per_query) / sim.disk_accesses_per_query.max(1e-9);
             table.row(vec![
                 format!("{sigma}"),
                 b.to_string(),

@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_loaders",
     "ablation_splits",
     "update_quality",
+    "write_amplification",
     "model_accuracy_sweep",
     "mixed_workloads",
     "concurrent_scaling",
@@ -51,7 +52,16 @@ fn main() {
             Command::new(direct).args(&args).status()
         } else {
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "rtree-bench", "--bin", name, "--"])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "rtree-bench",
+                    "--bin",
+                    name,
+                    "--",
+                ])
                 .args(&args)
                 .status()
         }

@@ -20,7 +20,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1: model vs simulation, disk accesses per point query (TIGER-like, cap 33)",
-        &["tree", "nodes", "buffer", "simulation", "ci90", "model", "diff"],
+        &[
+            "tree",
+            "nodes",
+            "buffer",
+            "simulation",
+            "ci90",
+            "model",
+            "diff",
+        ],
     );
 
     for loader in Loader::PAPER {

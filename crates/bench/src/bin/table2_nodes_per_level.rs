@@ -10,7 +10,14 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: nodes per level (synthetic point data, node size 25, HS)",
-        &["points", "level 0 (root)", "level 1", "level 2", "level 3 (leaf)", "total"],
+        &[
+            "points",
+            "level 0 (root)",
+            "level 1",
+            "level 2",
+            "level 3 (leaf)",
+            "total",
+        ],
     );
 
     for &n in &sizes {

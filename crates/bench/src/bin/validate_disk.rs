@@ -29,7 +29,13 @@ fn main() {
     let mut table = Table::new(
         "End-to-end: model vs trace simulation vs physical page reads \
          (synthetic region 20k, HS cap 50, point queries)",
-        &["buffer", "model", "trace sim", "physical", "physical hit ratio"],
+        &[
+            "buffer",
+            "model",
+            "trace sim",
+            "physical",
+            "physical hit ratio",
+        ],
     );
 
     for b in [25usize, 100, 300] {

@@ -151,7 +151,10 @@ impl Table {
                 }
                 let pad = w - c.len();
                 // Right-align numeric-looking cells, left-align labels.
-                if c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.') {
+                if c.chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-' || ch == '.')
+                {
                     out.push_str(&" ".repeat(pad));
                     out.push_str(c);
                 } else {
@@ -237,7 +240,8 @@ mod tests {
         let rects = synthetic_region(600);
         for loader in Loader::ALL {
             let t = loader.build(10, &rects);
-            t.validate().unwrap_or_else(|e| panic!("{}: {e}", loader.name()));
+            t.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", loader.name()));
             assert_eq!(t.len(), 600);
         }
     }

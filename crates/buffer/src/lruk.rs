@@ -135,7 +135,7 @@ mod tests {
         p.on_insert(PageId(1)); // one reference
         p.on_insert(PageId(2));
         p.on_hit(PageId(1)); // now two references
-        // Page 2 has no 2nd reference -> infinitely old backward distance.
+                             // Page 2 has no 2nd reference -> infinitely old backward distance.
         assert_eq!(p.evict(), PageId(2));
         assert_eq!(p.evict(), PageId(1));
     }

@@ -77,9 +77,7 @@ impl Args {
     {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|e| err(format!("--{name} {v:?}: {e}"))),
+            Some(v) => v.parse().map_err(|e| err(format!("--{name} {v:?}: {e}"))),
         }
     }
 
@@ -141,7 +139,10 @@ mod tests {
         assert!(parse("build a b").is_err());
         assert!(parse("build a --cap").is_err());
         assert!(parse("build a --cap 5 --cap 6").is_err());
-        assert!(parse("model t.desc --buffers 1,x").unwrap().flag_list("buffers", &[]).is_err());
+        assert!(parse("model t.desc --buffers 1,x")
+            .unwrap()
+            .flag_list("buffers", &[])
+            .is_err());
     }
 
     #[test]

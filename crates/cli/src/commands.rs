@@ -5,7 +5,9 @@ use rtree_buffer::{
     BufferPool, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, RandomPolicy, ReplacementPolicy,
 };
 use rtree_core::{BufferModel, TreeDescription, Workload};
-use rtree_datagen::{centers, from_csv, to_csv, CfdLike, ClusteredPoints, SyntheticPoint, SyntheticRegion, TigerLike};
+use rtree_datagen::{
+    centers, from_csv, to_csv, CfdLike, ClusteredPoints, SyntheticPoint, SyntheticRegion, TigerLike,
+};
 use rtree_geom::Rect;
 use rtree_index::{BulkLoader, RTree, TupleAtATime};
 use rtree_sim::{flat_trace, QuerySampler};
@@ -19,6 +21,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "build" => build(args),
         "model" => model(args),
         "simulate" => simulate(args),
+        "update" => update(args),
         other => Err(err(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -149,7 +152,9 @@ fn model(args: &Args) -> Result<String, CliError> {
         let ed = if pin == 0 {
             Ok(model.expected_disk_accesses(b))
         } else {
-            model.expected_disk_accesses_pinned(b, pin).map_err(|e| e.to_string())
+            model
+                .expected_disk_accesses_pinned(b, pin)
+                .map_err(|e| e.to_string())
         };
         match ed {
             Ok(v) => writeln!(out, "{b:>10}  {v:>22.4}").expect("string write"),
@@ -157,8 +162,12 @@ fn model(args: &Args) -> Result<String, CliError> {
         }
     }
     if pin > 0 {
-        writeln!(out, "(top {pin} levels pinned: {} pages)", model.pinned_pages(pin))
-            .expect("string write");
+        writeln!(
+            out,
+            "(top {pin} levels pinned: {} pages)",
+            model.pinned_pages(pin)
+        )
+        .expect("string write");
     }
     Ok(out)
 }
@@ -249,12 +258,134 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn update(args: &Args) -> Result<String, CliError> {
+    use rtree_pager::{DiskRTree, MemStore};
+    use rtree_wal::{LogBackend, MemLog, Wal};
+
+    args.allow_flags(&["cap", "buffer", "policy", "deletes", "checkpoint", "seed"])?;
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 50usize)?;
+    if !(4..=rtree_pager::MAX_ENTRIES_PER_PAGE).contains(&cap) {
+        return Err(err(format!(
+            "--cap must be in 4..={}",
+            rtree_pager::MAX_ENTRIES_PER_PAGE
+        )));
+    }
+    let buffer: usize = args.flag_or("buffer", 100usize)?;
+    if buffer == 0 {
+        return Err(err("--buffer must be positive"));
+    }
+    let deletes: f64 = args.flag_or("deletes", 0.25f64)?;
+    if !(0.0..=1.0).contains(&deletes) {
+        return Err(err("--deletes must be a fraction in [0, 1]"));
+    }
+    let checkpoint: usize = args.flag_or("checkpoint", 1000usize)?;
+    let seed: u64 = args.flag_or("seed", 0xD15Cu64)?;
+    let policy = make_policy(args.flag("policy").unwrap_or("LRU"), seed)?;
+    let min = (cap * 2 / 5).max(2);
+
+    let log = MemLog::new();
+    let mut disk = DiskRTree::create_empty(MemStore::new(), cap, min, buffer, BoxedPolicy(policy))
+        .map_err(|e| err(format!("creating tree: {e}")))?;
+    disk.attach_wal(Wal::open(log.clone()).map_err(|e| err(format!("opening wal: {e}")))?);
+    let io = |e: std::io::Error| err(format!("write path: {e}"));
+
+    // Inserts, with periodic checkpoints (flush + log truncation). The log
+    // bytes appended between checkpoints are accumulated before each
+    // truncation to report total log traffic.
+    let mut wal_bytes = 0u64;
+    let mut ops = 0usize;
+    let mut tick = |disk: &mut DiskRTree<MemStore>, wal_bytes: &mut u64| -> Result<(), CliError> {
+        ops += 1;
+        if checkpoint > 0 && ops % checkpoint == 0 {
+            *wal_bytes += log.len();
+            disk.checkpoint().map_err(io)?;
+        }
+        Ok(())
+    };
+    for (id, r) in rects.iter().enumerate() {
+        disk.insert(*r, id as u64).map_err(io)?;
+        tick(&mut disk, &mut wal_bytes)?;
+    }
+    let insert_stats = disk.io_stats();
+    disk.reset_counters();
+
+    // Deletes: a deterministic pseudo-random fraction of the inserted ids.
+    let n = rects.len();
+    let n_delete = (n as f64 * deletes) as usize;
+    let mut deleted = 0usize;
+    let mut x = seed | 1;
+    for _ in 0..n_delete {
+        // xorshift64* is plenty for picking victims.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let id = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize;
+        if disk.delete(&rects[id], id as u64).map_err(io)? {
+            deleted += 1;
+        }
+        tick(&mut disk, &mut wal_bytes)?;
+    }
+    let delete_stats = disk.io_stats();
+    disk.flush().map_err(io)?;
+    wal_bytes += log.len();
+
+    let per = |count: u64, ops: usize| {
+        if ops == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.3}", count as f64 / ops as f64)
+        }
+    };
+    Ok(format!(
+        "write workload over {n} items (cap {cap}, buffer {buffer}, checkpoint every {checkpoint} ops):\n\
+         inserts: {n}   physical writes/op: {}   reads/op: {}\n\
+         deletes: {deleted} (of {n_delete} tried)   physical writes/op: {}   reads/op: {}\n\
+         final tree: {} items, {} nodes, height {}\n\
+         WAL traffic: {:.1} KiB total ({:.2} KiB/op)\n",
+        per(insert_stats.writes, n),
+        per(insert_stats.reads, n),
+        per(delete_stats.writes, n_delete),
+        per(delete_stats.reads, n_delete),
+        disk.meta().items,
+        disk.meta().nodes,
+        disk.meta().height,
+        wal_bytes as f64 / 1024.0,
+        wal_bytes as f64 / 1024.0 / (n + n_delete) as f64,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn update_reports_write_stats() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-upd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        run(&args(&format!(
+            "generate region:1500 --seed 9 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "update {} --cap 10 --buffer 20 --deletes 0.3 --checkpoint 400",
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("inserts: 1500"), "got: {out}");
+        assert!(out.contains("physical writes/op"), "got: {out}");
+        assert!(out.contains("WAL traffic"), "got: {out}");
+        assert!(run(&args(&format!("update {} --buffer 0", data.display()))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -312,7 +443,12 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("disk accesses/query"));
-        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with(['5', '2', '8'])).count(), 3);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(['5', '2', '8']))
+                .count(),
+            3
+        );
 
         let out = run(&args(&format!(
             "simulate {} --buffer 20 --queries 4000",
@@ -330,7 +466,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let data = dir.join("d.csv");
         let desc = dir.join("t.desc");
-        run(&args(&format!("generate point:3000 --out {}", data.display()))).unwrap();
+        run(&args(&format!(
+            "generate point:3000 --out {}",
+            data.display()
+        )))
+        .unwrap();
         run(&args(&format!(
             "build {} --cap 25 --out {}",
             data.display(),

@@ -40,5 +40,12 @@ USAGE:
                   [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
       Runs the paper's flat LRU simulation over the description.
 
+  rtrees update <DATA.csv> [--cap N] [--buffer B] [--policy LRU|LRU2|FIFO|CLOCK|RANDOM]
+                [--deletes F] [--checkpoint N] [--seed N]
+      Replays the data set as a write workload (inserts, then deletes a
+      fraction F) through the WAL-attached disk tree and reports physical
+      reads/writes per operation — the write-amplification counterpart of
+      the read-cost experiments.
+
 Common: --help prints this text.
 ";

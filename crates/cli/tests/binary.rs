@@ -26,7 +26,11 @@ fn pipeline_through_the_real_binary() {
         .arg(&data)
         .output()
         .expect("spawn rtrees generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = rtrees()
         .args(["build"])
@@ -35,7 +39,11 @@ fn pipeline_through_the_real_binary() {
         .arg(&desc)
         .output()
         .expect("spawn rtrees build");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = rtrees()
         .args(["model"])
@@ -45,7 +53,10 @@ fn pipeline_through_the_real_binary() {
         .expect("spawn rtrees model");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("disk accesses/query"), "unexpected output: {text}");
+    assert!(
+        text.contains("disk accesses/query"),
+        "unexpected output: {text}"
+    );
 
     let out = rtrees()
         .args(["simulate"])

@@ -95,11 +95,7 @@ impl BufferModel {
 
     /// Probabilities of all nodes at levels `skip..` (flattened).
     fn probs(&self, skip_levels: usize) -> impl Iterator<Item = f64> + '_ {
-        self.level_probs
-            .iter()
-            .skip(skip_levels)
-            .flatten()
-            .copied()
+        self.level_probs.iter().skip(skip_levels).flatten().copied()
     }
 
     /// Expected number of distinct nodes (levels `skip..`) accessed in `n`
@@ -178,9 +174,7 @@ impl BufferModel {
             None => 0.0,
             Some(n_star) => {
                 let n = n_star as f64;
-                self.probs(skip_levels)
-                    .map(|p| p * (1.0 - p).powf(n))
-                    .sum()
+                self.probs(skip_levels).map(|p| p * (1.0 - p).powf(n)).sum()
             }
         }
     }
@@ -381,7 +375,10 @@ mod tests {
         let m = toy();
         assert_eq!(
             m.expected_disk_accesses_pinned(1, 1),
-            Err(PinningError::BufferExhausted { pinned: 1, buffer: 1 })
+            Err(PinningError::BufferExhausted {
+                pinned: 1,
+                buffer: 1
+            })
         );
         assert_eq!(
             m.expected_disk_accesses_pinned(10, 3),
@@ -392,11 +389,7 @@ mod tests {
     #[test]
     fn max_pinnable_levels() {
         // Levels of 1, 3, 20 pages.
-        let m = BufferModel::from_probabilities(vec![
-            vec![1.0],
-            vec![0.5; 3],
-            vec![0.1; 20],
-        ]);
+        let m = BufferModel::from_probabilities(vec![vec![1.0], vec![0.5; 3], vec![0.1; 20]]);
         assert_eq!(m.max_pinnable_levels(1), 0); // pinning the root leaves no frame
         assert_eq!(m.max_pinnable_levels(2), 1);
         assert_eq!(m.max_pinnable_levels(4), 1); // 1+3 = 4 >= B
@@ -408,11 +401,7 @@ mod tests {
     #[test]
     fn best_pinning_picks_strict_improvements_only() {
         // Hot top levels, cold leaves: pinning both internal levels wins.
-        let m = BufferModel::from_probabilities(vec![
-            vec![1.0],
-            vec![0.9; 3],
-            vec![0.05; 40],
-        ]);
+        let m = BufferModel::from_probabilities(vec![vec![1.0], vec![0.9; 3], vec![0.05; 40]]);
         let (levels, ed) = m.best_pinning(10);
         assert!(levels >= 1, "hot levels should be pinned");
         assert!(ed <= m.expected_disk_accesses(10) + 1e-12);

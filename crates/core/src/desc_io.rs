@@ -22,7 +22,10 @@ fn bad(msg: impl Into<String>) -> io::Error {
 impl TreeDescription {
     /// Writes the description in the text format above.
     pub fn to_writer(&self, w: &mut impl Write) -> io::Result<()> {
-        writeln!(w, "# R-tree description: level x0 y0 x1 y1 (level 0 = root)")?;
+        writeln!(
+            w,
+            "# R-tree description: level x0 y0 x1 y1 (level 0 = root)"
+        )?;
         for (level, r) in self.iter() {
             writeln!(w, "{level} {} {} {} {}", r.lo.x, r.lo.y, r.hi.x, r.hi.y)?;
         }
@@ -63,7 +66,13 @@ impl TreeDescription {
             if parts.next().is_some() {
                 return Err(bad(format!("line {}: trailing fields", lineno + 1)));
             }
-            if !(x0 <= x1 && y0 <= y1 && x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite()) {
+            if !(x0 <= x1
+                && y0 <= y1
+                && x0.is_finite()
+                && y0.is_finite()
+                && x1.is_finite()
+                && y1.is_finite())
+            {
                 return Err(bad(format!("line {}: invalid rectangle", lineno + 1)));
             }
             if level >= levels.len() {
@@ -129,14 +138,14 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad_text in [
-            "0 0 0 1",               // missing field
-            "0 0 0 1 1 9",           // trailing field
-            "x 0 0 1 1",             // bad level
-            "0 a 0 1 1",             // bad coordinate
-            "0 0.5 0 0.2 1",         // inverted rect
-            "0 0 0 1 1\n2 0 0 1 1",  // skipped level
-            "",                      // empty
-            "0 0 0 1 1\n0 0 0 1 1",  // two roots
+            "0 0 0 1",              // missing field
+            "0 0 0 1 1 9",          // trailing field
+            "x 0 0 1 1",            // bad level
+            "0 a 0 1 1",            // bad coordinate
+            "0 0.5 0 0.2 1",        // inverted rect
+            "0 0 0 1 1\n2 0 0 1 1", // skipped level
+            "",                     // empty
+            "0 0 0 1 1\n0 0 0 1 1", // two roots
         ] {
             assert!(
                 TreeDescription::from_text(bad_text).is_err(),

@@ -101,7 +101,12 @@ impl BufferModel {
             None => self
                 .level_probabilities()
                 .iter()
-                .map(|level| level.iter().map(|&p| f64::from(u8::from(p > 0.0))).collect())
+                .map(|level| {
+                    level
+                        .iter()
+                        .map(|&p| f64::from(u8::from(p > 0.0)))
+                        .collect()
+                })
                 .collect(),
             Some(n_star) => {
                 let n = n_star as f64;
@@ -110,7 +115,13 @@ impl BufferModel {
                     .map(|level| {
                         level
                             .iter()
-                            .map(|&p| if p > 0.0 { 1.0 - (1.0 - p).powf(n) } else { 0.0 })
+                            .map(|&p| {
+                                if p > 0.0 {
+                                    1.0 - (1.0 - p).powf(n)
+                                } else {
+                                    0.0
+                                }
+                            })
                             .collect()
                     })
                     .collect()
@@ -144,10 +155,7 @@ mod tests {
         let m = BufferModel::new(&d, &Workload::uniform_point());
         let res = m.residency_probabilities(3);
         assert_eq!(res, vec![vec![1.0], vec![1.0, 1.0]]);
-        assert_eq!(
-            m.miss_probabilities(3),
-            vec![vec![0.0], vec![0.0, 0.0]]
-        );
+        assert_eq!(m.miss_probabilities(3), vec![vec![0.0], vec![0.0, 0.0]]);
     }
 
     #[test]
@@ -169,10 +177,7 @@ mod tests {
     fn estimate_prices_hot_and_cold_queries_differently() {
         let d = TreeDescription::from_levels(vec![
             vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
-            vec![
-                Rect::new(0.0, 0.0, 0.9, 1.0),
-                Rect::new(0.9, 0.0, 1.0, 1.0),
-            ],
+            vec![Rect::new(0.0, 0.0, 0.9, 1.0), Rect::new(0.9, 0.0, 1.0, 1.0)],
         ]);
         let est = QueryCostEstimator::new(&d, &Workload::uniform_point(), 2);
         let hot = est.estimate(&Rect::new(0.2, 0.2, 0.3, 0.3));

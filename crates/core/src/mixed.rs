@@ -42,7 +42,10 @@ impl MixedWorkload {
     /// Panics if `components` is empty, any weight is non-positive or
     /// non-finite, or the weights sum to zero.
     pub fn new(components: Vec<(f64, Workload)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(
             components.iter().all(|(w, _)| w.is_finite() && *w > 0.0) && total > 0.0,

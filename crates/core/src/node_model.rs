@@ -49,10 +49,7 @@ mod tests {
     fn desc() -> TreeDescription {
         TreeDescription::from_levels(vec![
             vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
-            vec![
-                Rect::new(0.0, 0.0, 0.5, 0.5),
-                Rect::new(0.5, 0.5, 1.0, 1.0),
-            ],
+            vec![Rect::new(0.0, 0.0, 0.5, 0.5), Rect::new(0.5, 0.5, 1.0, 1.0)],
         ])
     }
 

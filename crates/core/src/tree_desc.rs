@@ -107,10 +107,7 @@ mod tests {
     fn tiny_desc() -> TreeDescription {
         TreeDescription::from_levels(vec![
             vec![Rect::new(0.0, 0.0, 1.0, 1.0)],
-            vec![
-                Rect::new(0.0, 0.0, 0.5, 1.0),
-                Rect::new(0.5, 0.0, 1.0, 1.0),
-            ],
+            vec![Rect::new(0.0, 0.0, 0.5, 1.0), Rect::new(0.5, 0.0, 1.0, 1.0)],
         ])
     }
 

@@ -254,9 +254,7 @@ mod tests {
     #[test]
     fn data_driven_probability_matches_brute_force() {
         let centers: Vec<Point> = (0..500)
-            .map(|i| {
-                Point::new((i as f64 * 0.754877) % 1.0, (i as f64 * 0.569840) % 1.0)
-            })
+            .map(|i| Point::new((i as f64 * 0.754877) % 1.0, (i as f64 * 0.569840) % 1.0))
             .collect();
         let w = Workload::data_driven(0.08, 0.12, centers.clone());
         for r in [

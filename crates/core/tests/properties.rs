@@ -8,9 +8,8 @@ use rtree_geom::{Point, Rect};
 /// A random but well-formed tree description: a root covering everything,
 /// plus 1–3 lower levels of rectangles inside the unit square.
 fn arb_desc() -> impl Strategy<Value = TreeDescription> {
-    let rect = ((0.0f64..=0.9, 0.0f64..=0.9), (0.01f64..=0.4, 0.01f64..=0.4)).prop_map(
-        |((x, y), (w, h))| Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)),
-    );
+    let rect = ((0.0f64..=0.9, 0.0f64..=0.9), (0.01f64..=0.4, 0.01f64..=0.4))
+        .prop_map(|((x, y), (w, h))| Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)));
     prop::collection::vec(prop::collection::vec(rect, 1..24), 1..4).prop_map(|mut levels| {
         // Make it a plausible hierarchy: root = MBR of everything.
         let all: Vec<Rect> = levels.iter().flatten().copied().collect();
@@ -25,12 +24,14 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
     prop_oneof![
         Just(Workload::uniform_point()),
         (0.0f64..0.9, 0.0f64..0.9).prop_map(|(qx, qy)| Workload::uniform_region(qx, qy)),
-        (prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..40), 0.0f64..0.5).prop_map(
-            |(pts, q)| {
+        (
+            prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..40),
+            0.0f64..0.5
+        )
+            .prop_map(|(pts, q)| {
                 let centers: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
                 Workload::data_driven(q, q, centers)
-            }
-        ),
+            }),
     ]
 }
 

@@ -177,11 +177,7 @@ mod tests {
         // equal-area box in a far corner.
         let near = Rect::new(0.56, 0.50, 0.66, 0.60);
         let far = Rect::new(0.02, 0.02, 0.12, 0.12);
-        let count_in = |region: &Rect| {
-            pts.iter()
-                .filter(|r| region.contains_point(&r.lo))
-                .count()
-        };
+        let count_in = |region: &Rect| pts.iter().filter(|r| region.contains_point(&r.lo)).count();
         let hot = count_in(&near);
         let cold = count_in(&far);
         assert!(hot > 20 * cold.max(1), "near {hot} vs far {cold}");
@@ -191,10 +187,7 @@ mod tests {
     fn far_field_is_sparse_but_present() {
         let pts = CfdLike::new(30_000).generate(4);
         let corner = Rect::new(0.0, 0.0, 0.25, 0.25);
-        let n = pts
-            .iter()
-            .filter(|r| corner.contains_point(&r.lo))
-            .count();
+        let n = pts.iter().filter(|r| corner.contains_point(&r.lo)).count();
         assert!(n > 0, "far field missing");
         assert!((n as f64) < 0.05 * pts.len() as f64, "far field too dense");
     }

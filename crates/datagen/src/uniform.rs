@@ -67,9 +67,7 @@ impl SyntheticPoint {
     pub fn generate(&self, seed: u64) -> Vec<Rect> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..self.count)
-            .map(|_| {
-                Rect::point(Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
-            })
+            .map(|_| Rect::point(Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))))
             .collect()
     }
 }

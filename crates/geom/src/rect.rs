@@ -86,10 +86,7 @@ impl Rect {
     /// Center point.
     #[inline]
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.lo.x + self.hi.x) / 2.0,
-            (self.lo.y + self.hi.y) / 2.0,
-        )
+        Point::new((self.lo.x + self.hi.x) / 2.0, (self.lo.y + self.hi.y) / 2.0)
     }
 
     /// True if the closed rectangle contains `p` (boundary inclusive).
@@ -145,9 +142,7 @@ impl Rect {
     /// Panics if `rects` is empty.
     pub fn mbr_of(rects: &[Rect]) -> Rect {
         assert!(!rects.is_empty(), "MBR of empty set is undefined");
-        rects[1..]
-            .iter()
-            .fold(rects[0], |acc, r| acc.union(r))
+        rects[1..].iter().fold(rects[0], |acc, r| acc.union(r))
     }
 
     /// Enlargement in area needed to include `other`
@@ -261,7 +256,11 @@ mod tests {
 
     #[test]
     fn mbr_of_slice() {
-        let rects = [r(0.1, 0.1, 0.2, 0.2), r(0.5, 0.0, 0.6, 0.9), r(0.0, 0.4, 0.05, 0.5)];
+        let rects = [
+            r(0.1, 0.1, 0.2, 0.2),
+            r(0.5, 0.0, 0.6, 0.9),
+            r(0.0, 0.4, 0.05, 0.5),
+        ];
         let m = Rect::mbr_of(&rects);
         assert_eq!(m, r(0.0, 0.0, 0.6, 0.9));
     }

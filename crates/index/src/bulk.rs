@@ -159,11 +159,7 @@ impl BulkLoader {
 
     /// Loads rectangles, assigning item ids `0..rects.len()`.
     pub fn load(&self, rects: &[Rect]) -> RTree {
-        let entries: Vec<(Rect, u64)> = rects
-            .iter()
-            .copied()
-            .zip(0..rects.len() as u64)
-            .collect();
+        let entries: Vec<(Rect, u64)> = rects.iter().copied().zip(0..rects.len() as u64).collect();
         self.load_entries(entries)
     }
 
@@ -374,7 +370,12 @@ mod tests {
         // better-clustered leaves than NX on 2-D scattered data.
         let rects = squares(2000);
         let area = |t: &RTree| -> f64 {
-            t.level_mbrs().last().expect("leaf level exists").iter().map(Rect::area).sum()
+            t.level_mbrs()
+                .last()
+                .expect("leaf level exists")
+                .iter()
+                .map(Rect::area)
+                .sum()
         };
         let hs = area(&BulkLoader::hilbert(20).load(&rects));
         let nx = area(&BulkLoader::nearest_x(20).load(&rects));

@@ -355,13 +355,8 @@ mod tests {
                 Rect::new(x, y, x + 0.01, y + 0.01)
             })
             .collect();
-        let total_area = |t: &RTree| -> f64 {
-            t.level_mbrs()
-                .iter()
-                .flatten()
-                .map(Rect::area)
-                .sum()
-        };
+        let total_area =
+            |t: &RTree| -> f64 { t.level_mbrs().iter().flatten().map(Rect::area).sum() };
         let mut guttman = RTree::builder(16).build();
         let mut rstar = rstar_builder(16).build();
         for (i, r) in rects.iter().enumerate() {

@@ -175,7 +175,12 @@ mod tests {
     fn knn_matches_brute_force() {
         let rects = grid_points(13);
         let tree = BulkLoader::str_pack(10).load(&rects);
-        for (px, py, k) in [(0.21, 0.37, 5), (0.0, 0.0, 3), (0.99, 0.5, 10), (0.5, 0.5, 1)] {
+        for (px, py, k) in [
+            (0.21, 0.37, 5),
+            (0.0, 0.0, 3),
+            (0.99, 0.5, 10),
+            (0.5, 0.5, 1),
+        ] {
             let p = Point::new(px, py);
             let got: Vec<f64> = tree
                 .nearest_neighbors(&p, k)

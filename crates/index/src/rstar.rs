@@ -30,9 +30,7 @@ impl Distribution<'_> {
     }
 
     fn overlap(&self) -> f64 {
-        self.mbr1
-            .intersection(&self.mbr2)
-            .map_or(0.0, |i| i.area())
+        self.mbr1.intersection(&self.mbr2).map_or(0.0, |i| i.area())
     }
 
     fn area(&self) -> f64 {
@@ -80,16 +78,14 @@ fn for_each_distribution<'a>(
 impl SplitPolicy for RStarSplit {
     fn split(&self, rects: &[Rect], min: usize) -> (Vec<usize>, Vec<usize>) {
         let n = rects.len();
-        assert!(n >= 2 && 2 * min <= n, "cannot split {n} entries with min {min}");
+        assert!(
+            n >= 2 && 2 * min <= n,
+            "cannot split {n} entries with min {min}"
+        );
 
         // Four sort orders: by lower and upper value on each axis.
         let mut orders: [Vec<usize>; 4] = std::array::from_fn(|_| (0..n).collect());
-        let keys: [fn(&Rect) -> f64; 4] = [
-            |r| r.lo.x,
-            |r| r.hi.x,
-            |r| r.lo.y,
-            |r| r.hi.y,
-        ];
+        let keys: [fn(&Rect) -> f64; 4] = [|r| r.lo.x, |r| r.hi.x, |r| r.lo.y, |r| r.hi.y];
         for (order, key) in orders.iter_mut().zip(keys) {
             order.sort_by(|&a, &b| {
                 key(&rects[a])

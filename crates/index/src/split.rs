@@ -29,7 +29,10 @@ pub struct QuadraticSplit;
 impl SplitPolicy for QuadraticSplit {
     fn split(&self, rects: &[Rect], min: usize) -> (Vec<usize>, Vec<usize>) {
         let n = rects.len();
-        assert!(n >= 2 && 2 * min <= n, "cannot split {n} entries with min {min}");
+        assert!(
+            n >= 2 && 2 * min <= n,
+            "cannot split {n} entries with min {min}"
+        );
 
         // PickSeeds: maximize d = area(union) - area(a) - area(b).
         let (mut s1, mut s2) = (0usize, 1usize);
@@ -114,7 +117,10 @@ pub struct LinearSplit;
 impl SplitPolicy for LinearSplit {
     fn split(&self, rects: &[Rect], min: usize) -> (Vec<usize>, Vec<usize>) {
         let n = rects.len();
-        assert!(n >= 2 && 2 * min <= n, "cannot split {n} entries with min {min}");
+        assert!(
+            n >= 2 && 2 * min <= n,
+            "cannot split {n} entries with min {min}"
+        );
 
         // LinearPickSeeds: per dimension, the entry with the highest low side
         // and the one with the lowest high side; normalize the separation by

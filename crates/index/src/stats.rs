@@ -118,7 +118,11 @@ mod tests {
             .map(|i| {
                 let x = (i as f64 * 0.618_033_988) % 1.0;
                 let y = (i as f64 * 0.414_213_562) % 1.0;
-                Rect::centered(Point::new(x.clamp(0.01, 0.99), y.clamp(0.01, 0.99)), 0.01, 0.01)
+                Rect::centered(
+                    Point::new(x.clamp(0.01, 0.99), y.clamp(0.01, 0.99)),
+                    0.01,
+                    0.01,
+                )
             })
             .collect();
         BulkLoader::hilbert(cap).load(&rects)

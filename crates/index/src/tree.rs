@@ -287,7 +287,9 @@ impl RTree {
         }
         for r in n.rects() {
             if !r.is_valid() {
-                return Err(ValidationError::new(format!("node {id:?}: invalid rect {r}")));
+                return Err(ValidationError::new(format!(
+                    "node {id:?}: invalid rect {r}"
+                )));
             }
         }
         if n.is_leaf() {
@@ -389,7 +391,10 @@ mod tests {
         assert_eq!(ids, (0..30).collect::<Vec<u64>>());
         // Rects come back unchanged.
         let (r, id) = t.items().find(|(_, id)| *id == 7).expect("item 7");
-        assert_eq!(r, Rect::new(7.0 / 40.0, 7.0 / 40.0, 7.0 / 40.0 + 0.01, 7.0 / 40.0 + 0.01));
+        assert_eq!(
+            r,
+            Rect::new(7.0 / 40.0, 7.0 / 40.0, 7.0 / 40.0 + 0.01, 7.0 / 40.0 + 0.01)
+        );
         assert_eq!(id, 7);
     }
 

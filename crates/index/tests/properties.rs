@@ -7,7 +7,12 @@ use rtree_index::{BulkLoader, LinearSplit, RStarSplit, RTree, TupleAtATime};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     ((0.0f64..=1.0, 0.0f64..=1.0), (0.0f64..=0.2, 0.0f64..=0.2)).prop_map(|((x, y), (w, h))| {
-        Rect::new(x * 0.8, y * 0.8, (x * 0.8 + w).min(1.0), (y * 0.8 + h).min(1.0))
+        Rect::new(
+            x * 0.8,
+            y * 0.8,
+            (x * 0.8 + w).min(1.0),
+            (y * 0.8 + h).min(1.0),
+        )
     })
 }
 

@@ -85,7 +85,8 @@ fn stress(mut tree: RTree, seed: u64, ops: usize) {
         }
         assert_eq!(tree.len(), oracle.items.len(), "step {step}: len diverged");
         if step % 251 == 0 {
-            tree.validate().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            tree.validate()
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
         }
     }
     tree.validate().expect("final invariants");
@@ -103,7 +104,11 @@ fn stress_guttman_quadratic() {
 
 #[test]
 fn stress_guttman_linear() {
-    stress(RTree::builder(6).split_policy(LinearSplit).build(), 2, 2_500);
+    stress(
+        RTree::builder(6).split_policy(LinearSplit).build(),
+        2,
+        2_500,
+    );
 }
 
 #[test]

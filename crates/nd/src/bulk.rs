@@ -78,11 +78,8 @@ impl BulkLoaderN {
         }
         tree.len = rects.len();
 
-        let mut entries: Vec<(RectN<D>, u64)> = rects
-            .iter()
-            .copied()
-            .zip(0..rects.len() as u64)
-            .collect();
+        let mut entries: Vec<(RectN<D>, u64)> =
+            rects.iter().copied().zip(0..rects.len() as u64).collect();
 
         let mut level = 0u32;
         loop {
@@ -233,9 +230,8 @@ mod tests {
         // Curve locality: Hilbert leaves should pack at least as tightly as
         // Morton on scattered data (total MBR volume + margin).
         let rects = scattered::<3>(4_000);
-        let metric = |t: &RTreeN<3>| -> f64 {
-            t.level_mbrs().iter().flatten().map(RectN::margin).sum()
-        };
+        let metric =
+            |t: &RTreeN<3>| -> f64 { t.level_mbrs().iter().flatten().map(RectN::margin).sum() };
         let hs = metric(&BulkLoaderN::hilbert(16).load(&rects));
         let mo = metric(&BulkLoaderN::morton(16).load(&rects));
         assert!(hs <= mo * 1.02, "hilbert margin {hs} vs morton {mo}");
@@ -249,13 +245,8 @@ mod tests {
         for (i, r) in rects.iter().enumerate() {
             inserted.insert(*r, i as u64);
         }
-        let total = |t: &RTreeN<4>| -> f64 {
-            t.level_mbrs()
-                .iter()
-                .flatten()
-                .map(RectN::volume)
-                .sum()
-        };
+        let total =
+            |t: &RTreeN<4>| -> f64 { t.level_mbrs().iter().flatten().map(RectN::volume).sum() };
         assert!(total(&packed) < total(&inserted));
         assert!(packed.node_count() < inserted.node_count());
     }

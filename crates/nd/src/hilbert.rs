@@ -54,7 +54,10 @@ fn axes_to_transpose(x: &mut [u32], bits: u32) {
 /// on the order-`bits` curve in `D` dimensions. The result occupies
 /// `D * bits` bits, so `D * bits` must be at most 64.
 pub fn hilbert_index_nd<const D: usize>(cell: [u32; D], bits: u32) -> u64 {
-    assert!(bits >= 1 && (D as u32) * bits <= 64, "index must fit in u64");
+    assert!(
+        bits >= 1 && (D as u32) * bits <= 64,
+        "index must fit in u64"
+    );
     debug_assert!(cell.iter().all(|&c| c < (1u32 << bits)));
     let mut x = cell;
     axes_to_transpose(&mut x, bits);
@@ -140,10 +143,12 @@ mod tests {
         // Hilbert property: consecutive cells along the curve are grid
         // neighbors (Manhattan distance 1).
         for w in keyed.windows(2) {
-            let d: u32 = (0..D)
-                .map(|i| w[0].1[i].abs_diff(w[1].1[i]))
-                .sum();
-            assert_eq!(d, 1, "{D}-D order-{bits}: jump between {:?} and {:?}", w[0].1, w[1].1);
+            let d: u32 = (0..D).map(|i| w[0].1[i].abs_diff(w[1].1[i])).sum();
+            assert_eq!(
+                d, 1,
+                "{D}-D order-{bits}: jump between {:?} and {:?}",
+                w[0].1, w[1].1
+            );
         }
     }
 

@@ -78,9 +78,8 @@ impl<const D: usize> RectN<D> {
 
     /// True if the closed rectangles intersect.
     pub fn intersects(&self, other: &Self) -> bool {
-        (0..D).all(|i| {
-            self.lo.coord(i) <= other.hi.coord(i) && other.lo.coord(i) <= self.hi.coord(i)
-        })
+        (0..D)
+            .all(|i| self.lo.coord(i) <= other.hi.coord(i) && other.lo.coord(i) <= self.hi.coord(i))
     }
 
     /// True if `self` contains `p`.
@@ -90,9 +89,8 @@ impl<const D: usize> RectN<D> {
 
     /// True if `self` fully contains `other`.
     pub fn contains_rect(&self, other: &Self) -> bool {
-        (0..D).all(|i| {
-            self.lo.coord(i) <= other.lo.coord(i) && self.hi.coord(i) >= other.hi.coord(i)
-        })
+        (0..D)
+            .all(|i| self.lo.coord(i) <= other.lo.coord(i) && self.hi.coord(i) >= other.hi.coord(i))
     }
 
     /// Smallest rectangle enclosing both.
@@ -204,8 +202,14 @@ mod tests {
         let inside = PointN::new([0.31, 0.5, 0.5]);
         let outside = PointN::new([0.29, 0.5, 0.5]);
         let make = |c: PointN<3>| RectN::centered(c, q);
-        assert_eq!(expanded.contains_point(&inside), r.intersects(&make(inside)));
-        assert_eq!(expanded.contains_point(&outside), r.intersects(&make(outside)));
+        assert_eq!(
+            expanded.contains_point(&inside),
+            r.intersects(&make(inside))
+        );
+        assert_eq!(
+            expanded.contains_point(&outside),
+            r.intersects(&make(outside))
+        );
         assert!(expanded.contains_point(&inside));
         assert!(!expanded.contains_point(&outside));
     }

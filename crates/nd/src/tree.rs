@@ -128,8 +128,8 @@ impl<const D: usize> RTreeN<D> {
         self.len += 1;
 
         // Split and adjust upward.
-        let mut split_off = (self.nodes[current].len() > self.max_entries)
-            .then(|| self.split_node(current));
+        let mut split_off =
+            (self.nodes[current].len() > self.max_entries).then(|| self.split_node(current));
         while let Some((parent, slot)) = path.pop() {
             let child = self.nodes[parent].ptrs[slot] as usize;
             self.nodes[parent].rects[slot] = self.nodes[child].mbr();
@@ -201,7 +201,9 @@ impl<const D: usize> RTreeN<D> {
             let i = remaining.swap_remove(bk);
             let (d1, d2) = (m1.enlargement(&rects[i]), m2.enlargement(&rects[i]));
             let to_first = d1 < d2
-                || (d1 == d2 && (m1.volume() < m2.volume() || (m1.volume() == m2.volume() && g1.len() <= g2.len())));
+                || (d1 == d2
+                    && (m1.volume() < m2.volume()
+                        || (m1.volume() == m2.volume() && g1.len() <= g2.len())));
             if to_first {
                 m1 = m1.union(&rects[i]);
                 g1.push(i);

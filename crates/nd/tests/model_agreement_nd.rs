@@ -49,9 +49,13 @@ fn simulate<const D: usize>(
     let mut warm = 0usize;
     while !pool.is_full() && warm < 60_000 {
         let query = sample(&mut rng);
-        tree.search_with(&query, |id| {
-            pool.access(PageId(pages[id] as u64));
-        }, |_| {});
+        tree.search_with(
+            &query,
+            |id| {
+                pool.access(PageId(pages[id] as u64));
+            },
+            |_| {},
+        );
         warm += 1;
     }
     pool.reset_stats();
@@ -134,10 +138,7 @@ fn two_d_special_case_matches_main_crate() {
     let w2 = rtree_core::Workload::uniform_region(0.07, 0.13);
     let wn = WorkloadN::uniform_region([0.07, 0.13]);
     for r in &rects2d {
-        let rn = RectN::new(
-            PointN::new([r.lo.x, r.lo.y]),
-            PointN::new([r.hi.x, r.hi.y]),
-        );
+        let rn = RectN::new(PointN::new([r.lo.x, r.lo.y]), PointN::new([r.hi.x, r.hi.y]));
         let a = w2.access_probability(r);
         let b = wn.access_probability(&rn);
         assert!((a - b).abs() < 1e-12, "2-D mismatch: {a} vs {b}");

@@ -1,21 +1,51 @@
 //! The buffer manager: a [`BufferPool`] plus page frames over a
-//! [`PageStore`], counting physical reads.
+//! [`PageStore`], counting physical reads and writes.
+//!
+//! The manager supports two write disciplines:
+//!
+//! - **Write-through** ([`BufferManager::write`]): the page goes straight to
+//!   the store (and any resident frame is updated). No durability protocol.
+//! - **Write-back** ([`BufferManager::write_buffered`]): the page is updated
+//!   in its frame and marked dirty; it reaches the store only on eviction,
+//!   [`BufferManager::flush_all`] or [`BufferManager::checkpoint`]. When a
+//!   [`Wal`] is attached, every buffered write logs a full before/after page
+//!   image first, and a dirty page is never written back before the log is
+//!   synced — the write-ahead rule that makes crash recovery possible.
 
 use crate::{PageStore, PAGE_SIZE};
 use rtree_buffer::{AccessOutcome, BufferPool, PageId, PinError, ReplacementPolicy};
+use rtree_wal::Wal;
 use std::collections::HashMap;
 use std::io;
 
+/// Physical I/O counters, shared by every disk-access measurement in the
+/// workspace: one shape for reads and writes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Physical page reads from the store.
+    pub reads: u64,
+    /// Physical page writes to the store.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total physical page transfers.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
 /// A buffer manager: caches page contents according to the pool's
-/// replacement decisions and counts every physical read. One page frame per
-/// resident page; fetches return a borrowed frame.
+/// replacement decisions and counts every physical page transfer. One page
+/// frame per resident page; fetches return a borrowed frame.
 pub struct BufferManager<S: PageStore> {
     store: S,
     pool: BufferPool,
     frames: HashMap<PageId, Box<[u8]>>,
     /// Scratch frame for reads that bypass a fully pinned pool.
     scratch: Box<[u8]>,
-    physical_reads: u64,
+    stats: IoStats,
+    wal: Option<Wal>,
 }
 
 impl<S: PageStore> BufferManager<S> {
@@ -26,18 +56,40 @@ impl<S: PageStore> BufferManager<S> {
             pool: BufferPool::new(capacity, policy),
             frames: HashMap::with_capacity(capacity + 1),
             scratch: vec![0u8; PAGE_SIZE].into_boxed_slice(),
-            physical_reads: 0,
+            stats: IoStats::default(),
+            wal: None,
         }
+    }
+
+    /// Attaches a write-ahead log; from here on every buffered write is
+    /// logged with before/after images and eviction enforces the WAL rule.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Physical I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.stats
     }
 
     /// Number of physical page reads so far.
     pub fn physical_reads(&self) -> u64 {
-        self.physical_reads
+        self.stats.reads
     }
 
-    /// Resets the physical read counter (e.g. after warm-up).
+    /// Number of physical page writes so far.
+    pub fn physical_writes(&self) -> u64 {
+        self.stats.writes
+    }
+
+    /// Resets the I/O counters (e.g. after warm-up).
     pub fn reset_counters(&mut self) {
-        self.physical_reads = 0;
+        self.stats = IoStats::default();
         self.pool.reset_stats();
     }
 
@@ -51,22 +103,47 @@ impl<S: PageStore> BufferManager<S> {
         &mut self.store
     }
 
+    /// Tears the manager down, discarding frames (dirty pages are *not*
+    /// written back — this simulates a crash; use
+    /// [`BufferManager::flush_all`] first for an orderly shutdown).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Writes the evicted page back if dirty (log first), then drops its
+    /// frame.
+    fn retire_victim(&mut self, victim: PageId) -> io::Result<()> {
+        if self.pool.is_dirty(victim) {
+            // WAL rule: the log records covering this page must be durable
+            // before the page image may overwrite the store.
+            if let Some(wal) = &mut self.wal {
+                wal.sync()?;
+            }
+            let frame = self.frames.get(&victim).expect("dirty page has a frame");
+            self.store.write_page(victim, frame)?;
+            self.stats.writes += 1;
+            self.pool.clear_dirty(victim);
+        }
+        self.frames.remove(&victim);
+        Ok(())
+    }
+
     /// Fetches a page, going to the store only on a miss.
     pub fn fetch(&mut self, id: PageId) -> io::Result<&[u8]> {
         match self.pool.access(id) {
             AccessOutcome::Hit => {}
             AccessOutcome::Miss { evicted } => {
                 if let Some(victim) = evicted {
-                    self.frames.remove(&victim);
+                    self.retire_victim(victim)?;
                 }
                 let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
                 self.store.read_page(id, &mut frame)?;
-                self.physical_reads += 1;
+                self.stats.reads += 1;
                 self.frames.insert(id, frame);
             }
             AccessOutcome::MissBypass => {
                 self.store.read_page(id, &mut self.scratch)?;
-                self.physical_reads += 1;
+                self.stats.reads += 1;
                 return Ok(&self.scratch);
             }
         }
@@ -76,13 +153,17 @@ impl<S: PageStore> BufferManager<S> {
     /// Pins a page: loads it (counting the read) and keeps it resident.
     pub fn pin(&mut self, id: PageId) -> io::Result<()> {
         let was_resident = self.pool.contains(id);
-        self.pool
+        let evicted = self
+            .pool
             .pin(id)
             .map_err(|e: PinError| io::Error::new(io::ErrorKind::OutOfMemory, e.to_string()))?;
+        if let Some(victim) = evicted {
+            self.retire_victim(victim)?;
+        }
         if !was_resident {
             let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
             self.store.read_page(id, &mut frame)?;
-            self.physical_reads += 1;
+            self.stats.reads += 1;
             self.frames.insert(id, frame);
         }
         Ok(())
@@ -100,13 +181,95 @@ impl<S: PageStore> BufferManager<S> {
         Ok(&self.scratch)
     }
 
-    /// Writes a page through the cache to the store.
+    /// Writes a page through the cache to the store (no WAL, no dirty
+    /// tracking — bulk materialization and other non-transactional paths).
     pub fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert_eq!(data.len(), PAGE_SIZE);
         if let Some(frame) = self.frames.get_mut(&id) {
             frame.copy_from_slice(data);
         }
-        self.store.write_page(id, data)
+        self.store.write_page(id, data)?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Buffered (write-back) page write: updates the frame, marks it dirty,
+    /// and — with a WAL attached — logs the full before/after images first.
+    /// The store is *not* touched unless the pool is fully pinned (then the
+    /// write degrades to logged write-through via the scratch frame).
+    pub fn write_buffered(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE);
+        match self.pool.access(id) {
+            AccessOutcome::Hit => {}
+            AccessOutcome::Miss { evicted } => {
+                if let Some(victim) = evicted {
+                    self.retire_victim(victim)?;
+                }
+                // The before-image requires the current page contents.
+                let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
+                self.store.read_page(id, &mut frame)?;
+                self.stats.reads += 1;
+                self.frames.insert(id, frame);
+            }
+            AccessOutcome::MissBypass => {
+                self.store.read_page(id, &mut self.scratch)?;
+                self.stats.reads += 1;
+                if let Some(wal) = &mut self.wal {
+                    wal.log_page_image(id.0, &self.scratch, data)?;
+                    wal.sync()?;
+                }
+                self.store.write_page(id, data)?;
+                self.stats.writes += 1;
+                return Ok(());
+            }
+        }
+        let frame = self.frames.get_mut(&id).expect("resident page has a frame");
+        if let Some(wal) = &mut self.wal {
+            wal.log_page_image(id.0, frame, data)?;
+        }
+        frame.copy_from_slice(data);
+        self.pool.mark_dirty(id);
+        Ok(())
+    }
+
+    /// Allocates a fresh zeroed page in the store.
+    pub fn allocate(&mut self) -> io::Result<PageId> {
+        self.store.allocate()
+    }
+
+    /// Commits the current operation: appends a commit marker and syncs the
+    /// log. No-op without a WAL.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.log_commit()?;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty page back to the store (log first) and issues the
+    /// store's durability barrier.
+    pub fn flush_all(&mut self) -> io::Result<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.sync()?;
+        }
+        for id in self.pool.dirty_pages() {
+            let frame = self.frames.get(&id).expect("dirty page has a frame");
+            self.store.write_page(id, frame)?;
+            self.stats.writes += 1;
+            self.pool.clear_dirty(id);
+        }
+        self.store.flush()
+    }
+
+    /// Checkpoint: flush all dirty pages, then mark the log as redundant
+    /// (checkpoint record + truncation). Call only between operations.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.flush_all()?;
+        if let Some(wal) = &mut self.wal {
+            wal.log_checkpoint()?;
+            wal.truncate()?;
+        }
+        Ok(())
     }
 }
 
@@ -115,6 +278,7 @@ mod tests {
     use super::*;
     use crate::MemStore;
     use rtree_buffer::LruPolicy;
+    use rtree_wal::{LogBackend, MemLog, Wal, WalRecord};
 
     fn make(pages: usize, capacity: usize) -> BufferManager<MemStore> {
         let mut store = MemStore::new();
@@ -125,6 +289,12 @@ mod tests {
             store.write_page(id, &buf).unwrap();
         }
         BufferManager::new(store, capacity, LruPolicy::new())
+    }
+
+    fn page(fill: u8) -> Vec<u8> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0] = fill;
+        buf
     }
 
     #[test]
@@ -167,23 +337,27 @@ mod tests {
     }
 
     #[test]
-    fn write_through_updates_frame() {
+    fn write_through_updates_frame_and_counts() {
         let mut m = make(2, 2);
         m.fetch(PageId(0)).unwrap();
-        let mut buf = vec![0u8; PAGE_SIZE];
-        buf[0] = 0xEE;
-        m.write(PageId(0), &buf).unwrap();
+        m.write(PageId(0), &page(0xEE)).unwrap();
         assert_eq!(m.fetch(PageId(0)).unwrap()[0], 0xEE);
-        let before = m.physical_reads();
-        assert_eq!(before, 1, "write must not invalidate the frame");
+        assert_eq!(
+            m.io_stats(),
+            IoStats {
+                reads: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]
     fn reset_counters() {
         let mut m = make(2, 2);
         m.fetch(PageId(0)).unwrap();
+        m.write(PageId(1), &page(1)).unwrap();
         m.reset_counters();
-        assert_eq!(m.physical_reads(), 0);
+        assert_eq!(m.io_stats(), IoStats::default());
         assert_eq!(m.pool().stats().accesses, 0);
     }
 
@@ -191,5 +365,92 @@ mod tests {
     fn missing_page_errors() {
         let mut m = make(2, 2);
         assert!(m.fetch(PageId(77)).is_err());
+    }
+
+    #[test]
+    fn buffered_write_defers_store_write_until_eviction() {
+        let mut m = make(4, 2);
+        m.write_buffered(PageId(0), &page(0xAA)).unwrap();
+        assert_eq!(m.physical_writes(), 0, "write-back: store untouched");
+        assert_eq!(m.fetch(PageId(0)).unwrap()[0], 0xAA, "frame holds new data");
+        // Store still has the old image.
+        let mut raw = vec![0u8; PAGE_SIZE];
+        m.store_mut().read_page(PageId(0), &mut raw).unwrap();
+        assert_eq!(raw[0], 0);
+        // Evict page 0 by touching two other pages.
+        m.fetch(PageId(1)).unwrap();
+        m.fetch(PageId(2)).unwrap();
+        assert_eq!(m.physical_writes(), 1, "eviction wrote the dirty page");
+        m.store_mut().read_page(PageId(0), &mut raw).unwrap();
+        assert_eq!(raw[0], 0xAA);
+    }
+
+    #[test]
+    fn flush_all_writes_every_dirty_page_once() {
+        let mut m = make(4, 4);
+        m.write_buffered(PageId(0), &page(10)).unwrap();
+        m.write_buffered(PageId(2), &page(12)).unwrap();
+        m.write_buffered(PageId(2), &page(13)).unwrap();
+        m.flush_all().unwrap();
+        assert_eq!(m.physical_writes(), 2, "one write per dirty page");
+        assert_eq!(m.pool().dirty_count(), 0);
+        let mut raw = vec![0u8; PAGE_SIZE];
+        m.store_mut().read_page(PageId(2), &mut raw).unwrap();
+        assert_eq!(raw[0], 13, "last buffered content wins");
+        // A second flush is a no-op.
+        m.flush_all().unwrap();
+        assert_eq!(m.physical_writes(), 2);
+    }
+
+    #[test]
+    fn wal_logs_before_and_after_images() {
+        let log = MemLog::new();
+        let mut m = make(2, 2);
+        m.attach_wal(Wal::open(log.clone()).unwrap());
+        m.write_buffered(PageId(1), &page(0x55)).unwrap();
+        m.commit().unwrap();
+        let records = rtree_wal::scan(&log.read_all().unwrap()).records;
+        assert_eq!(records.len(), 2);
+        match &records[0] {
+            WalRecord::PageImage {
+                page_id,
+                before,
+                after,
+                ..
+            } => {
+                assert_eq!(*page_id, 1);
+                assert_eq!(before[0], 1, "before-image is the store content");
+                assert_eq!(after[0], 0x55);
+            }
+            other => panic!("expected page image, got {other:?}"),
+        }
+        assert!(matches!(records[1], WalRecord::Commit { .. }));
+    }
+
+    #[test]
+    fn checkpoint_flushes_and_truncates_log() {
+        let log = MemLog::new();
+        let mut m = make(2, 2);
+        m.attach_wal(Wal::open(log.clone()).unwrap());
+        m.write_buffered(PageId(0), &page(0x42)).unwrap();
+        m.commit().unwrap();
+        m.checkpoint().unwrap();
+        assert_eq!(log.read_all().unwrap().len(), 0, "log truncated");
+        let mut raw = vec![0u8; PAGE_SIZE];
+        m.store_mut().read_page(PageId(0), &mut raw).unwrap();
+        assert_eq!(raw[0], 0x42);
+        assert_eq!(m.pool().dirty_count(), 0);
+    }
+
+    #[test]
+    fn buffered_write_on_fully_pinned_pool_degrades_to_write_through() {
+        let mut m = make(4, 2);
+        m.pin(PageId(0)).unwrap();
+        m.pin(PageId(1)).unwrap();
+        m.write_buffered(PageId(2), &page(0x77)).unwrap();
+        assert_eq!(m.physical_writes(), 1, "bypass writes through");
+        let mut raw = vec![0u8; PAGE_SIZE];
+        m.store_mut().read_page(PageId(2), &mut raw).unwrap();
+        assert_eq!(raw[0], 0x77);
     }
 }

@@ -9,7 +9,7 @@
 //! CPU-heavy part of a query — run outside the lock.
 
 use crate::disk_tree::materialize;
-use crate::{NodePage, PageMeta, PageStore, PAGE_SIZE};
+use crate::{IoStats, NodePage, PageMeta, PageStore, PAGE_SIZE};
 use parking_lot::Mutex;
 use rtree_buffer::{AccessOutcome, BufferPool, PageId, ReplacementPolicy};
 use rtree_geom::Rect;
@@ -22,7 +22,7 @@ struct PoolState<S: PageStore> {
     store: S,
     pool: BufferPool,
     frames: HashMap<PageId, Arc<[u8]>>,
-    physical_reads: u64,
+    stats: IoStats,
 }
 
 impl<S: PageStore> PoolState<S> {
@@ -37,7 +37,7 @@ impl<S: PageStore> PoolState<S> {
                 }
                 let mut buf = vec![0u8; PAGE_SIZE];
                 self.store.read_page(id, &mut buf)?;
-                self.physical_reads += 1;
+                self.stats.reads += 1;
                 let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
                 self.frames.insert(id, Arc::clone(&frame));
                 Ok(frame)
@@ -45,7 +45,7 @@ impl<S: PageStore> PoolState<S> {
             AccessOutcome::MissBypass => {
                 let mut buf = vec![0u8; PAGE_SIZE];
                 self.store.read_page(id, &mut buf)?;
-                self.physical_reads += 1;
+                self.stats.reads += 1;
                 Ok(Arc::from(buf.into_boxed_slice()))
             }
         }
@@ -77,7 +77,7 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
                 store,
                 pool: BufferPool::new(buffer_capacity, policy),
                 frames: HashMap::with_capacity(buffer_capacity + 1),
-                physical_reads: 0,
+                stats: IoStats::default(),
             }),
             meta,
         })
@@ -97,7 +97,7 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
                 store,
                 pool: BufferPool::new(buffer_capacity, policy),
                 frames: HashMap::with_capacity(buffer_capacity + 1),
-                physical_reads: 0,
+                stats: IoStats::default(),
             }),
             meta,
         })
@@ -108,15 +108,22 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
         &self.meta
     }
 
-    /// Physical page reads so far (all threads).
-    pub fn physical_reads(&self) -> u64 {
-        self.state.lock().physical_reads
+    /// Physical I/O counters so far (all threads). The concurrent tree is
+    /// read-only, so `writes` stays 0 — the shape matches
+    /// [`crate::BufferManager::io_stats`] so benches report one thing.
+    pub fn io_stats(&self) -> IoStats {
+        self.state.lock().stats
     }
 
-    /// Resets the read counter and pool statistics.
+    /// Physical page reads so far (all threads).
+    pub fn physical_reads(&self) -> u64 {
+        self.state.lock().stats.reads
+    }
+
+    /// Resets the I/O counters and pool statistics.
     pub fn reset_counters(&self) {
         let mut s = self.state.lock();
-        s.physical_reads = 0;
+        s.stats = IoStats::default();
         s.pool.reset_stats();
     }
 
@@ -132,13 +139,17 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
         for page in 1..end {
             let id = PageId(page);
             let was_resident = s.pool.contains(id);
-            s.pool
+            let evicted = s
+                .pool
                 .pin(id)
                 .map_err(|e| io::Error::new(io::ErrorKind::OutOfMemory, e.to_string()))?;
+            if let Some(victim) = evicted {
+                s.frames.remove(&victim);
+            }
             if !was_resident {
                 let mut buf = vec![0u8; PAGE_SIZE];
                 s.store.read_page(id, &mut buf)?;
-                s.physical_reads += 1;
+                s.stats.reads += 1;
                 s.frames.insert(id, Arc::from(buf.into_boxed_slice()));
             }
         }

@@ -41,8 +41,8 @@ use std::io;
 /// assert_eq!(hits.len(), hits2.len());
 /// ```
 pub struct DiskRTree<S: PageStore> {
-    mgr: BufferManager<S>,
-    meta: PageMeta,
+    pub(crate) mgr: BufferManager<S>,
+    pub(crate) meta: PageMeta,
 }
 
 impl<S: PageStore> DiskRTree<S> {
@@ -85,8 +85,47 @@ impl<S: PageStore> DiskRTree<S> {
         &self.meta
     }
 
+    /// Attaches a write-ahead log to the underlying buffer manager; from
+    /// here on [`DiskRTree::insert`] and [`DiskRTree::delete`] are logged
+    /// and recoverable via [`crate::recover`].
+    pub fn attach_wal(&mut self, wal: rtree_wal::Wal) {
+        self.mgr.attach_wal(wal);
+    }
+
+    /// Writes all dirty pages back and issues the store's durability
+    /// barrier.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.mgr.flush_all()
+    }
+
+    /// Flushes everything and truncates the attached log (if any). Call
+    /// only between operations.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.mgr.checkpoint()
+    }
+
+    /// Physical I/O counters so far.
+    pub fn io_stats(&self) -> crate::IoStats {
+        self.mgr.io_stats()
+    }
+
+    /// Tears the tree down and returns the bare store, discarding buffered
+    /// (dirty) state — the crash path for recovery tests. Call
+    /// [`DiskRTree::flush`] first for an orderly shutdown.
+    pub fn into_store(self) -> S {
+        self.mgr.into_store()
+    }
+
     /// Number of node pages per level, root level first.
+    ///
+    /// # Panics
+    /// Panics after a mutation: inserts and deletes abandon the bulk-load
+    /// level-order layout, so the level table is cleared.
     pub fn pages_per_level(&self) -> Vec<u64> {
+        assert!(
+            !self.meta.level_starts.is_empty(),
+            "level table is stale: the tree has been mutated since bulk load"
+        );
         let mut out = Vec::with_capacity(self.meta.level_starts.len());
         for (i, &start) in self.meta.level_starts.iter().enumerate() {
             let end = self
@@ -101,7 +140,15 @@ impl<S: PageStore> DiskRTree<S> {
     }
 
     /// Pins the top `p` levels into the buffer (reads them once).
+    ///
+    /// # Panics
+    /// Panics if `p` exceeds the height, or after a mutation (the
+    /// level-order layout no longer holds).
     pub fn pin_top_levels(&mut self, p: usize) -> io::Result<()> {
+        assert!(
+            !self.meta.level_starts.is_empty(),
+            "level table is stale: the tree has been mutated since bulk load"
+        );
         assert!(p <= self.meta.level_starts.len(), "not that many levels");
         let end = if p == self.meta.level_starts.len() {
             self.meta.nodes + 1
@@ -117,6 +164,11 @@ impl<S: PageStore> DiskRTree<S> {
     /// Physical page reads so far.
     pub fn physical_reads(&self) -> u64 {
         self.mgr.physical_reads()
+    }
+
+    /// Physical page writes so far.
+    pub fn physical_writes(&self) -> u64 {
+        self.mgr.physical_writes()
     }
 
     /// Resets read counters (e.g. after warm-up).
@@ -190,7 +242,6 @@ impl<S: PageStore> BufferManager<S> {
     }
 }
 
-
 /// Serializes `tree` into `store` (meta page 0, node pages in level order)
 /// and returns the metadata. Shared by [`DiskRTree::create`] and
 /// [`crate::ConcurrentDiskRTree::create`].
@@ -228,8 +279,10 @@ pub(crate) fn materialize<S: PageStore>(store: &mut S, tree: &RTree) -> io::Resu
         root: 1,
         height,
         max_entries: tree.max_entries() as u32,
+        min_entries: tree.min_entries() as u32,
         items: tree.len() as u64,
         nodes: ids.len() as u64,
+        free_head: 0,
         level_starts,
     };
 
@@ -307,7 +360,11 @@ mod tests {
         let (mut disk, tree, _) = disk_tree(600, 10, 1000);
         let q = Rect::new(0.2, 0.2, 0.5, 0.5);
         let (_, reads) = disk.query_counting(&q).unwrap();
-        assert_eq!(reads, tree.count_accesses(&q) as u64, "cold reads = nodes touched");
+        assert_eq!(
+            reads,
+            tree.count_accesses(&q) as u64,
+            "cold reads = nodes touched"
+        );
         // Re-running the same query is free: everything is cached.
         let (_, reads2) = disk.query_counting(&q).unwrap();
         assert_eq!(reads2, 0);

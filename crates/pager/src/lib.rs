@@ -12,16 +12,29 @@
 //! Pages are 4 KiB with an explicit little-endian layout (40-byte entries:
 //! a rectangle and a pointer, exactly Guttman's node entry). A 4 KiB page
 //! holds up to 102 entries, comfortably above the paper's largest node
-//! capacity of 100.
+//! capacity of 100. Every page carries a CRC-32; decoding validates it and
+//! returns a typed [`PageError`] on corruption.
+//!
+//! The substrate is also *writable*: [`DiskRTree::insert`] and
+//! [`DiskRTree::delete`] run Guttman's insert and condense-tree through the
+//! buffer manager's write-back path, with an attached [`rtree_wal::Wal`]
+//! logging full page images so [`recover`] can replay a crashed tree back to
+//! its last committed state. [`FaultStore`] injects torn writes, short
+//! appends and read faults to exercise exactly that path.
 
 mod bufmgr;
 mod concurrent;
 mod disk_tree;
+mod fault;
+mod mutate;
 mod page;
+mod recovery;
 mod store;
 
-pub use bufmgr::BufferManager;
+pub use bufmgr::{BufferManager, IoStats};
 pub use concurrent::ConcurrentDiskRTree;
 pub use disk_tree::DiskRTree;
-pub use page::{NodePage, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+pub use fault::FaultStore;
+pub use page::{NodePage, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+pub use recovery::{recover, RecoveryReport};
 pub use store::{FileStore, MemStore, PageStore};

@@ -1,50 +1,152 @@
 //! On-disk page layout.
 //!
-//! All integers are little-endian.
+//! All integers are little-endian. Both page kinds carry a CRC-32 at byte
+//! offset 8, computed over the whole page with the checksum field zeroed, so
+//! torn writes and bit rot surface as [`PageError::ChecksumMismatch`] instead
+//! of silently wrong query answers.
 //!
-//! **Meta page** (page 0):
+//! **Meta page** (page 0), format version 2:
 //! ```text
 //! offset  size  field
 //! 0       4     magic "RTDB"
-//! 4       4     format version (1)
-//! 8       8     root page id
-//! 16      4     height (number of levels)
-//! 20      4     node capacity (max entries)
-//! 24      8     item count
-//! 32      8     node count
-//! 40      4     level count L (= height)
-//! 44      8*L   first page id of each level, root level first
+//! 4       4     format version (2)
+//! 8       4     crc32 (whole page, this field zeroed)
+//! 12      4     min entries (condense-tree threshold)
+//! 16      8     root page id
+//! 24      4     height (number of levels)
+//! 28      4     node capacity (max entries)
+//! 32      8     item count
+//! 40      8     node count
+//! 48      8     free-list head page id (0 = empty list)
+//! 56      4     level count L (0 = level table stale after updates)
+//! 60      8*L   first page id of each level, root level first
 //! ```
 //!
-//! **Node page**:
+//! **Node page**, 16-byte header:
 //! ```text
 //! 0       2     magic 0x5254 ("RT")
 //! 2       2     node level (0 = leaf)
 //! 4       2     entry count
 //! 6       2     reserved (0)
-//! 8       40*k  entries: lo.x f64, lo.y f64, hi.x f64, hi.y f64, ptr u64
+//! 8       4     crc32 (whole page, this field zeroed)
+//! 12      4     reserved (0)
+//! 16      40*k  entries: lo.x f64, lo.y f64, hi.x f64, hi.y f64, ptr u64
 //! ```
 //! At leaf level `ptr` is the item id; at internal levels it is the child
 //! *page* id.
+//!
+//! The level table in the meta page describes the contiguous level-order
+//! layout produced by bulk materialization. Once the tree has been mutated
+//! in place the layout is no longer contiguous, so updates store `L = 0`
+//! ("stale") and layout-dependent operations (`pin_top_levels`,
+//! `pages_per_level`) refuse to run.
 
 use rtree_geom::Rect;
+use rtree_wal::crc32;
+use std::fmt;
 use std::io;
 
 /// Page size in bytes (one R-tree node per page, as the paper assumes).
 pub const PAGE_SIZE: usize = 4096;
 
-const NODE_HEADER: usize = 8;
+const NODE_HEADER: usize = 16;
 const ENTRY_SIZE: usize = 40;
+const CRC_OFFSET: usize = 8;
 
-/// Maximum entries a node page can hold: `(4096 − 8) / 40`.
+/// Maximum entries a node page can hold: `(4096 − 16) / 40`.
 pub const MAX_ENTRIES_PER_PAGE: usize = (PAGE_SIZE - NODE_HEADER) / ENTRY_SIZE;
 
 const META_MAGIC: [u8; 4] = *b"RTDB";
 const NODE_MAGIC: u16 = 0x5254;
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 
-fn bad_data(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+/// Typed page-corruption error: every way a page image can fail validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageError {
+    /// The buffer is not exactly one page long.
+    WrongLength {
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// The magic bytes identify neither page kind.
+    BadMagic,
+    /// The format version is not the one this build writes.
+    UnsupportedVersion(u32),
+    /// The stored CRC-32 does not match the page contents.
+    ChecksumMismatch {
+        /// Checksum stored in the page header.
+        stored: u32,
+        /// Checksum computed over the page contents.
+        computed: u32,
+    },
+    /// The entry count exceeds what a page can physically hold.
+    EntryOverflow(usize),
+    /// An entry rectangle fails validation (inverted or non-finite).
+    CorruptRect,
+    /// Meta-page fields contradict each other.
+    InconsistentMeta(&'static str),
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::WrongLength { got } => {
+                write!(f, "page buffer is {got} bytes, expected {PAGE_SIZE}")
+            }
+            PageError::BadMagic => write!(f, "bad page magic"),
+            PageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            PageError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "page checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            PageError::EntryOverflow(n) => {
+                write!(
+                    f,
+                    "entry count {n} exceeds page capacity {MAX_ENTRIES_PER_PAGE}"
+                )
+            }
+            PageError::CorruptRect => write!(f, "corrupt entry rectangle"),
+            PageError::InconsistentMeta(what) => write!(f, "inconsistent meta page: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+impl From<PageError> for io::Error {
+    fn from(e: PageError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// CRC over a whole page with the 4-byte checksum field treated as zero.
+fn page_checksum(buf: &[u8]) -> u32 {
+    let mut h = crc32::Hasher::new();
+    h.update(&buf[..CRC_OFFSET]);
+    h.update(&[0u8; 4]);
+    h.update(&buf[CRC_OFFSET + 4..]);
+    h.finalize()
+}
+
+fn seal(buf: &mut [u8]) {
+    let crc = page_checksum(buf);
+    buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn verify_checksum(buf: &[u8]) -> Result<(), PageError> {
+    let stored = u32::from_le_bytes(buf[CRC_OFFSET..CRC_OFFSET + 4].try_into().expect("4 bytes"));
+    let computed = page_checksum(buf);
+    if stored != computed {
+        return Err(PageError::ChecksumMismatch { stored, computed });
+    }
+    Ok(())
+}
+
+fn check_len(buf: &[u8]) -> Result<(), PageError> {
+    if buf.len() != PAGE_SIZE {
+        return Err(PageError::WrongLength { got: buf.len() });
+    }
+    Ok(())
 }
 
 /// Decoded meta page.
@@ -56,58 +158,71 @@ pub struct PageMeta {
     pub height: u32,
     /// Node capacity the tree was built with.
     pub max_entries: u32,
+    /// Minimum entries per node (condense-tree threshold).
+    pub min_entries: u32,
     /// Number of items.
     pub items: u64,
     /// Number of node pages.
     pub nodes: u64,
-    /// First page id of each level, root level first.
+    /// Head of the free-page list (0 = empty; page 0 is always the meta
+    /// page, so 0 is never a valid free page).
+    pub free_head: u64,
+    /// First page id of each level, root level first. Empty once the
+    /// level-order layout has been invalidated by in-place updates.
     pub level_starts: Vec<u64>,
 }
 
 impl PageMeta {
-    /// Encodes into a page buffer.
+    /// Encodes into a page buffer, sealing it with a checksum.
     pub fn encode(&self, buf: &mut [u8]) {
         assert_eq!(buf.len(), PAGE_SIZE);
         buf.fill(0);
         buf[0..4].copy_from_slice(&META_MAGIC);
         buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-        buf[8..16].copy_from_slice(&self.root.to_le_bytes());
-        buf[16..20].copy_from_slice(&self.height.to_le_bytes());
-        buf[20..24].copy_from_slice(&self.max_entries.to_le_bytes());
-        buf[24..32].copy_from_slice(&self.items.to_le_bytes());
-        buf[32..40].copy_from_slice(&self.nodes.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.min_entries.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.root.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.height.to_le_bytes());
+        buf[28..32].copy_from_slice(&self.max_entries.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.items.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.nodes.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.free_head.to_le_bytes());
         let l = self.level_starts.len() as u32;
-        buf[40..44].copy_from_slice(&l.to_le_bytes());
-        let mut off = 44;
+        buf[56..60].copy_from_slice(&l.to_le_bytes());
+        let mut off = 60;
         for s in &self.level_starts {
             buf[off..off + 8].copy_from_slice(&s.to_le_bytes());
             off += 8;
         }
+        seal(buf);
     }
 
-    /// Decodes from a page buffer.
-    pub fn decode(buf: &[u8]) -> io::Result<Self> {
-        if buf.len() != PAGE_SIZE {
-            return Err(bad_data("short meta page"));
-        }
+    /// Decodes from a page buffer, validating magic, version and checksum.
+    pub fn decode(buf: &[u8]) -> Result<Self, PageError> {
+        check_len(buf)?;
         if buf[0..4] != META_MAGIC {
-            return Err(bad_data("bad meta magic"));
+            return Err(PageError::BadMagic);
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
         if version != FORMAT_VERSION {
-            return Err(bad_data(format!("unsupported format version {version}")));
+            return Err(PageError::UnsupportedVersion(version));
         }
-        let root = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
-        let height = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes"));
-        let max_entries = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes"));
-        let items = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
-        let nodes = u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes"));
-        let l = u32::from_le_bytes(buf[40..44].try_into().expect("4 bytes")) as usize;
-        if l != height as usize || 44 + 8 * l > PAGE_SIZE {
-            return Err(bad_data("inconsistent level table"));
+        verify_checksum(buf)?;
+        let min_entries = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+        let root = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let height = u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes"));
+        let max_entries = u32::from_le_bytes(buf[28..32].try_into().expect("4 bytes"));
+        let items = u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes"));
+        let nodes = u64::from_le_bytes(buf[40..48].try_into().expect("8 bytes"));
+        let free_head = u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes"));
+        let l = u32::from_le_bytes(buf[56..60].try_into().expect("4 bytes")) as usize;
+        if l != 0 && l != height as usize {
+            return Err(PageError::InconsistentMeta("level table length != height"));
+        }
+        if 60 + 8 * l > PAGE_SIZE {
+            return Err(PageError::InconsistentMeta("level table overflows page"));
         }
         let mut level_starts = Vec::with_capacity(l);
-        let mut off = 44;
+        let mut off = 60;
         for _ in 0..l {
             level_starts.push(u64::from_le_bytes(
                 buf[off..off + 8].try_into().expect("8 bytes"),
@@ -118,8 +233,10 @@ impl PageMeta {
             root,
             height,
             max_entries,
+            min_entries,
             items,
             nodes,
+            free_head,
             level_starts,
         })
     }
@@ -135,7 +252,7 @@ pub struct NodePage {
 }
 
 impl NodePage {
-    /// Encodes into a page buffer.
+    /// Encodes into a page buffer, sealing it with a checksum.
     ///
     /// # Panics
     /// Panics if there are more than [`MAX_ENTRIES_PER_PAGE`] entries.
@@ -159,20 +276,21 @@ impl NodePage {
             buf[off + 32..off + 40].copy_from_slice(&p.to_le_bytes());
             off += ENTRY_SIZE;
         }
+        seal(buf);
     }
 
-    /// Decodes from a page buffer.
-    pub fn decode(buf: &[u8]) -> io::Result<Self> {
-        if buf.len() != PAGE_SIZE {
-            return Err(bad_data("short node page"));
-        }
+    /// Decodes from a page buffer, validating magic, checksum, entry count
+    /// and rectangle sanity.
+    pub fn decode(buf: &[u8]) -> Result<Self, PageError> {
+        check_len(buf)?;
         if u16::from_le_bytes(buf[0..2].try_into().expect("2 bytes")) != NODE_MAGIC {
-            return Err(bad_data("bad node magic"));
+            return Err(PageError::BadMagic);
         }
+        verify_checksum(buf)?;
         let level = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes"));
         let count = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
         if count > MAX_ENTRIES_PER_PAGE {
-            return Err(bad_data(format!("entry count {count} exceeds capacity")));
+            return Err(PageError::EntryOverflow(count));
         }
         let mut entries = Vec::with_capacity(count);
         let mut off = NODE_HEADER;
@@ -188,7 +306,7 @@ impl NodePage {
                 hi: rtree_geom::Point::new(hi_x, hi_y),
             };
             if !rect.is_valid() {
-                return Err(bad_data("corrupt rectangle"));
+                return Err(PageError::CorruptRect);
             }
             entries.push((rect, ptr));
             off += ENTRY_SIZE;
@@ -202,6 +320,19 @@ mod tests {
     use super::*;
     use rtree_geom::Point;
 
+    fn sample_meta() -> PageMeta {
+        PageMeta {
+            root: 1,
+            height: 3,
+            max_entries: 100,
+            min_entries: 40,
+            items: 53_145,
+            nodes: 539,
+            free_head: 0,
+            level_starts: vec![1, 2, 8],
+        }
+    }
+
     #[test]
     fn page_capacity_exceeds_papers_largest_node() {
         assert_eq!(MAX_ENTRIES_PER_PAGE, 102); // >= the paper's largest cap (100)
@@ -209,17 +340,25 @@ mod tests {
 
     #[test]
     fn meta_round_trip() {
-        let meta = PageMeta {
-            root: 1,
-            height: 3,
-            max_entries: 100,
-            items: 53_145,
-            nodes: 539,
-            level_starts: vec![1, 2, 8],
-        };
+        let meta = sample_meta();
         let mut buf = vec![0u8; PAGE_SIZE];
         meta.encode(&mut buf);
         assert_eq!(PageMeta::decode(&buf).unwrap(), meta);
+    }
+
+    #[test]
+    fn meta_round_trip_with_free_list_and_stale_levels() {
+        let meta = PageMeta {
+            free_head: 77,
+            level_starts: vec![],
+            ..sample_meta()
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        let back = PageMeta::decode(&buf).unwrap();
+        assert_eq!(back.free_head, 77);
+        assert!(back.level_starts.is_empty());
+        assert_eq!(back.height, 3, "height survives a stale level table");
     }
 
     #[test]
@@ -257,6 +396,35 @@ mod tests {
     }
 
     #[test]
+    fn decode_rejects_flipped_bit_via_checksum() {
+        let node = NodePage {
+            level: 1,
+            entries: vec![(Rect::new(0.1, 0.1, 0.9, 0.9), 5)],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        // Flip one bit in the middle of an entry's payload — still a valid
+        // rectangle, so only the checksum can catch it.
+        buf[NODE_HEADER + 35] ^= 0x01;
+        match NodePage::decode(&buf) {
+            Err(PageError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meta_checksum_catches_field_tampering() {
+        let meta = sample_meta();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        buf[16] ^= 0xFF; // root page id
+        match PageMeta::decode(&buf) {
+            Err(PageError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn decode_rejects_corrupt_rect() {
         let node = NodePage {
             level: 0,
@@ -264,12 +432,38 @@ mod tests {
         };
         let mut buf = vec![0u8; PAGE_SIZE];
         node.encode(&mut buf);
-        // Swap lo.x / hi.x bytes to invert the rectangle.
-        let lo: [u8; 8] = buf[8..16].try_into().unwrap();
-        let hi: [u8; 8] = buf[24..32].try_into().unwrap();
-        buf[8..16].copy_from_slice(&hi);
-        buf[24..32].copy_from_slice(&lo);
-        assert!(NodePage::decode(&buf).is_err());
+        // Swap lo.x / hi.x to invert the rectangle, then re-seal so the
+        // checksum passes and the rect validator is what must fire.
+        let lo: [u8; 8] = buf[NODE_HEADER..NODE_HEADER + 8].try_into().unwrap();
+        let hi: [u8; 8] = buf[NODE_HEADER + 16..NODE_HEADER + 24].try_into().unwrap();
+        buf[NODE_HEADER..NODE_HEADER + 8].copy_from_slice(&hi);
+        buf[NODE_HEADER + 16..NODE_HEADER + 24].copy_from_slice(&lo);
+        seal(&mut buf);
+        assert_eq!(NodePage::decode(&buf), Err(PageError::CorruptRect));
+    }
+
+    #[test]
+    fn wrong_length_is_typed() {
+        assert_eq!(
+            NodePage::decode(&[0u8; 100]),
+            Err(PageError::WrongLength { got: 100 })
+        );
+        assert_eq!(
+            PageMeta::decode(&[0u8; 5000]),
+            Err(PageError::WrongLength { got: 5000 })
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let meta = sample_meta();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        buf[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            PageMeta::decode(&buf),
+            Err(PageError::UnsupportedVersion(9))
+        );
     }
 
     #[test]

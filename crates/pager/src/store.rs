@@ -16,6 +16,9 @@ pub trait PageStore {
     fn allocate(&mut self) -> io::Result<PageId>;
     /// Number of allocated pages.
     fn page_count(&self) -> u64;
+    /// Durability barrier: all writes so far survive a crash. In-memory
+    /// stores are trivially durable and may no-op.
+    fn flush(&mut self) -> io::Result<()>;
 }
 
 impl<S: PageStore + ?Sized> PageStore for &mut S {
@@ -30,6 +33,9 @@ impl<S: PageStore + ?Sized> PageStore for &mut S {
     }
     fn page_count(&self) -> u64 {
         (**self).page_count()
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
     }
 }
 
@@ -81,6 +87,10 @@ impl PageStore for MemStore {
 
     fn page_count(&self) -> u64 {
         (self.data.len() / PAGE_SIZE) as u64
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -146,7 +156,8 @@ impl PageStore for FileStore {
 
     fn allocate(&mut self) -> io::Result<PageId> {
         let id = PageId(self.pages);
-        self.file.seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
         self.file.write_all(&[0u8; PAGE_SIZE])?;
         self.pages += 1;
         Ok(id)
@@ -154,6 +165,10 @@ impl PageStore for FileStore {
 
     fn page_count(&self) -> u64 {
         self.pages
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.sync_data()
     }
 }
 
@@ -178,6 +193,8 @@ mod tests {
         // Out-of-bounds access errors.
         assert!(store.read_page(PageId(99), &mut out).is_err());
         assert!(store.write_page(PageId(99), &page).is_err());
+        // The durability barrier is callable on every store.
+        store.flush().unwrap();
     }
 
     #[test]

@@ -5,14 +5,14 @@
 use proptest::prelude::*;
 use rtree_buffer::{BufferPool, LruPolicy, PageId};
 use rtree_geom::{Point, Rect};
-use rtree_pager::{BufferManager, MemStore, NodePage, PageMeta, PageStore, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+use rtree_pager::{
+    BufferManager, MemStore, NodePage, PageMeta, PageStore, MAX_ENTRIES_PER_PAGE, PAGE_SIZE,
+};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    ((-1e6f64..1e6, -1e6f64..1e6), (0.0f64..1e3, 0.0f64..1e3)).prop_map(|((x, y), (w, h))| {
-        Rect {
-            lo: Point::new(x, y),
-            hi: Point::new(x + w, y + h),
-        }
+    ((-1e6f64..1e6, -1e6f64..1e6), (0.0f64..1e3, 0.0f64..1e3)).prop_map(|((x, y), (w, h))| Rect {
+        lo: Point::new(x, y),
+        hi: Point::new(x + w, y + h),
     })
 }
 
@@ -35,14 +35,18 @@ proptest! {
         nodes in 1u64..1_000_000,
         items in 0u64..1_000_000_000,
         max_entries in 2u32..=102,
+        min_entries in 1u32..=51,
+        free_head in 0u64..1_000_000,
         starts in prop::collection::vec(1u64..1_000_000, 1..32),
     ) {
         let meta = PageMeta {
             root,
             height: starts.len() as u32,
             max_entries,
+            min_entries,
             items,
             nodes,
+            free_head,
             level_starts: starts,
         };
         let mut buf = vec![0u8; PAGE_SIZE];

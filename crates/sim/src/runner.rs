@@ -202,7 +202,8 @@ impl Simulation {
             cfg.buffer
         );
 
-        let mut pool = BufferPool::new(cfg.buffer, BoxedPolicy(cfg.policy.build(cfg.seed ^ 0x5EED)));
+        let mut pool =
+            BufferPool::new(cfg.buffer, BoxedPolicy(cfg.policy.build(cfg.seed ^ 0x5EED)));
         for page in 0..pinned_pages {
             pool.pin(PageId(page as u64))
                 .expect("pin capacity checked above");

@@ -30,7 +30,14 @@ impl SimTree {
     pub fn from_tree(tree: &RTree) -> Self {
         assert!(!tree.is_empty(), "cannot simulate an empty tree");
         let ids = tree.node_ids(); // BFS: level order, root first
-        let mut page_of_node = vec![u32::MAX; tree.node_ids().iter().map(|i| i.index() + 1).max().unwrap_or(1)];
+        let mut page_of_node = vec![
+            u32::MAX;
+            tree.node_ids()
+                .iter()
+                .map(|i| i.index() + 1)
+                .max()
+                .unwrap_or(1)
+        ];
         for (page, id) in ids.iter().enumerate() {
             if id.index() >= page_of_node.len() {
                 page_of_node.resize(id.index() + 1, u32::MAX);
@@ -84,10 +91,7 @@ impl SimTree {
 
     /// Pages per level, root level first.
     pub fn pages_per_level(&self) -> Vec<usize> {
-        self.level_offsets
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect()
+        self.level_offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Number of pages in the top `p` levels.

@@ -92,7 +92,11 @@ fn data_driven_point_queries_agree() {
 fn data_driven_region_queries_agree() {
     let rects = scattered_squares(1_500, 0.31);
     let centers: Vec<Point> = rects.iter().map(Rect::center).collect();
-    check_agreement(&rects, &Workload::data_driven(0.05, 0.05, centers), &[10, 40]);
+    check_agreement(
+        &rects,
+        &Workload::data_driven(0.05, 0.05, centers),
+        &[10, 40],
+    );
 }
 
 #[test]
@@ -170,8 +174,9 @@ fn kf_model_matches_corrected_model_for_interior_point_queries() {
     let tree = BulkLoader::hilbert(10).load(&rects);
     let desc = TreeDescription::from_tree(&tree);
     let kf = NodeAccessModel::new(&desc);
-    let diff =
-        (kf.kamel_faloutsos(0.0, 0.0) - kf.expected_node_accesses(&Workload::uniform_point())).abs();
+    let diff = (kf.kamel_faloutsos(0.0, 0.0)
+        - kf.expected_node_accesses(&Workload::uniform_point()))
+    .abs();
     assert!(diff < 1e-9);
 }
 

@@ -8,7 +8,10 @@ use rtree_index::BulkLoader;
 use rtree_sim::{flat_trace, BatchMeans, QuerySampler, SimTree};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    ((0.0f64..=0.95, 0.0f64..=0.95), (0.0f64..=0.05, 0.0f64..=0.05))
+    (
+        (0.0f64..=0.95, 0.0f64..=0.95),
+        (0.0f64..=0.05, 0.0f64..=0.05),
+    )
         .prop_map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h))
 }
 

@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! Vendored rather than pulled from a crate because the build environment is
+//! offline. The parameters match the ubiquitous `crc32fast`/zlib checksum, so
+//! log files remain checkable by standard tooling.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Checksum of `data` in one call.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 over multiple slices.
+#[derive(Clone, Copy)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+impl Hasher {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ byte as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Final checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(checksum(b""), 0x0000_0000);
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"incremental hashing must match the one-shot checksum";
+        let mut h = Hasher::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), checksum(data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = checksum(&[0u8; 64]);
+        let mut flipped = [0u8; 64];
+        flipped[40] = 1;
+        assert_ne!(a, checksum(&flipped));
+    }
+}

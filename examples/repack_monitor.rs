@@ -33,7 +33,10 @@ fn main() {
         "freshly packed: {} pages, predicted {baseline:.3} disk accesses/query at B={BUFFER}",
         tree.node_count()
     );
-    println!("repack threshold: {:.3} ({REPACK_THRESHOLD}x baseline)\n", baseline * REPACK_THRESHOLD);
+    println!(
+        "repack threshold: {:.3} ({REPACK_THRESHOLD}x baseline)\n",
+        baseline * REPACK_THRESHOLD
+    );
 
     let mut rng = StdRng::seed_from_u64(77);
     let churn_per_round = rects.len() / 20; // 5% of the data per round

@@ -12,7 +12,10 @@ fn datasets_are_bit_reproducible() {
         TigerLike::new(3_000).generate(1),
         TigerLike::new(3_000).generate(1)
     );
-    assert_eq!(CfdLike::new(3_000).generate(2), CfdLike::new(3_000).generate(2));
+    assert_eq!(
+        CfdLike::new(3_000).generate(2),
+        CfdLike::new(3_000).generate(2)
+    );
     assert_eq!(
         SyntheticRegion::new(3_000).generate(3),
         SyntheticRegion::new(3_000).generate(3)

@@ -52,7 +52,8 @@ fn run_pair(buffer: usize, pin_levels: usize, queries: usize) {
         pool_misses += misses;
 
         assert_eq!(
-            disk_reads, misses,
+            disk_reads,
+            misses,
             "query {i}: physical {disk_reads} vs trace {misses} (hits {})",
             hits.len()
         );

@@ -21,8 +21,16 @@ fn packed_trees_beat_tat_without_buffer() {
     };
     let tat = TreeDescription::from_tree(&TupleAtATime::quadratic(cap).load(&rects));
     let hs = TreeDescription::from_tree(&BulkLoader::hilbert(cap).load(&rects));
-    assert!(visits(&hs) < visits(&tat), "HS {} vs TAT {}", visits(&hs), visits(&tat));
-    assert!(hs.total_nodes() < tat.total_nodes(), "packing uses fewer pages");
+    assert!(
+        visits(&hs) < visits(&tat),
+        "HS {} vs TAT {}",
+        visits(&hs),
+        visits(&tat)
+    );
+    assert!(
+        hs.total_nodes() < tat.total_nodes(),
+        "packing uses fewer pages"
+    );
 }
 
 #[test]
@@ -68,9 +76,8 @@ fn uniform_queries_benefit_more_from_buffer_than_data_driven() {
     let uniform = BufferModel::new(&desc, &Workload::uniform_point());
     let driven = BufferModel::new(&desc, &Workload::data_driven_point(centers(&rects)));
 
-    let speedup = |m: &BufferModel| {
-        m.expected_disk_accesses(10) / m.expected_disk_accesses(150).max(1e-9)
-    };
+    let speedup =
+        |m: &BufferModel| m.expected_disk_accesses(10) / m.expected_disk_accesses(150).max(1e-9);
     assert!(
         speedup(&uniform) > speedup(&driven),
         "uniform speedup {:.2} should exceed data-driven {:.2}",
@@ -107,7 +114,9 @@ fn pinning_helps_only_when_pinned_pages_rival_buffer() {
         let m = BufferModel::new(&desc, &w);
         assert_eq!(desc.height(), 4, "paper's pinning study uses 4-level trees");
         let base = m.expected_disk_accesses(buffer);
-        let pinned = m.expected_disk_accesses_pinned(buffer, 3).expect("feasible");
+        let pinned = m
+            .expected_disk_accesses_pinned(buffer, 3)
+            .expect("feasible");
         (base - pinned) / base.max(1e-12)
     };
     // 100k points at cap 25 -> 1 + 7 + 160 pinned pages (about 1/3 of 500);
@@ -142,7 +151,10 @@ fn pinning_never_hurts_in_the_model() {
     // §5.5: "pinning never hurts performance".
     let rects = tiger(10_000);
     let desc = TreeDescription::from_tree(&BulkLoader::hilbert(25).load(&rects));
-    for w in [Workload::uniform_point(), Workload::uniform_region(0.05, 0.05)] {
+    for w in [
+        Workload::uniform_point(),
+        Workload::uniform_region(0.05, 0.05),
+    ] {
         let m = BufferModel::new(&desc, &w);
         for b in [120usize, 300, 800] {
             let base = m.expected_disk_accesses(b);
