@@ -6,6 +6,9 @@
 //! reports aggregate throughput and the physical read rate. Disk accesses
 //! per query must stay at the model's prediction regardless of the client
 //! count — residency depends on the reference stream, not on who issues it.
+//! The single-shard constructor is used deliberately so the pool replays
+//! the paper's sequential LRU decisions; see `concurrent_throughput` for
+//! the sharded-pool scaling experiment.
 
 use rtree_bench::{f, flag, synthetic_region, Loader, Table};
 use rtree_buffer::LruPolicy;

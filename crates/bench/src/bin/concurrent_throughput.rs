@@ -1,0 +1,115 @@
+//! **Extension** — throughput scaling of the *sharded* buffer pool.
+//!
+//! `concurrent_scaling` checks that disk accesses per query stay at the
+//! model's prediction when clients share one pool; this experiment measures
+//! the other axis: queries per second as the client count grows, with the
+//! pool's bookkeeping sharded so threads stop serializing on one latch.
+//! Two configurations bracket the design space:
+//!
+//! - **buffer-resident**: capacity holds the whole tree, so after warm-up
+//!   every access is a hit and the experiment isolates latch contention;
+//! - **buffer-starved**: a small pool keeps the miss path (store read +
+//!   frame replacement) on the critical path.
+//!
+//! Shards are auto-sized (one per hardware thread, power of two). The
+//! speedup column is relative to the 1-thread run of the same
+//! configuration; on a multi-core box the buffer-resident speedup at 8
+//! threads should approach the core count.
+
+use rtree_bench::{f, flag, synthetic_region, Loader, Table};
+use rtree_buffer::LruPolicy;
+use rtree_core::Workload;
+use rtree_pager::{ConcurrentDiskRTree, MemStore};
+use rtree_sim::QuerySampler;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let cap = 50;
+    let rects = synthetic_region(50_000);
+    let tree = Loader::Hs.build(cap, &rects);
+    let workload = Workload::uniform_region(0.05, 0.05);
+    let nodes = tree.node_count();
+    let queries_per_thread = if flag("--quick") { 2_000 } else { 25_000 };
+    let warmup = if flag("--quick") { 2_000 } else { 20_000 };
+
+    // Whole tree resident vs ~2% resident.
+    let configs = [
+        ("buffer-resident", nodes + 1),
+        ("buffer-starved", (nodes / 50).max(16)),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Sharded pool throughput: {queries_per_thread} region queries/thread \
+             (synthetic region 50k, HS cap 50, {nodes} nodes)"
+        ),
+        &[
+            "config",
+            "buffer",
+            "threads",
+            "shards",
+            "queries/s",
+            "speedup",
+            "disk reads/query",
+            "hit ratio",
+        ],
+    );
+
+    for (label, buffer) in configs {
+        let mut baseline_qps = 0.0;
+        for threads in [1usize, 2, 4, 8] {
+            let disk = Arc::new(
+                ConcurrentDiskRTree::create_sharded(
+                    MemStore::new(),
+                    &tree,
+                    buffer,
+                    0, // auto: one shard per hardware thread
+                    LruPolicy::new,
+                )
+                .expect("create"),
+            );
+            let mut warm = QuerySampler::new(&workload, 0xACED);
+            for _ in 0..warmup {
+                disk.query(&warm.sample()).expect("warmup query");
+            }
+            disk.reset_counters();
+
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let disk = Arc::clone(&disk);
+                    let workload = workload.clone();
+                    scope.spawn(move || {
+                        let mut sampler = QuerySampler::new(&workload, 0xBEEF + t as u64);
+                        for _ in 0..queries_per_thread {
+                            disk.query(&sampler.sample()).expect("query");
+                        }
+                    });
+                }
+            });
+            let elapsed = started.elapsed().as_secs_f64();
+            let total_queries = (threads * queries_per_thread) as f64;
+            let qps = total_queries / elapsed;
+            if threads == 1 {
+                baseline_qps = qps;
+            }
+            let stats = disk.buffer_stats();
+            table.row(vec![
+                label.to_string(),
+                buffer.to_string(),
+                threads.to_string(),
+                disk.shard_count().to_string(),
+                format!("{qps:.0}"),
+                format!("{:.2}", qps / baseline_qps),
+                f(disk.physical_reads() as f64 / total_queries),
+                f(stats.hit_ratio()),
+            ]);
+        }
+    }
+    table.emit("concurrent_throughput");
+    println!(
+        "Buffer-resident isolates latch contention (all hits); buffer-starved keeps the miss \
+         path hot. Speedup is vs the 1-thread run of the same config."
+    );
+}

@@ -8,8 +8,9 @@
 //! ```text
 //! cargo run --release -p rtree-bench --bin fig6_buffer_sensitivity
 //! ```
-//! Flags understood by every binary: `--csv` (also write `results/*.csv`)
-//! and `--quick` (shrink simulation sizes for smoke runs).
+//! Flags understood by every binary: `--csv` (also write `results/*.csv`),
+//! `--json` (also write `results/*.json`), and `--quick` (shrink
+//! simulation sizes for smoke runs).
 
 use rtree_datagen::{CfdLike, SyntheticPoint, SyntheticRegion, TigerLike};
 use rtree_geom::Rect;
@@ -184,8 +185,66 @@ impl Table {
         out
     }
 
-    /// Prints the table; when `--csv` was passed, also writes
-    /// `results/<slug>.csv`.
+    /// Renders JSON: `{"title": ..., "rows": [{header: cell, ...}, ...]}`.
+    /// Cells that parse as finite numbers are emitted unquoted so the file
+    /// plots without post-processing; everything else is a string.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        write!(out, "\\u{:04x}", c as u32).expect("string write")
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn cell(s: &str) -> String {
+            // JSON has no NaN/inf literals, and leading zeros ("007") or a
+            // leading '+' are not valid JSON numbers — quote those.
+            match s.parse::<f64>() {
+                Ok(v)
+                    if v.is_finite()
+                        && !s.starts_with('+')
+                        && s != "."
+                        && !(s.len() > 1
+                            && (s.starts_with('0') || s.starts_with("-0"))
+                            && !s.contains('.')) =>
+                {
+                    s.to_string()
+                }
+                _ => esc(s),
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "{{").expect("string write");
+        writeln!(out, "  \"title\": {},", esc(&self.title)).expect("string write");
+        writeln!(out, "  \"rows\": [").expect("string write");
+        for (i, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .headers
+                .iter()
+                .zip(row)
+                .map(|(h, c)| format!("{}: {}", esc(h), cell(c)))
+                .collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            writeln!(out, "    {{{}}}{}", fields.join(", "), comma).expect("string write");
+        }
+        writeln!(out, "  ]").expect("string write");
+        writeln!(out, "}}").expect("string write");
+        out
+    }
+
+    /// Prints the table; when `--csv` / `--json` was passed, also writes
+    /// `results/<slug>.csv` / `results/<slug>.json`.
     pub fn emit(&self, slug: &str) {
         println!("{}", self.render());
         if flag("--csv") {
@@ -194,6 +253,13 @@ impl Table {
             let path = dir.join(format!("{slug}.csv"));
             std::fs::write(&path, self.to_csv()).expect("write csv");
             println!("[csv] wrote {}", path.display());
+        }
+        if flag("--json") {
+            let dir = Path::new("results");
+            std::fs::create_dir_all(dir).expect("create results dir");
+            let path = dir.join(format!("{slug}.json"));
+            std::fs::write(&path, self.to_json()).expect("write json");
+            println!("[json] wrote {}", path.display());
         }
     }
 }
@@ -255,6 +321,21 @@ mod tests {
         assert!(text.contains("HS"));
         let csv = t.to_csv();
         assert_eq!(csv, "loader,value\nHS,1.25\n");
+    }
+
+    #[test]
+    fn table_json_types_cells() {
+        let mut t = Table::new("Demo \"quoted\"", &["loader", "qps", "note"]);
+        t.row(vec!["HS".into(), "1.25".into(), "line\nbreak".into()]);
+        t.row(vec!["NX".into(), "300".into(), "007".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"title\": \"Demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"qps\": 1.25"));
+        assert!(json.contains("\"qps\": 300"));
+        assert!(json.contains("\"loader\": \"HS\""));
+        // Leading-zero and control-character cells stay quoted strings.
+        assert!(json.contains("\"note\": \"007\""));
+        assert!(json.contains("\"note\": \"line\\nbreak\""));
     }
 
     #[test]

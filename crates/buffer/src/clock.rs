@@ -91,6 +91,16 @@ impl ReplacementPolicy for ClockPolicy {
         }
     }
 
+    fn on_unpin(&mut self, page: PageId) {
+        // A fresh insert carries a cleared reference bit and would be the
+        // hand's first victim — the opposite of the "most recently used"
+        // contract for freshly unpinned pages. Insert, then set the bit so
+        // the page survives the hand's next sweep.
+        self.on_insert(page);
+        let i = *self.map.get(&page).expect("just inserted");
+        self.frames[i].referenced = true;
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }

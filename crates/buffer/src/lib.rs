@@ -16,6 +16,7 @@ mod lru;
 mod lruk;
 mod pool;
 mod random;
+mod stats;
 
 pub use clock::ClockPolicy;
 pub use fifo::FifoPolicy;
@@ -23,6 +24,7 @@ pub use lru::LruPolicy;
 pub use lruk::LruKPolicy;
 pub use pool::{AccessOutcome, BufferPool, BufferStats, PinError};
 pub use random::RandomPolicy;
+pub use stats::AtomicBufferStats;
 
 /// Identifier of a buffered page. In the R-tree study one page holds one
 /// tree node.
@@ -45,6 +47,14 @@ pub trait ReplacementPolicy: Send {
     fn evict(&mut self) -> PageId;
     /// Stops tracking a page (e.g. it is being pinned).
     fn remove(&mut self, page: PageId);
+    /// A pinned page was released and re-enters the evictable set. The
+    /// contract (see [`BufferPool::unpin`]) is that the page re-enters the
+    /// replacement order *as most recently used*. The default defers to
+    /// `on_insert`; policies whose fresh inserts are immediately evictable
+    /// (Clock's cleared reference bit) must override this.
+    fn on_unpin(&mut self, page: PageId) {
+        self.on_insert(page);
+    }
     /// Number of tracked pages.
     fn len(&self) -> usize;
     /// True if no pages are tracked.
@@ -53,4 +63,34 @@ pub trait ReplacementPolicy: Send {
     }
     /// Short policy name for experiment output.
     fn name(&self) -> &'static str;
+}
+
+/// Boxed policies forward to the inner policy, so heterogeneous policy
+/// choices (CLI flags, per-shard factories) can use `Box<dyn
+/// ReplacementPolicy>` wherever an `impl ReplacementPolicy` is expected.
+impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
+    fn on_hit(&mut self, page: PageId) {
+        (**self).on_hit(page);
+    }
+    fn on_insert(&mut self, page: PageId) {
+        (**self).on_insert(page);
+    }
+    fn evict(&mut self) -> PageId {
+        (**self).evict()
+    }
+    fn remove(&mut self, page: PageId) {
+        (**self).remove(page);
+    }
+    fn on_unpin(&mut self, page: PageId) {
+        (**self).on_unpin(page);
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }

@@ -46,6 +46,14 @@ impl BufferStats {
     }
 }
 
+impl std::ops::AddAssign for BufferStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.accesses += rhs.accesses;
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+    }
+}
+
 /// Error returned by [`BufferPool::pin`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PinError {
@@ -223,10 +231,11 @@ impl BufferPool {
     }
 
     /// Unpins a page; it stays resident and re-enters the replacement order
-    /// as most recently used.
+    /// as most recently used (via [`ReplacementPolicy::on_unpin`], so even
+    /// policies whose fresh inserts are immediately evictable honor this).
     pub fn unpin(&mut self, page: PageId) {
         if self.pinned.remove(&page) {
-            self.policy.on_insert(page);
+            self.policy.on_unpin(page);
         }
     }
 
@@ -276,7 +285,18 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FifoPolicy, LruPolicy};
+    use crate::{ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, RandomPolicy, ReplacementPolicy};
+
+    /// One freshly built instance of every policy, labelled.
+    fn all_policies() -> Vec<(&'static str, Box<dyn ReplacementPolicy>)> {
+        vec![
+            ("LRU", Box::new(LruPolicy::new())),
+            ("FIFO", Box::new(FifoPolicy::new())),
+            ("CLOCK", Box::new(ClockPolicy::new())),
+            ("RANDOM", Box::new(RandomPolicy::new(0xFEED))),
+            ("LRU-K", Box::new(LruKPolicy::lru2())),
+        ]
+    }
 
     #[test]
     fn hits_and_misses_counted() {
@@ -425,5 +445,125 @@ mod tests {
     fn dirty_requires_residency() {
         let mut pool = BufferPool::new(2, LruPolicy::new());
         pool.mark_dirty(PageId(7));
+    }
+
+    /// Regression (per policy): an unpinned page re-enters the replacement
+    /// order as most recently used, so with an older eviction candidate
+    /// available the freshly unpinned page must not be the immediate victim.
+    #[test]
+    fn unpinned_page_is_not_the_immediate_victim() {
+        for (name, policy) in all_policies() {
+            if name == "RANDOM" {
+                // Random has no recency order; covered by the residency
+                // check in `unpin_keeps_page_resident_and_tracked`.
+                continue;
+            }
+            let mut pool = BufferPool::new(2, policy);
+            pool.pin(PageId(1)).unwrap();
+            assert!(pool.access(PageId(2)).is_miss());
+            pool.unpin(PageId(1));
+            match pool.access(PageId(3)) {
+                AccessOutcome::Miss { evicted } => {
+                    assert_eq!(
+                        evicted,
+                        Some(PageId(2)),
+                        "{name}: unpinned page evicted first"
+                    )
+                }
+                other => panic!("{name}: unexpected {other:?}"),
+            }
+            assert!(pool.contains(PageId(1)), "{name}: unpinned page gone");
+        }
+    }
+
+    /// Clock-specific regression: `unpin` used to re-insert the page with a
+    /// cleared reference bit, so a hand sweep that cleared every other bit
+    /// evicted the freshly unpinned page. With `on_unpin` setting the bit,
+    /// the unpinned page survives one full sweep like a hot page.
+    #[test]
+    fn clock_unpinned_page_survives_hand_sweep() {
+        let mut pool = BufferPool::new(3, ClockPolicy::new());
+        pool.pin(PageId(1)).unwrap();
+        pool.access(PageId(2));
+        pool.access(PageId(3));
+        pool.unpin(PageId(1));
+        // Reference 2 and 3 so the sweep must clear their bits and reach
+        // page 1's frame before settling on a victim.
+        assert_eq!(pool.access(PageId(2)), AccessOutcome::Hit);
+        assert_eq!(pool.access(PageId(3)), AccessOutcome::Hit);
+        match pool.access(PageId(5)) {
+            AccessOutcome::Miss { evicted } => assert_eq!(evicted, Some(PageId(2))),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(pool.contains(PageId(1)), "unpinned page lost to the sweep");
+    }
+
+    #[test]
+    fn unpin_keeps_page_resident_and_tracked() {
+        for (name, policy) in all_policies() {
+            let mut pool = BufferPool::new(2, policy);
+            pool.pin(PageId(1)).unwrap();
+            pool.unpin(PageId(1));
+            assert!(pool.contains(PageId(1)), "{name}: page not resident");
+            assert!(!pool.is_pinned(PageId(1)), "{name}: page still pinned");
+            // The page is evictable again: enough pressure cycles it out.
+            for i in 10..40 {
+                pool.access(PageId(i));
+            }
+            assert!(!pool.contains(PageId(1)), "{name}: page never evicted");
+        }
+    }
+
+    /// `MissBypass` accounting (per policy): a miss against a fully pinned
+    /// pool still counts as an access and a miss, and leaves residency,
+    /// pin set and policy state untouched.
+    #[test]
+    fn miss_bypass_counts_and_leaves_pool_untouched() {
+        for (name, policy) in all_policies() {
+            let mut pool = BufferPool::new(2, policy);
+            pool.pin(PageId(0)).unwrap();
+            pool.pin(PageId(1)).unwrap();
+            let before = pool.stats();
+            for round in 0..3u64 {
+                assert_eq!(
+                    pool.access(PageId(100 + round)),
+                    AccessOutcome::MissBypass,
+                    "{name}: expected bypass"
+                );
+                assert!(!pool.contains(PageId(100 + round)), "{name}: bypass cached");
+            }
+            let s = pool.stats();
+            assert_eq!(s.accesses, before.accesses + 3, "{name}: accesses");
+            assert_eq!(s.misses, before.misses + 3, "{name}: misses");
+            assert_eq!(s.hits, before.hits, "{name}: hits");
+            assert_eq!(pool.len(), 2, "{name}: residency changed");
+            assert_eq!(pool.pinned_count(), 2, "{name}: pins changed");
+            // Pinned pages still hit.
+            assert_eq!(pool.access(PageId(0)), AccessOutcome::Hit, "{name}");
+        }
+    }
+
+    /// Fully pinned pool (per policy): further pins fail cleanly and an
+    /// unpin restores normal replacement.
+    #[test]
+    fn fully_pinned_pool_recovers_after_unpin() {
+        for (name, policy) in all_policies() {
+            let mut pool = BufferPool::new(2, policy);
+            pool.pin(PageId(0)).unwrap();
+            pool.pin(PageId(1)).unwrap();
+            assert_eq!(
+                pool.pin(PageId(2)),
+                Err(PinError::CapacityExceeded),
+                "{name}"
+            );
+            pool.unpin(PageId(0));
+            match pool.access(PageId(2)) {
+                AccessOutcome::Miss { evicted } => {
+                    assert_eq!(evicted, Some(PageId(0)), "{name}: wrong victim")
+                }
+                other => panic!("{name}: unexpected {other:?}"),
+            }
+            assert!(pool.contains(PageId(1)), "{name}: pinned page lost");
+        }
     }
 }

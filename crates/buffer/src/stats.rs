@@ -1,0 +1,88 @@
+//! Latch-free statistics mirrors for concurrent pools.
+
+use crate::{AccessOutcome, BufferStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed-atomic mirror of [`BufferStats`], for pools that are read from
+/// many threads at once: writers record outcomes with relaxed increments,
+/// readers snapshot without taking any pool latch. Counts are exact (atomic
+/// increments never lose updates); only the *ordering* between counters is
+/// relaxed, which a monotonic statistics read does not care about.
+#[derive(Debug, Default)]
+pub struct AtomicBufferStats {
+    accesses: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AtomicBufferStats {
+    /// Creates zeroed counters.
+    pub const fn new() -> Self {
+        AtomicBufferStats {
+            accesses: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one access outcome.
+    pub fn record(&self, outcome: &AccessOutcome) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        if outcome.is_miss() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an access that missed (e.g. a pin load that went to disk).
+    pub fn record_miss(&self) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the counters into a plain [`BufferStats`].
+    pub fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            accesses: self.accesses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (e.g. after warm-up).
+    pub fn reset(&self) {
+        self.accesses.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = AtomicBufferStats::new();
+        s.record(&AccessOutcome::Hit);
+        s.record(&AccessOutcome::Miss { evicted: None });
+        s.record(&AccessOutcome::MissBypass);
+        s.record_miss();
+        let snap = s.snapshot();
+        assert_eq!((snap.accesses, snap.hits, snap.misses), (4, 1, 3));
+        s.reset();
+        assert_eq!(s.snapshot(), BufferStats::default());
+    }
+
+    #[test]
+    fn aggregates_with_add_assign() {
+        let a = AtomicBufferStats::new();
+        let b = AtomicBufferStats::new();
+        a.record(&AccessOutcome::Hit);
+        b.record_miss();
+        let mut total = a.snapshot();
+        total += b.snapshot();
+        assert_eq!((total.accesses, total.hits, total.misses), (2, 1, 1));
+    }
+}

@@ -1,4 +1,4 @@
-//! The four subcommands.
+//! The subcommands.
 
 use crate::args::{err, Args, CliError};
 use rtree_buffer::{
@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "model" => model(args),
         "simulate" => simulate(args),
         "update" => update(args),
+        "concurrent" => concurrent(args),
         other => Err(err(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -183,29 +184,6 @@ fn make_policy(name: &str, seed: u64) -> Result<Box<dyn ReplacementPolicy>, CliE
     })
 }
 
-struct BoxedPolicy(Box<dyn ReplacementPolicy>);
-
-impl ReplacementPolicy for BoxedPolicy {
-    fn on_hit(&mut self, page: rtree_buffer::PageId) {
-        self.0.on_hit(page);
-    }
-    fn on_insert(&mut self, page: rtree_buffer::PageId) {
-        self.0.on_insert(page);
-    }
-    fn evict(&mut self) -> rtree_buffer::PageId {
-        self.0.evict()
-    }
-    fn remove(&mut self, page: rtree_buffer::PageId) {
-        self.0.remove(page);
-    }
-    fn len(&self) -> usize {
-        self.0.len()
-    }
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-}
-
 fn simulate(args: &Args) -> Result<String, CliError> {
     args.allow_flags(&["workload", "buffer", "queries", "policy", "seed"])?;
     let desc = TreeDescription::from_text(&read_file(&args.positional)?)
@@ -221,7 +199,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
 
     // The paper's literal simulator: check every node MBR per query.
     let mbrs: Vec<Rect> = desc.iter().map(|(_, r)| *r).collect();
-    let mut pool = BufferPool::new(buffer, BoxedPolicy(policy));
+    let mut pool = BufferPool::new(buffer, policy);
     let mut sampler = QuerySampler::new(&workload, seed);
 
     let warmup = (queries / 4).max(1);
@@ -258,6 +236,110 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn concurrent(args: &Args) -> Result<String, CliError> {
+    use rtree_pager::{ConcurrentDiskRTree, MemStore};
+    use std::sync::Arc;
+
+    args.allow_flags(&[
+        "loader", "cap", "buffer", "threads", "shards", "pin", "queries", "workload", "policy",
+        "seed",
+    ])?;
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 50usize)?;
+    if !(4..=rtree_pager::MAX_ENTRIES_PER_PAGE).contains(&cap) {
+        return Err(err(format!(
+            "--cap must be in 4..={}",
+            rtree_pager::MAX_ENTRIES_PER_PAGE
+        )));
+    }
+    let buffer: usize = args.flag_or("buffer", 100usize)?;
+    if buffer == 0 {
+        return Err(err("--buffer must be positive"));
+    }
+    let threads: usize = args.flag_or("threads", 4usize)?;
+    if threads == 0 {
+        return Err(err("--threads must be positive"));
+    }
+    let shards: usize = args.flag_or("shards", 0usize)?; // 0 = one per hardware thread
+    let pin: usize = args.flag_or("pin", 0usize)?;
+    let queries: usize = args.flag_or("queries", 100_000usize)?;
+    let seed: u64 = args.flag_or("seed", 0xC0Cu64)?;
+    let workload = parse_workload(args.flag("workload").unwrap_or("region:0.05:0.05"))?;
+    let policy_name = args.flag("policy").unwrap_or("LRU");
+    make_policy(policy_name, seed)?; // validate the name before the build
+    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
+
+    let disk = Arc::new(
+        ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, || {
+            make_policy(policy_name, seed).expect("validated above")
+        })
+        .map_err(|e| err(format!("creating tree: {e}")))?,
+    );
+    if pin > 0 {
+        disk.pin_top_levels(pin)
+            .map_err(|e| err(format!("pinning: {e}")))?;
+    }
+
+    // Warm up single-threaded, then measure the threaded steady state.
+    let mut warm = QuerySampler::new(&workload, seed ^ 0xAAAA);
+    for _ in 0..(queries / 4).max(1) {
+        disk.query(&warm.sample())
+            .map_err(|e| err(format!("query: {e}")))?;
+    }
+    disk.reset_counters();
+
+    let per_thread = queries.div_ceil(threads);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let disk = Arc::clone(&disk);
+                let workload = workload.clone();
+                scope.spawn(move || -> Result<u64, String> {
+                    let mut sampler = QuerySampler::new(&workload, seed + 1 + t as u64);
+                    let mut found = 0u64;
+                    for _ in 0..per_thread {
+                        found += disk
+                            .query(&sampler.sample())
+                            .map_err(|e| format!("query: {e}"))?
+                            .len() as u64;
+                    }
+                    Ok(found)
+                })
+            })
+            .collect();
+        let mut found = 0u64;
+        for h in handles {
+            found += h
+                .join()
+                .map_err(|_| err("worker thread panicked"))?
+                .map_err(CliError)?;
+        }
+        Ok::<u64, CliError>(found)
+    })?;
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let total = (threads * per_thread) as f64;
+    let stats = disk.buffer_stats();
+    Ok(format!(
+        "concurrent run: {} queries on {threads} threads ({} policy, buffer {buffer}, {} shards):\n\
+         throughput:           {:.0} queries/s\n\
+         disk reads/query:     {:.4}\n\
+         hit ratio:            {:.4}\n\
+         root peek reads:      {}\n",
+        threads * per_thread,
+        policy_name.to_uppercase(),
+        disk.shard_count(),
+        total / elapsed,
+        disk.physical_reads() as f64 / total,
+        stats.hit_ratio(),
+        disk.peek_reads(),
+    ))
+}
+
 fn update(args: &Args) -> Result<String, CliError> {
     use rtree_pager::{DiskRTree, MemStore};
     use rtree_wal::{LogBackend, MemLog, Wal};
@@ -288,7 +370,7 @@ fn update(args: &Args) -> Result<String, CliError> {
     let min = (cap * 2 / 5).max(2);
 
     let log = MemLog::new();
-    let mut disk = DiskRTree::create_empty(MemStore::new(), cap, min, buffer, BoxedPolicy(policy))
+    let mut disk = DiskRTree::create_empty(MemStore::new(), cap, min, buffer, policy)
         .map_err(|e| err(format!("creating tree: {e}")))?;
     disk.attach_wal(Wal::open(log.clone()).map_err(|e| err(format!("opening wal: {e}")))?);
     let io = |e: std::io::Error| err(format!("write path: {e}"));
@@ -385,6 +467,30 @@ mod tests {
         assert!(out.contains("physical writes/op"), "got: {out}");
         assert!(out.contains("WAL traffic"), "got: {out}");
         assert!(run(&args(&format!("update {} --buffer 0", data.display()))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_reports_throughput() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-conc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        run(&args(&format!(
+            "generate region:2000 --seed 7 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "concurrent {} --cap 10 --buffer 40 --threads 4 --shards 4 --pin 1 --queries 2000",
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("4 shards"), "got: {out}");
+        assert!(out.contains("queries/s"), "got: {out}");
+        assert!(out.contains("hit ratio"), "got: {out}");
+        // Bad configurations surface as errors, not panics.
+        assert!(run(&args(&format!("concurrent {} --threads 0", data.display()))).is_err());
+        assert!(run(&args(&format!("concurrent {} --pin 99", data.display()))).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -47,5 +47,13 @@ USAGE:
       reads/writes per operation — the write-amplification counterpart of
       the read-cost experiments.
 
+  rtrees concurrent <DATA.csv> [--loader L] [--cap N] [--buffer B] [--threads T]
+                    [--shards S] [--pin P] [--queries N] [--workload W]
+                    [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
+      Builds the tree, then serves the query workload from T threads over
+      the sharded concurrent buffer pool (S latch shards; 0 = one per
+      hardware thread, 1 = the paper's sequential accounting) and reports
+      throughput, physical reads per query, and the pool hit ratio.
+
 Common: --help prints this text.
 ";

@@ -26,12 +26,18 @@ pub struct IoStats {
     pub reads: u64,
     /// Physical page writes to the store.
     pub writes: u64,
+    /// Physical reads performed by the *uncharged* root-MBR peek. The
+    /// paper's model semantics exclude the peek from `reads` (a node is
+    /// accessed iff its MBR intersects the query), but the transfer still
+    /// happens — it is surfaced here so no physical I/O is silently
+    /// dropped from the accounting.
+    pub peek_reads: u64,
 }
 
 impl IoStats {
-    /// Total physical page transfers.
+    /// Total physical page transfers, peeks included.
     pub fn total(&self) -> u64 {
-        self.reads + self.writes
+        self.reads + self.writes + self.peek_reads
     }
 }
 
@@ -175,9 +181,12 @@ impl<S: PageStore> BufferManager<S> {
     }
 
     /// Reads a page into the scratch frame, bypassing the pool and the
-    /// physical-read counter (used for the uncharged root-MBR peek).
+    /// model's `reads` counter (used for the uncharged root-MBR peek). The
+    /// transfer is still physical I/O, so it lands in
+    /// [`IoStats::peek_reads`].
     pub(crate) fn read_scratch(&mut self, id: PageId) -> io::Result<&[u8]> {
         self.store.read_page(id, &mut self.scratch)?;
+        self.stats.peek_reads += 1;
         Ok(&self.scratch)
     }
 
@@ -346,7 +355,8 @@ mod tests {
             m.io_stats(),
             IoStats {
                 reads: 1,
-                writes: 1
+                writes: 1,
+                peek_reads: 0
             }
         );
     }

@@ -1,66 +1,122 @@
-//! Concurrent disk-backed query execution.
+//! Concurrent disk-backed query execution over a **sharded** buffer pool.
 //!
 //! A database serves many clients at once; this module provides a
 //! shared-ownership [`ConcurrentDiskRTree`] that multiple threads can query
-//! concurrently. The design is the classical latch-protected mapping table:
-//! pool bookkeeping (residency, replacement, read counting) sits behind one
-//! short [`parking_lot::Mutex`] critical section per page access, while
-//! frames are shared as `Arc<[u8]>` so decoding and geometry tests — the
-//! CPU-heavy part of a query — run outside the lock.
+//! concurrently. Pool bookkeeping (residency, replacement, read counting)
+//! is partitioned into N *shards*: each [`PageId`] hashes to exactly one
+//! shard, and each shard owns its own short [`parking_lot::Mutex`] around a
+//! [`BufferPool`] slice plus the frames of its resident pages. Threads
+//! querying disjoint subtrees therefore touch disjoint latches and never
+//! contend; frames are shared as `Arc<[u8]>` so decoding and geometry tests
+//! — the CPU-heavy part of a query — run outside every lock, and the store
+//! itself is read through [`SharedPageStore`] (`&self`), so even misses in
+//! different shards proceed in parallel.
+//!
+//! Statistics are relaxed `AtomicU64`s aggregated across shards:
+//! [`ConcurrentDiskRTree::io_stats`] and
+//! [`ConcurrentDiskRTree::physical_reads`] never take a pool latch.
+//!
+//! # Accounting rules
+//!
+//! - A **physical read** (`IoStats::reads`) is any page transfer performed
+//!   on behalf of a charged buffer-pool access: a miss fill, a bypass read
+//!   against a fully pinned shard, or the one-time load of a pinned page.
+//! - The **root peek** is *uncharged*, mirroring the model semantics where
+//!   a node is accessed iff its MBR intersects the query. The peeked root
+//!   frame is cached once per tree (the tree is immutable), and the
+//!   transfer is surfaced in `IoStats::peek_reads` instead of being
+//!   silently dropped.
+//! - With `shards = 1` the access sequence seen by the pool is exactly the
+//!   sequential [`crate::DiskRTree`] sequence, so single-threaded physical
+//!   read counts reproduce the paper's numbers bit for bit.
 
 use crate::disk_tree::materialize;
-use crate::{IoStats, NodePage, PageMeta, PageStore, PAGE_SIZE};
+use crate::store::SharedPageStore;
+use crate::{IoStats, NodePage, PageMeta, PAGE_SIZE};
 use parking_lot::Mutex;
-use rtree_buffer::{AccessOutcome, BufferPool, PageId, ReplacementPolicy};
+use rtree_buffer::{
+    AccessOutcome, AtomicBufferStats, BufferPool, BufferStats, PageId, ReplacementPolicy,
+};
 use rtree_geom::Rect;
 use rtree_index::RTree;
 use std::collections::HashMap;
 use std::io;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-struct PoolState<S: PageStore> {
-    store: S,
+/// Fibonacci multiplier for the page → shard hash.
+const HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+struct ShardState {
     pool: BufferPool,
     frames: HashMap<PageId, Arc<[u8]>>,
-    stats: IoStats,
 }
 
-impl<S: PageStore> PoolState<S> {
-    fn fetch(&mut self, id: PageId) -> io::Result<Arc<[u8]>> {
-        match self.pool.access(id) {
-            AccessOutcome::Hit => Ok(Arc::clone(
-                self.frames.get(&id).expect("resident page has a frame"),
-            )),
-            AccessOutcome::Miss { evicted } => {
-                if let Some(victim) = evicted {
-                    self.frames.remove(&victim);
-                }
-                let mut buf = vec![0u8; PAGE_SIZE];
-                self.store.read_page(id, &mut buf)?;
-                self.stats.reads += 1;
-                let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
-                self.frames.insert(id, Arc::clone(&frame));
-                Ok(frame)
-            }
-            AccessOutcome::MissBypass => {
-                let mut buf = vec![0u8; PAGE_SIZE];
-                self.store.read_page(id, &mut buf)?;
-                self.stats.reads += 1;
-                Ok(Arc::from(buf.into_boxed_slice()))
-            }
+/// One latch domain: a slice of the buffer capacity plus its counters.
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Physical page reads issued by this shard (relaxed; aggregated by
+    /// [`ConcurrentDiskRTree::io_stats`] without taking the latch).
+    reads: AtomicU64,
+    stats: AtomicBufferStats,
+}
+
+impl Shard {
+    fn new(capacity: usize, policy: Box<dyn ReplacementPolicy>) -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                pool: BufferPool::new(capacity, policy),
+                frames: HashMap::with_capacity(capacity + 1),
+            }),
+            reads: AtomicU64::new(0),
+            stats: AtomicBufferStats::new(),
         }
     }
 }
 
+/// Largest power of two ≤ `n` (`n` ≥ 1).
+fn floor_pow2(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Resolves a shard-count request against the buffer capacity: `0` means
+/// "one per hardware thread", everything is rounded to a power of two, and
+/// the count never exceeds the capacity (each shard needs ≥ 1 frame).
+fn resolve_shards(requested: usize, capacity: usize) -> usize {
+    assert!(capacity > 0, "buffer capacity must be positive");
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    requested.next_power_of_two().min(floor_pow2(capacity))
+}
+
 /// A disk-backed R-tree that can be queried from many threads at once
 /// (`&self` queries; wrap in an `Arc` to share).
-pub struct ConcurrentDiskRTree<S: PageStore> {
-    state: Mutex<PoolState<S>>,
+///
+/// [`ConcurrentDiskRTree::create`] / [`ConcurrentDiskRTree::open`] build a
+/// **single-shard** tree whose replacement decisions and physical read
+/// counts are exactly those of the sequential [`crate::DiskRTree`] — the
+/// configuration every paper experiment uses. The `_sharded` constructors
+/// split the capacity across N latch-disjoint shards for multi-threaded
+/// throughput.
+pub struct ConcurrentDiskRTree<S> {
+    store: S,
+    shards: Box<[Shard]>,
+    /// `64 - log2(shard count)`: shift for the Fibonacci hash.
+    shard_shift: u32,
+    /// Cached root frame for the uncharged MBR peek (the tree is
+    /// immutable, so the root page never changes).
+    root_frame: OnceLock<Arc<[u8]>>,
+    peek_reads: AtomicU64,
     meta: PageMeta,
 }
 
-impl<S: PageStore> ConcurrentDiskRTree<S> {
-    /// Serializes `tree` into `store` and returns a shareable handle.
+impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
+    /// Serializes `tree` into `store` and returns a shareable single-shard
+    /// handle with the paper's exact sequential accounting.
     ///
     /// # Panics
     /// Panics if the tree is empty or its node capacity exceeds
@@ -72,35 +128,100 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
         policy: impl ReplacementPolicy + 'static,
     ) -> io::Result<Self> {
         let meta = materialize(&mut store, tree)?;
-        Ok(ConcurrentDiskRTree {
-            state: Mutex::new(PoolState {
-                store,
-                pool: BufferPool::new(buffer_capacity, policy),
-                frames: HashMap::with_capacity(buffer_capacity + 1),
-                stats: IoStats::default(),
-            }),
-            meta,
-        })
+        let mut policy = Some(Box::new(policy) as Box<dyn ReplacementPolicy>);
+        Ok(Self::assemble(store, meta, buffer_capacity, 1, move || {
+            policy.take().expect("single shard uses the policy once")
+        }))
     }
 
-    /// Opens a previously materialized tree.
+    /// Serializes `tree` into `store` and returns a sharded handle:
+    /// `shards` is rounded to a power of two and capped by the capacity;
+    /// `0` means one shard per hardware thread. `policy` is invoked once
+    /// per shard.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty or its node capacity exceeds
+    /// [`crate::MAX_ENTRIES_PER_PAGE`].
+    pub fn create_sharded<P: ReplacementPolicy + 'static>(
+        mut store: S,
+        tree: &RTree,
+        buffer_capacity: usize,
+        shards: usize,
+        mut policy: impl FnMut() -> P,
+    ) -> io::Result<Self> {
+        let meta = materialize(&mut store, tree)?;
+        let n = resolve_shards(shards, buffer_capacity);
+        Ok(Self::assemble(store, meta, buffer_capacity, n, move || {
+            Box::new(policy())
+        }))
+    }
+
+    /// Opens a previously materialized tree with a single shard.
     pub fn open(
         mut store: S,
         buffer_capacity: usize,
         policy: impl ReplacementPolicy + 'static,
     ) -> io::Result<Self> {
+        let meta = Self::read_meta(&mut store)?;
+        let mut policy = Some(Box::new(policy) as Box<dyn ReplacementPolicy>);
+        Ok(Self::assemble(store, meta, buffer_capacity, 1, move || {
+            policy.take().expect("single shard uses the policy once")
+        }))
+    }
+
+    /// Opens a previously materialized tree with a sharded pool (see
+    /// [`ConcurrentDiskRTree::create_sharded`] for the shard semantics).
+    pub fn open_sharded<P: ReplacementPolicy + 'static>(
+        mut store: S,
+        buffer_capacity: usize,
+        shards: usize,
+        mut policy: impl FnMut() -> P,
+    ) -> io::Result<Self> {
+        let meta = Self::read_meta(&mut store)?;
+        let n = resolve_shards(shards, buffer_capacity);
+        Ok(Self::assemble(store, meta, buffer_capacity, n, move || {
+            Box::new(policy())
+        }))
+    }
+
+    fn read_meta(store: &mut S) -> io::Result<PageMeta> {
         let mut buf = vec![0u8; PAGE_SIZE];
         store.read_page(PageId(0), &mut buf)?;
-        let meta = PageMeta::decode(&buf)?;
-        Ok(ConcurrentDiskRTree {
-            state: Mutex::new(PoolState {
-                store,
-                pool: BufferPool::new(buffer_capacity, policy),
-                frames: HashMap::with_capacity(buffer_capacity + 1),
-                stats: IoStats::default(),
-            }),
+        Ok(PageMeta::decode(&buf)?)
+    }
+
+    /// Builds the shard array: capacity is split proportionally, the first
+    /// `capacity % n` shards taking one extra frame.
+    fn assemble(
+        store: S,
+        meta: PageMeta,
+        capacity: usize,
+        n: usize,
+        mut policy: impl FnMut() -> Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        debug_assert!(n.is_power_of_two() && n <= capacity);
+        let base = capacity / n;
+        let rem = capacity % n;
+        let shards: Box<[Shard]> = (0..n)
+            .map(|i| Shard::new(base + usize::from(i < rem), policy()))
+            .collect();
+        ConcurrentDiskRTree {
+            store,
+            shards,
+            shard_shift: u64::BITS - n.trailing_zeros(),
+            root_frame: OnceLock::new(),
+            peek_reads: AtomicU64::new(0),
             meta,
-        })
+        }
+    }
+
+    /// The shard owning `id`.
+    fn shard(&self, id: PageId) -> &Shard {
+        if self.shards.len() == 1 {
+            &self.shards[0]
+        } else {
+            &self.shards[(id.0.wrapping_mul(HASH) >> self.shard_shift) as usize]
+        }
     }
 
     /// The stored metadata.
@@ -108,36 +229,83 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
         &self.meta
     }
 
-    /// Physical I/O counters so far (all threads). The concurrent tree is
-    /// read-only, so `writes` stays 0 — the shape matches
+    /// Number of shards the buffer capacity is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Physical I/O counters so far (all threads), aggregated from the
+    /// shards' relaxed atomics — no pool latch is taken. The concurrent
+    /// tree is read-only, so `writes` stays 0; the shape matches
     /// [`crate::BufferManager::io_stats`] so benches report one thing.
     pub fn io_stats(&self) -> IoStats {
-        self.state.lock().stats
+        IoStats {
+            reads: self.physical_reads(),
+            writes: 0,
+            peek_reads: self.peek_reads.load(Ordering::Relaxed),
+        }
     }
 
-    /// Physical page reads so far (all threads).
+    /// Physical page reads so far (all threads, latch-free).
     pub fn physical_reads(&self) -> u64 {
-        self.state.lock().stats.reads
+        self.shards
+            .iter()
+            .map(|s| s.reads.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Resets the I/O counters and pool statistics.
+    /// Root-peek reads so far (all threads, latch-free). At most one per
+    /// tree lifetime between counter resets — the peeked frame is cached.
+    pub fn peek_reads(&self) -> u64 {
+        self.peek_reads.load(Ordering::Relaxed)
+    }
+
+    /// Pool access statistics aggregated across shards (latch-free).
+    pub fn buffer_stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for s in &self.shards {
+            total += s.stats.snapshot();
+        }
+        total
+    }
+
+    /// Resets the I/O counters and pool statistics (takes each shard latch
+    /// once; the cached root frame is state, not a counter, and survives).
     pub fn reset_counters(&self) {
-        let mut s = self.state.lock();
-        s.stats = IoStats::default();
-        s.pool.reset_stats();
+        for shard in self.shards.iter() {
+            shard.state.lock().pool.reset_stats();
+            shard.reads.store(0, Ordering::Relaxed);
+            shard.stats.reset();
+        }
+        self.peek_reads.store(0, Ordering::Relaxed);
     }
 
-    /// Pins the top `p` levels (reads them once).
+    /// Pins the top `p` levels (reads each page once, into its shard).
+    /// Pinned pages are distributed across shards like any other page and
+    /// are exempt from replacement in their shard.
+    ///
+    /// # Errors
+    /// `InvalidInput` if `p` exceeds the tree height; `OutOfMemory` if a
+    /// shard's capacity slice cannot hold its share of the pinned pages.
     pub fn pin_top_levels(&self, p: usize) -> io::Result<()> {
-        assert!(p <= self.meta.level_starts.len(), "not that many levels");
+        if p > self.meta.level_starts.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "cannot pin {p} levels: the tree has {}",
+                    self.meta.level_starts.len()
+                ),
+            ));
+        }
         let end = if p == self.meta.level_starts.len() {
             self.meta.nodes + 1
         } else {
             self.meta.level_starts[p]
         };
-        let mut s = self.state.lock();
         for page in 1..end {
             let id = PageId(page);
+            let shard = self.shard(id);
+            let mut s = shard.state.lock();
             let was_resident = s.pool.contains(id);
             let evicted = s
                 .pool
@@ -148,16 +316,60 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
             }
             if !was_resident {
                 let mut buf = vec![0u8; PAGE_SIZE];
-                s.store.read_page(id, &mut buf)?;
-                s.stats.reads += 1;
+                self.store.read_page_shared(id, &mut buf)?;
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                shard.stats.record_miss();
                 s.frames.insert(id, Arc::from(buf.into_boxed_slice()));
             }
         }
         Ok(())
     }
 
+    /// Fetches a page through its shard, charging the access to the pool.
     fn fetch(&self, id: PageId) -> io::Result<Arc<[u8]>> {
-        self.state.lock().fetch(id)
+        let shard = self.shard(id);
+        let mut s = shard.state.lock();
+        let outcome = s.pool.access(id);
+        shard.stats.record(&outcome);
+        match outcome {
+            AccessOutcome::Hit => Ok(Arc::clone(
+                s.frames.get(&id).expect("resident page has a frame"),
+            )),
+            AccessOutcome::Miss { evicted } => {
+                if let Some(victim) = evicted {
+                    s.frames.remove(&victim);
+                }
+                let mut buf = vec![0u8; PAGE_SIZE];
+                self.store.read_page_shared(id, &mut buf)?;
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
+                s.frames.insert(id, Arc::clone(&frame));
+                Ok(frame)
+            }
+            AccessOutcome::MissBypass => {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                self.store.read_page_shared(id, &mut buf)?;
+                shard.reads.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::from(buf.into_boxed_slice()))
+            }
+        }
+    }
+
+    /// The root frame for the uncharged MBR peek: read from the store at
+    /// most once per tree (the tree is immutable) and cached outside the
+    /// pool so the peek neither charges nor perturbs replacement state.
+    fn root_frame(&self) -> io::Result<Arc<[u8]>> {
+        if let Some(frame) = self.root_frame.get() {
+            return Ok(Arc::clone(frame));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.store
+            .read_page_shared(PageId(self.meta.root), &mut buf)?;
+        // Two racing threads may both read; both transfers really happened,
+        // so both count, but only one frame is kept.
+        self.peek_reads.fetch_add(1, Ordering::Relaxed);
+        let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
+        Ok(Arc::clone(self.root_frame.get_or_init(|| frame)))
     }
 
     /// Executes a region query; safe to call from many threads.
@@ -167,16 +379,7 @@ impl<S: PageStore> ConcurrentDiskRTree<S> {
 
         // Uncharged root peek (model semantics: a node is accessed iff its
         // MBR intersects the query).
-        let root_frame = {
-            let mut s = self.state.lock();
-            if let Some(f) = s.frames.get(&root) {
-                Arc::clone(f)
-            } else {
-                let mut buf = vec![0u8; PAGE_SIZE];
-                s.store.read_page(root, &mut buf)?;
-                Arc::from(buf.into_boxed_slice())
-            }
-        };
+        let root_frame = self.root_frame()?;
         let root_node = NodePage::decode(&root_frame)?;
         if root_node.entries.is_empty() {
             return Ok(results);
@@ -330,5 +533,219 @@ mod tests {
             plain.query(&q).unwrap();
         }
         assert_eq!(concurrent.physical_reads(), plain.physical_reads());
+    }
+
+    #[test]
+    fn shard_resolution_rules() {
+        // Explicit counts round up to a power of two…
+        assert_eq!(resolve_shards(3, 1024), 4);
+        assert_eq!(resolve_shards(8, 1024), 8);
+        // …but never exceed the capacity (every shard needs a frame).
+        assert_eq!(resolve_shards(8, 5), 4);
+        assert_eq!(resolve_shards(16, 1), 1);
+        // 0 = auto: one per hardware thread, still a power of two.
+        let auto = resolve_shards(0, 1 << 20);
+        assert!(auto.is_power_of_two() && auto >= 1);
+    }
+
+    #[test]
+    fn sharded_queries_match_in_memory() {
+        let rects = sample_rects(2_000);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let disk = Arc::new(
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 48, 4, LruPolicy::new)
+                .unwrap(),
+        );
+        assert_eq!(disk.shard_count(), 4);
+
+        let queries: Vec<Rect> = (0..96)
+            .map(|i| {
+                let x = (i as f64 * 0.41) % 0.85;
+                let y = (i as f64 * 0.23) % 0.85;
+                Rect::new(x, y, x + 0.08, y + 0.08)
+            })
+            .collect();
+        let expected: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| {
+                let mut v = tree.search(q);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let disk = Arc::clone(&disk);
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for (q, want) in queries.iter().zip(expected).skip(t).step_by(8) {
+                        let mut got = disk.query(q).unwrap();
+                        got.sort_unstable();
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+        });
+        let stats = disk.buffer_stats();
+        assert!(stats.accesses > 0);
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
+        assert!(disk.physical_reads() > 0);
+        assert_eq!(disk.io_stats().writes, 0);
+    }
+
+    #[test]
+    fn sharded_capacity_is_split_proportionally() {
+        let rects = sample_rects(1_000);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 10, 4, LruPolicy::new)
+                .unwrap();
+        let caps: Vec<usize> = disk
+            .shards
+            .iter()
+            .map(|s| s.state.lock().pool.capacity())
+            .collect();
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn root_peek_is_cached_and_counted() {
+        let rects = sample_rects(600);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 8, LruPolicy::new()).unwrap();
+        // A query outside every MBR touches only the root peek.
+        let far = Rect::new(0.995, 0.995, 1.0, 1.0);
+        for _ in 0..5 {
+            assert!(disk.query(&far).unwrap().is_empty());
+        }
+        let io = disk.io_stats();
+        assert_eq!(io.reads, 0, "root miss must not charge the buffer");
+        assert_eq!(io.peek_reads, 1, "peek is read once, then cached");
+        assert_eq!(io.total(), 1, "the physical transfer is not dropped");
+    }
+
+    #[test]
+    fn pin_out_of_range_is_an_error_not_a_panic() {
+        let rects = sample_rects(300);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 16, LruPolicy::new()).unwrap();
+        let levels = disk.meta().level_starts.len();
+        let err = disk.pin_top_levels(levels + 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // The valid range still works afterwards.
+        disk.pin_top_levels(1).unwrap();
+    }
+
+    #[test]
+    fn sharded_pinning_distributes_and_exempts() {
+        let rects = sample_rects(2_500);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk = Arc::new(
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 64, 4, LruPolicy::new)
+                .unwrap(),
+        );
+        disk.pin_top_levels(2).unwrap();
+        let pinned: usize = disk
+            .shards
+            .iter()
+            .map(|s| s.state.lock().pool.pinned_count())
+            .sum();
+        let expect = (disk.meta().level_starts[2] - 1) as usize;
+        assert_eq!(pinned, expect, "every top-level page pinned exactly once");
+        assert!(
+            disk.shards
+                .iter()
+                .filter(|s| s.state.lock().pool.pinned_count() > 0)
+                .count()
+                > 1,
+            "pinned pages should spread across shards"
+        );
+        disk.reset_counters();
+        disk.query(&Rect::point(Point::new(0.4, 0.4))).unwrap();
+        assert!(disk.physical_reads() <= u64::from(disk.meta().height));
+    }
+
+    /// Many threads query while another thread pins the top levels — the
+    /// latch protocol must keep results correct and the pool consistent.
+    #[test]
+    fn pin_while_querying_stress() {
+        let rects = sample_rects(3_000);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk = Arc::new(
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 128, 4, LruPolicy::new)
+                .unwrap(),
+        );
+        let queries: Vec<Rect> = (0..48)
+            .map(|i| {
+                let x = (i as f64 * 0.173) % 0.85;
+                let y = (i as f64 * 0.377) % 0.85;
+                Rect::new(x, y, x + 0.06, y + 0.06)
+            })
+            .collect();
+        let expected: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| {
+                let mut v = tree.search(q);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let disk = Arc::clone(&disk);
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..6 {
+                        for (q, want) in queries
+                            .iter()
+                            .zip(expected)
+                            .skip((t + round) % 8)
+                            .step_by(8)
+                        {
+                            let mut got = disk.query(q).unwrap();
+                            got.sort_unstable();
+                            assert_eq!(&got, want);
+                        }
+                    }
+                });
+            }
+            let pinner = Arc::clone(&disk);
+            scope.spawn(move || {
+                for p in [1usize, 2, 1, 2] {
+                    pinner.pin_top_levels(p).unwrap();
+                }
+            });
+        });
+        let stats = disk.buffer_stats();
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
+        // Pinned pages stayed pinned and within capacity.
+        for shard in disk.shards.iter() {
+            let s = shard.state.lock();
+            assert!(s.pool.len() <= s.pool.capacity());
+            assert_eq!(s.frames.len(), s.pool.len());
+        }
+    }
+
+    #[test]
+    fn reset_counters_clears_every_shard() {
+        let rects = sample_rects(1_000);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 32, 4, LruPolicy::new)
+                .unwrap();
+        for i in 0..20 {
+            let x = (i as f64 * 0.31) % 0.9;
+            disk.query(&Rect::new(x, x, x + 0.05, x + 0.05)).unwrap();
+        }
+        assert!(disk.physical_reads() > 0);
+        disk.reset_counters();
+        assert_eq!(disk.io_stats(), IoStats::default());
+        assert_eq!(disk.buffer_stats(), BufferStats::default());
     }
 }

@@ -21,6 +21,25 @@ pub trait PageStore {
     fn flush(&mut self) -> io::Result<()>;
 }
 
+/// Page stores whose reads are safe from many threads at once (`&self`).
+///
+/// The sharded [`crate::ConcurrentDiskRTree`] keeps its shard latches
+/// disjoint; this trait keeps the *store* off the critical path too, so a
+/// miss in one shard never serializes against a miss in another. A shared
+/// read must return the page as of some completed write — trivial here
+/// because the concurrent tree never writes after materialization.
+pub trait SharedPageStore: PageStore {
+    /// Reads page `id` into `buf` (`buf.len() == PAGE_SIZE`) without
+    /// exclusive access to the store.
+    fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()>;
+}
+
+impl<S: SharedPageStore + ?Sized> SharedPageStore for &mut S {
+    fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        (**self).read_page_shared(id, buf)
+    }
+}
+
 impl<S: PageStore + ?Sized> PageStore for &mut S {
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
         (**self).read_page(id, buf)
@@ -90,6 +109,15 @@ impl PageStore for MemStore {
     }
 
     fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedPageStore for MemStore {
+    fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let off = self.check(id)?;
+        buf.copy_from_slice(&self.data[off..off + PAGE_SIZE]);
         Ok(())
     }
 }
@@ -172,6 +200,48 @@ impl PageStore for FileStore {
     }
 }
 
+impl SharedPageStore for FileStore {
+    /// Positional reads (`pread`/`seek_read`) share the file without
+    /// touching the descriptor's seek cursor, so concurrent shard misses
+    /// read in parallel.
+    fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        if id.0 >= self.pages {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("page {} out of bounds", id.0),
+            ));
+        }
+        let off = id.0 * PAGE_SIZE as u64;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, off)
+        }
+        #[cfg(windows)]
+        {
+            use std::os::windows::fs::FileExt;
+            let mut done = 0usize;
+            while done < buf.len() {
+                let n = self.file.seek_read(&mut buf[done..], off + done as u64)?;
+                if n == 0 {
+                    return Err(io::ErrorKind::UnexpectedEof.into());
+                }
+                done += n;
+            }
+            Ok(())
+        }
+        #[cfg(not(any(unix, windows)))]
+        {
+            let _ = off;
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no positional read primitive on this platform",
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +287,33 @@ mod tests {
             let mut out = vec![0u8; PAGE_SIZE];
             fs.read_page(PageId(1), &mut out).unwrap();
             assert_eq!(out[0], 0xAA);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_reads_match_exclusive_reads() {
+        let dir = std::env::temp_dir().join(format!("rtree-pager-shared-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.pages");
+
+        let mut mem = MemStore::new();
+        let mut file = FileStore::create(&path).unwrap();
+        for store in [&mut mem as &mut dyn PageStore, &mut file] {
+            for i in 0..3u8 {
+                let id = store.allocate().unwrap();
+                let mut page = vec![0u8; PAGE_SIZE];
+                page[0] = i;
+                store.write_page(id, &page).unwrap();
+            }
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for store in [&mem as &dyn SharedPageStore, &file] {
+            for i in 0..3u64 {
+                store.read_page_shared(PageId(i), &mut buf).unwrap();
+                assert_eq!(buf[0], i as u8);
+            }
+            assert!(store.read_page_shared(PageId(9), &mut buf).is_err());
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
