@@ -19,10 +19,15 @@
 use rtree_bench::{f, flag, synthetic_region, Loader, Table};
 use rtree_buffer::LruPolicy;
 use rtree_core::Workload;
+use rtree_obs::Histogram;
 use rtree_pager::{ConcurrentDiskRTree, MemStore};
 use rtree_sim::QuerySampler;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Time every Nth query; sparse sampling keeps the timing syscalls off the
+/// throughput-critical path while still filling the latency histogram.
+const LATENCY_SAMPLE_EVERY: usize = 8;
 
 fn main() {
     let cap = 50;
@@ -53,6 +58,8 @@ fn main() {
             "speedup",
             "disk reads/query",
             "hit ratio",
+            "p50 us",
+            "p99 us",
         ],
     );
 
@@ -76,17 +83,32 @@ fn main() {
             disk.reset_counters();
 
             let started = Instant::now();
-            std::thread::scope(|scope| {
-                for t in 0..threads {
-                    let disk = Arc::clone(&disk);
-                    let workload = workload.clone();
-                    scope.spawn(move || {
-                        let mut sampler = QuerySampler::new(&workload, 0xBEEF + t as u64);
-                        for _ in 0..queries_per_thread {
-                            disk.query(&sampler.sample()).expect("query");
-                        }
-                    });
+            let latency = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let disk = Arc::clone(&disk);
+                        let workload = workload.clone();
+                        scope.spawn(move || {
+                            let mut sampler = QuerySampler::new(&workload, 0xBEEF + t as u64);
+                            let mut hist = Histogram::new();
+                            for i in 0..queries_per_thread {
+                                if i % LATENCY_SAMPLE_EVERY == 0 {
+                                    let t0 = Instant::now();
+                                    disk.query(&sampler.sample()).expect("query");
+                                    hist.record(t0.elapsed().as_nanos() as u64);
+                                } else {
+                                    disk.query(&sampler.sample()).expect("query");
+                                }
+                            }
+                            hist
+                        })
+                    })
+                    .collect();
+                let mut merged = Histogram::new();
+                for h in handles {
+                    merged.merge(&h.join().expect("worker thread"));
                 }
+                merged
             });
             let elapsed = started.elapsed().as_secs_f64();
             let total_queries = (threads * queries_per_thread) as f64;
@@ -104,6 +126,8 @@ fn main() {
                 format!("{:.2}", qps / baseline_qps),
                 f(disk.physical_reads() as f64 / total_queries),
                 f(stats.hit_ratio()),
+                format!("{:.1}", latency.quantile(0.50) as f64 / 1_000.0),
+                format!("{:.1}", latency.quantile(0.99) as f64 / 1_000.0),
             ]);
         }
     }

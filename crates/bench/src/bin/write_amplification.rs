@@ -11,8 +11,10 @@
 
 use rtree_bench::{f, synthetic_region, Table};
 use rtree_buffer::LruPolicy;
+use rtree_obs::Histogram;
 use rtree_pager::{DiskRTree, MemStore};
 use rtree_wal::{LogBackend, MemLog, Wal};
+use std::time::Instant;
 
 /// Checkpoint interval in operations: bounds the log and models a steady
 /// write-back cadence.
@@ -39,6 +41,8 @@ fn main() {
             "reads/insert",
             "WAL KiB/insert",
             "nodes",
+            "p50 us",
+            "p99 us",
         ],
     );
 
@@ -49,8 +53,11 @@ fn main() {
         disk.attach_wal(Wal::open(log.clone()).expect("wal"));
 
         let mut wal_bytes = 0u64;
+        let mut latency = Histogram::new();
         for (id, r) in rects.iter().enumerate() {
+            let t0 = Instant::now();
             disk.insert(*r, id as u64).expect("insert");
+            latency.record(t0.elapsed().as_nanos() as u64);
             if (id + 1) % CHECKPOINT_EVERY == 0 {
                 wal_bytes += log.len();
                 disk.checkpoint().expect("checkpoint");
@@ -66,6 +73,8 @@ fn main() {
             f(stats.reads as f64 / n as f64),
             f(wal_bytes as f64 / 1024.0 / n as f64),
             nodes.to_string(),
+            format!("{:.1}", latency.quantile(0.50) as f64 / 1_000.0),
+            format!("{:.1}", latency.quantile(0.99) as f64 / 1_000.0),
         ]);
     }
 

@@ -31,6 +31,10 @@ pub(crate) fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Flags that are presence toggles and take no value. Everything else uses
+/// the uniform `--key value` form.
+const BOOL_FLAGS: &[&str] = &["json", "prom"];
+
 impl Args {
     /// Parses raw arguments (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, CliError> {
@@ -46,9 +50,12 @@ impl Args {
                 if name == "help" {
                     return Err(err("help"));
                 }
-                let value = iter
-                    .next()
-                    .ok_or_else(|| err(format!("--{name} needs a value")))?;
+                let value = if BOOL_FLAGS.contains(&name) {
+                    "true".to_string()
+                } else {
+                    iter.next()
+                        .ok_or_else(|| err(format!("--{name} needs a value")))?
+                };
                 if flags.insert(name.to_string(), value).is_some() {
                     return Err(err(format!("--{name} given twice")));
                 }
@@ -68,6 +75,11 @@ impl Args {
     /// A string flag.
     pub fn flag(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
+    }
+
+    /// True when a presence-toggle flag (e.g. `--json`) was given.
+    pub fn flag_bool(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// A parsed flag with a default.
@@ -143,6 +155,19 @@ mod tests {
             .unwrap()
             .flag_list("buffers", &[])
             .is_err());
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let a = parse("trace d.csv --json --policy LRU --prom").unwrap();
+        assert!(a.flag_bool("json"));
+        assert!(a.flag_bool("prom"));
+        assert!(!a.flag_bool("csv"));
+        assert_eq!(a.flag("policy"), Some("LRU"));
+        // A bool flag at the end must not swallow a missing value error
+        // elsewhere.
+        assert!(parse("trace d.csv --policy").is_err());
+        assert!(parse("trace d.csv --json --json").is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "simulate" => simulate(args),
         "update" => update(args),
         "concurrent" => concurrent(args),
+        "trace" => trace(args),
         other => Err(err(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -340,6 +341,216 @@ fn concurrent(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn trace(args: &Args) -> Result<String, CliError> {
+    use rtree_bench::Table;
+    use rtree_obs::{PerLevelSink, PromText, TraceSink};
+    use rtree_pager::{ConcurrentDiskRTree, MemStore};
+    use std::sync::Arc;
+
+    args.allow_flags(&[
+        "loader", "cap", "buffer", "threads", "shards", "pin", "queries", "workload", "policy",
+        "seed", "json", "prom",
+    ])?;
+    if args.flag_bool("json") && args.flag_bool("prom") {
+        return Err(err("--json and --prom are mutually exclusive"));
+    }
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 50usize)?;
+    if !(4..=rtree_pager::MAX_ENTRIES_PER_PAGE).contains(&cap) {
+        return Err(err(format!(
+            "--cap must be in 4..={}",
+            rtree_pager::MAX_ENTRIES_PER_PAGE
+        )));
+    }
+    let buffer: usize = args.flag_or("buffer", 100usize)?;
+    if buffer == 0 {
+        return Err(err("--buffer must be positive"));
+    }
+    let threads: usize = args.flag_or("threads", 1usize)?;
+    if threads == 0 {
+        return Err(err("--threads must be positive"));
+    }
+    // One shard by default: the paper's sequential accounting, so the trace
+    // reconciles against a single pool's counters.
+    let shards: usize = args.flag_or("shards", 1usize)?;
+    let pin: usize = args.flag_or("pin", 0usize)?;
+    let queries: usize = args.flag_or("queries", 10_000usize)?;
+    let seed: u64 = args.flag_or("seed", 0x7ACEu64)?;
+    let workload = parse_workload(args.flag("workload").unwrap_or("region:0.05:0.05"))?;
+    let policy_name = args.flag("policy").unwrap_or("LRU");
+    make_policy(policy_name, seed)?; // validate the name before the build
+    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
+
+    let mut disk =
+        ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, || {
+            make_policy(policy_name, seed).expect("validated above")
+        })
+        .map_err(|e| err(format!("creating tree: {e}")))?;
+    // The sink must be installed before the tree is shared across threads.
+    let sink = Arc::new(PerLevelSink::new());
+    disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+    let disk = Arc::new(disk);
+    if pin > 0 {
+        disk.pin_top_levels(pin)
+            .map_err(|e| err(format!("pinning: {e}")))?;
+    }
+
+    let per_thread = queries.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let disk = Arc::clone(&disk);
+                let workload = workload.clone();
+                scope.spawn(move || -> Result<(), String> {
+                    let mut sampler = QuerySampler::new(&workload, seed + 1 + t as u64);
+                    for _ in 0..per_thread {
+                        disk.query(&sampler.sample())
+                            .map_err(|e| format!("query: {e}"))?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .map_err(|_| err("worker thread panicked"))?
+                .map_err(CliError)?;
+        }
+        Ok::<(), CliError>(())
+    })?;
+
+    let height = disk.meta().height as i16;
+    let stats = disk.io_stats();
+    let pool = disk.buffer_stats();
+    let counts = sink.counts();
+    let metrics = disk.query_metrics();
+    // All worker threads have been joined, so the relaxed counters are
+    // final: the event stream must reconcile exactly with the I/O and pool
+    // statistics.
+    let reconciled = counts.misses == stats.reads
+        && counts.peek_reads == stats.peek_reads
+        && counts.write_backs == stats.writes
+        && counts.accesses() == pool.accesses;
+
+    // Report levels in the paper's orientation: root = level 0.
+    let mut levels = sink.level_counts();
+    levels.reverse();
+    let paper_level = |onpage: i16| {
+        if onpage < 0 {
+            "-".to_string()
+        } else {
+            (height - 1 - onpage).to_string()
+        }
+    };
+
+    if args.flag_bool("prom") {
+        let mut prom = PromText::new();
+        prom.counter(
+            "rtree_trace_events_total",
+            "Trace events by kind",
+            &[("kind", "hit")],
+            counts.hits,
+        );
+        prom.counter(
+            "rtree_trace_events_total",
+            "Trace events by kind",
+            &[("kind", "miss")],
+            counts.misses,
+        );
+        prom.counter(
+            "rtree_trace_events_total",
+            "Trace events by kind",
+            &[("kind", "peek_read")],
+            counts.peek_reads,
+        );
+        for lc in &levels {
+            let l = paper_level(lc.level);
+            prom.counter(
+                "rtree_trace_level_hits_total",
+                "Pool hits per tree level (root = 0)",
+                &[("level", &l)],
+                lc.hits,
+            );
+            prom.counter(
+                "rtree_trace_level_misses_total",
+                "Physical reads per tree level (root = 0)",
+                &[("level", &l)],
+                lc.misses,
+            );
+        }
+        prom.histogram(
+            "rtree_query_latency_ns",
+            "Wall-clock query latency (ns)",
+            &[],
+            &metrics.latency_ns,
+        );
+        prom.histogram(
+            "rtree_query_reads",
+            "Physical reads per query",
+            &[],
+            &metrics.reads_per_query,
+        );
+        prom.histogram(
+            "rtree_query_pins",
+            "Pages accessed per query",
+            &[],
+            &metrics.pins_per_query,
+        );
+        return Ok(prom.into_string());
+    }
+
+    let mut table = Table::new(
+        format!(
+            "per-level buffer trace: {queries} queries, {} policy, buffer {buffer}, {} shards",
+            policy_name.to_uppercase(),
+            disk.shard_count(),
+        ),
+        &["level", "accesses", "hits", "misses", "hit ratio"],
+    );
+    for lc in &levels {
+        table.row(vec![
+            paper_level(lc.level),
+            (lc.hits + lc.misses).to_string(),
+            lc.hits.to_string(),
+            lc.misses.to_string(),
+            format!("{:.4}", lc.hit_ratio()),
+        ]);
+    }
+    if args.flag_bool("json") {
+        return Ok(table.to_json());
+    }
+
+    let lat = &metrics.latency_ns;
+    let mut out = table.render();
+    writeln!(
+        out,
+        "totals: {} accesses, {} hits, {} misses, {} root peek reads",
+        counts.accesses(),
+        counts.hits,
+        counts.misses,
+        counts.peek_reads,
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "latency/query: p50 {:.1} us, p99 {:.1} us (upper bucket bounds, {} samples)",
+        lat.quantile(0.50) as f64 / 1_000.0,
+        lat.quantile(0.99) as f64 / 1_000.0,
+        lat.count(),
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "reconciled with IoStats/BufferStats: {}",
+        if reconciled { "yes" } else { "NO" },
+    )
+    .expect("string write");
+    Ok(out)
+}
+
 fn update(args: &Args) -> Result<String, CliError> {
     use rtree_pager::{DiskRTree, MemStore};
     use rtree_wal::{LogBackend, MemLog, Wal};
@@ -491,6 +702,57 @@ mod tests {
         // Bad configurations surface as errors, not panics.
         assert!(run(&args(&format!("concurrent {} --threads 0", data.display()))).is_err());
         assert!(run(&args(&format!("concurrent {} --pin 99", data.display()))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_reports_per_level_hit_ratios() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        run(&args(&format!(
+            "generate region:2000 --seed 11 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "trace {} --cap 10 --buffer 30 --queries 1500",
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("per-level buffer trace"), "got: {out}");
+        assert!(out.contains("hit ratio"), "got: {out}");
+        assert!(
+            out.contains("reconciled with IoStats/BufferStats: yes"),
+            "got: {out}"
+        );
+        assert!(out.contains("p50"), "got: {out}");
+        // The paper orientation puts the root at level 0.
+        assert!(
+            out.lines().any(|l| l.trim_start().starts_with("0 ")),
+            "got: {out}"
+        );
+
+        let json = run(&args(&format!(
+            "trace {} --cap 10 --buffer 30 --queries 500 --json",
+            data.display()
+        )))
+        .unwrap();
+        assert!(json.contains("\"rows\""), "got: {json}");
+        assert!(json.contains("\"hit ratio\""), "got: {json}");
+
+        let prom = run(&args(&format!(
+            "trace {} --cap 10 --buffer 30 --queries 500 --prom --threads 2 --shards 2",
+            data.display()
+        )))
+        .unwrap();
+        assert!(
+            prom.contains("# TYPE rtree_trace_events_total counter"),
+            "got: {prom}"
+        );
+        assert!(prom.contains("rtree_query_latency_ns_count"), "got: {prom}");
+
+        assert!(run(&args(&format!("trace {} --json --prom", data.display()))).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -55,5 +55,14 @@ USAGE:
       hardware thread, 1 = the paper's sequential accounting) and reports
       throughput, physical reads per query, and the pool hit ratio.
 
+  rtrees trace <DATA.csv> [--loader L] [--cap N] [--buffer B] [--threads T]
+               [--shards S] [--pin P] [--queries N] [--workload W]
+               [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N] [--json | --prom]
+      Runs the query workload with the I/O trace layer attached and prints
+      the measured per-level hit-ratio table (root = level 0), totals,
+      p50/p99 query latency, and whether the event stream reconciles
+      exactly with the I/O counters. --json emits the table as JSON;
+      --prom emits Prometheus-style text metrics instead.
+
 Common: --help prints this text.
 ";

@@ -72,6 +72,62 @@ fn pipeline_through_the_real_binary() {
 }
 
 #[test]
+fn trace_through_the_real_binary() {
+    let dir = std::env::temp_dir().join(format!("rtrees-bin-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.csv");
+
+    let out = rtrees()
+        .args(["generate", "region:1200", "--seed", "13", "--out"])
+        .arg(&data)
+        .output()
+        .expect("spawn rtrees generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = rtrees()
+        .args(["trace"])
+        .arg(&data)
+        .args(["--cap", "10", "--buffer", "25", "--queries", "1000"])
+        .output()
+        .expect("spawn rtrees trace");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-level buffer trace"), "got: {text}");
+    assert!(
+        text.contains("reconciled with IoStats/BufferStats: yes"),
+        "got: {text}"
+    );
+
+    let out = rtrees()
+        .args(["trace"])
+        .arg(&data)
+        .args([
+            "--cap",
+            "10",
+            "--buffer",
+            "25",
+            "--queries",
+            "400",
+            "--json",
+        ])
+        .output()
+        .expect("spawn rtrees trace --json");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rows\""), "got: {text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn help_and_errors() {
     let out = rtrees().arg("--help").output().expect("spawn");
     assert!(out.status.success());

@@ -1,0 +1,164 @@
+//! Prometheus-style text exposition for counters and histograms.
+
+use crate::hist::Histogram;
+
+/// Builds a Prometheus text-format document incrementally.
+///
+/// Only the subset the CLI and benches need: `counter` and `gauge`
+/// samples, and `histogram` families rendered as cumulative `le` buckets
+/// plus `_sum` / `_count`. Buckets are the crate's power-of-two buckets,
+/// emitted up to the highest non-empty one, then `+Inf`.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// Starts an empty document.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    fn labels(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Appends one counter sample.
+    pub fn counter(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) -> &mut Self {
+        self.header(name, help, "counter");
+        let l = Self::labels(labels);
+        self.out.push_str(&format!("{name}{l} {value}\n"));
+        self
+    }
+
+    /// Appends one gauge sample.
+    pub fn gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) -> &mut Self {
+        self.header(name, help, "gauge");
+        let l = Self::labels(labels);
+        self.out.push_str(&format!("{name}{l} {value}\n"));
+        self
+    }
+
+    /// Appends a histogram family: cumulative `le` buckets (upper bound of
+    /// each non-empty power-of-two bucket and everything below it), then
+    /// `+Inf`, `_sum` and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+    ) -> &mut Self {
+        self.header(name, help, "histogram");
+        let counts = hist.bucket_counts();
+        let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            cumulative += c;
+            let (_, upper) = Histogram::bucket_bounds(i);
+            let le = Self::merge_labels(labels, "le", &upper.to_string());
+            self.out
+                .push_str(&format!("{name}_bucket{le} {cumulative}\n"));
+        }
+        let le = Self::merge_labels(labels, "le", "+Inf");
+        self.out
+            .push_str(&format!("{name}_bucket{le} {}\n", hist.count()));
+        let l = Self::labels(labels);
+        self.out
+            .push_str(&format!("{name}_sum{l} {}\n", hist.sum()));
+        self.out
+            .push_str(&format!("{name}_count{l} {}\n", hist.count()));
+        self
+    }
+
+    fn merge_labels(labels: &[(&str, &str)], extra_key: &str, extra_val: &str) -> String {
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push((extra_key, extra_val));
+        Self::labels(&all)
+    }
+
+    /// The document built so far.
+    pub fn render(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the builder, returning the document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_format() {
+        let mut p = PromText::new();
+        p.counter(
+            "rtree_reads_total",
+            "Physical reads.",
+            &[("level", "0")],
+            42,
+        );
+        p.gauge("rtree_hit_ratio", "Pool hit ratio.", &[], 0.5);
+        let text = p.render();
+        assert!(text.contains("# HELP rtree_reads_total Physical reads.\n"));
+        assert!(text.contains("# TYPE rtree_reads_total counter\n"));
+        assert!(text.contains("rtree_reads_total{level=\"0\"} 42\n"));
+        assert!(text.contains("# TYPE rtree_hit_ratio gauge\n"));
+        assert!(text.contains("rtree_hit_ratio 0.5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 8] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("q_lat", "Query latency.", &[], &h);
+        let text = p.render();
+        // bucket uppers: 0 -> 0, 1 -> 1, 3 -> 3, 7 -> 3, 15 -> 4 samples
+        assert!(text.contains("q_lat_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("q_lat_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("q_lat_bucket{le=\"7\"} 3\n"), "{text}");
+        assert!(text.contains("q_lat_bucket{le=\"15\"} 4\n"), "{text}");
+        assert!(text.contains("q_lat_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("q_lat_sum 14\n"), "{text}");
+        assert!(text.contains("q_lat_count 4\n"), "{text}");
+        // No buckets beyond the highest non-empty one (other than +Inf).
+        assert!(!text.contains("le=\"31\""), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_still_renders() {
+        let h = Histogram::new();
+        let mut p = PromText::new();
+        p.histogram("x", "Empty.", &[], &h);
+        let text = p.render();
+        assert!(text.contains("x_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("x_count 0\n"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Fixed-bucket power-of-two histograms.
+//!
+//! Bucket `0` holds the value 0; bucket `i` (for `i >= 1`) holds values in
+//! `[2^(i-1), 2^i - 1]`. With 65 buckets the full `u64` range is covered,
+//! `record` is two instructions, and `merge` is a plain vector add — which
+//! makes merging associative and commutative, so per-thread histograms can
+//! be combined in any order (the property test suite checks exactly this).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: the value 0, plus one bucket per binary magnitude.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A plain (single-writer) power-of-two histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds every bucket of `other` into `self`. Associative and
+    /// commutative: merging per-thread histograms in any order yields the
+    /// same result as recording every sample into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts (index = bucket).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Inclusive `[lower, upper]` value range of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        (bucket_lower(i), bucket_upper(i))
+    }
+
+    /// The bucket holding the `q`-quantile sample (the `k`-th smallest with
+    /// `k = max(1, ceil(q * count))`), or `None` when empty.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let k = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= k {
+                return Some(i);
+            }
+        }
+        Some(BUCKETS - 1)
+    }
+
+    /// Bounds on the `q`-quantile: the true quantile sample lies within the
+    /// returned inclusive `[lower, upper]` range (one bucket of slack).
+    /// Returns `(0, 0)` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        match self.quantile_bucket(q) {
+            None => (0, 0),
+            Some(i) => Self::bucket_bounds(i),
+        }
+    }
+
+    /// Point estimate of the `q`-quantile: the upper bound of its bucket
+    /// (a conservative estimate, never below the true quantile).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+}
+
+/// A [`Histogram`] recorded through relaxed atomics — the same pattern as
+/// the sharded pool's statistics: many writers increment, readers snapshot
+/// without any latch. Counts are exact; only inter-counter ordering is
+/// relaxed, which a monotonic read does not care about.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram::default()
+    }
+
+    /// Records one sample (relaxed; safe from any thread).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Copies the counters into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.counts.iter_mut().zip(&self.counts) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The three per-query distributions the query paths maintain when tracing
+/// is enabled: wall-clock latency, physical reads per query, and pins per
+/// query (pages accessed through the pool — each access pins the frame for
+/// the duration of the node visit).
+#[derive(Debug, Default)]
+pub struct QueryMetrics {
+    latency_ns: AtomicHistogram,
+    reads_per_query: AtomicHistogram,
+    pins_per_query: AtomicHistogram,
+}
+
+/// A point-in-time copy of [`QueryMetrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryMetricsSnapshot {
+    /// Wall-clock query latency in nanoseconds.
+    pub latency_ns: Histogram,
+    /// Physical page reads per query.
+    pub reads_per_query: Histogram,
+    /// Pages accessed (pinned) per query.
+    pub pins_per_query: Histogram,
+}
+
+impl QueryMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        QueryMetrics::default()
+    }
+
+    /// Records one finished query.
+    pub fn record_query(&self, latency_ns: u64, reads: u64, pins: u64) {
+        self.latency_ns.record(latency_ns);
+        self.reads_per_query.record(reads);
+        self.pins_per_query.record(pins);
+    }
+
+    /// Snapshots all three histograms.
+    pub fn snapshot(&self) -> QueryMetricsSnapshot {
+        QueryMetricsSnapshot {
+            latency_ns: self.latency_ns.snapshot(),
+            reads_per_query: self.reads_per_query.snapshot(),
+            pins_per_query: self.pins_per_query.snapshot(),
+        }
+    }
+
+    /// Zeroes all three histograms.
+    pub fn reset(&self) {
+        self.latency_ns.reset();
+        self.reads_per_query.reset();
+        self.pins_per_query.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+            if i > 0 {
+                assert_eq!(Histogram::bucket_bounds(i - 1).1 + 1, lo, "bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_count_sum_quantile() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 9, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 116);
+        assert!((h.mean() - 116.0 / 6.0).abs() < 1e-9);
+        // The median (3rd smallest = 1) lives in bucket 1.
+        let (lo, hi) = h.quantile_bounds(0.5);
+        assert!(lo <= 1 && 1 <= hi);
+        // p100 bounds the max within its bucket [64, 127].
+        let (lo, hi) = h.quantile_bounds(1.0);
+        assert!(lo <= 100 && 100 <= hi);
+        assert_eq!(h.quantile(1.0), 127);
+        // q = 0 means the minimum's bucket.
+        assert_eq!(h.quantile_bounds(0.0), (0, 0));
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile_bounds(0.99), (0, 0));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100u64 {
+            all.record(v * v);
+            if v % 2 == 0 {
+                a.record(v * v);
+            } else {
+                b.record(v * v);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain() {
+        let ah = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 0, 255, 256] {
+            ah.record(v);
+            h.record(v);
+        }
+        assert_eq!(ah.snapshot(), h);
+        ah.reset();
+        assert_eq!(ah.snapshot(), Histogram::new());
+    }
+
+    #[test]
+    fn query_metrics_round_trip() {
+        let m = QueryMetrics::new();
+        m.record_query(1_000, 3, 7);
+        m.record_query(2_000, 0, 5);
+        let s = m.snapshot();
+        assert_eq!(s.latency_ns.count(), 2);
+        assert_eq!(s.reads_per_query.sum(), 3);
+        assert_eq!(s.pins_per_query.sum(), 12);
+        m.reset();
+        assert_eq!(m.snapshot().latency_ns.count(), 0);
+    }
+
+    #[test]
+    fn saturating_sum_does_not_wrap() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+}

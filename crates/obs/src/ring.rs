@@ -1,0 +1,257 @@
+//! A lock-free, per-thread ring sink that keeps the events themselves.
+//!
+//! Every recording thread gets its own fixed-capacity ring; `record` is a
+//! relaxed load, a slot write and a release store — no CAS, no shared
+//! cache line with other writers. The registry of rings is only locked
+//! when a thread records through a given sink for the first time (or when
+//! draining), so the steady state is contention-free.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{IoEvent, TraceSink};
+
+/// One thread's ring. Exactly one thread writes; `written` is released
+/// after each slot write so a reader that observes `written >= n` also
+/// observes the first `n` slot writes.
+struct ThreadRing {
+    slots: Box<[UnsafeCell<IoEvent>]>,
+    written: AtomicUsize,
+}
+
+// A ring is shared between its single writer thread and readers that only
+// look at slots already published through the release store of `written`
+// (and, for the ring as a whole, only after quiescence — see
+// [`RingSink::events`]).
+unsafe impl Sync for ThreadRing {}
+unsafe impl Send for ThreadRing {}
+
+impl ThreadRing {
+    fn new(capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(IoEvent::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ThreadRing {
+            slots,
+            written: AtomicUsize::new(0),
+        }
+    }
+
+    /// Called only from the owning thread.
+    fn push(&self, event: IoEvent) {
+        let n = self.written.load(Ordering::Relaxed);
+        let idx = n % self.slots.len();
+        // SAFETY: this thread is the ring's only writer, and readers only
+        // dereference slots whose indices they learned from an acquire load
+        // of `written` *after the writer thread has quiesced* (documented
+        // contract of `RingSink::events`), so no slot is read while being
+        // written.
+        unsafe { *self.slots[idx].get() = event };
+        self.written.store(n + 1, Ordering::Release);
+    }
+
+    /// Events still resident, oldest first.
+    fn drain_snapshot(&self, out: &mut Vec<IoEvent>) {
+        let n = self.written.load(Ordering::Acquire);
+        let cap = self.slots.len();
+        let kept = n.min(cap);
+        let start = n - kept;
+        for i in start..n {
+            // SAFETY: `i < written`, so the slot was fully published by the
+            // release store; quiescence (no concurrent writer) is the
+            // caller's contract.
+            out.push(unsafe { *self.slots[i % cap].get() });
+        }
+    }
+}
+
+/// Process-wide id source so each sink's thread-local cache entries can't
+/// be confused across distinct sinks.
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(sink_id, ring)` pairs for every RingSink this thread has recorded
+    /// into. Sinks are few and long-lived, so a linear scan beats a map.
+    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`TraceSink`] that retains the most recent events per thread in
+/// lock-free rings.
+///
+/// `record` never blocks and never contends: each thread writes its own
+/// ring. `recorded()` is exact (relaxed atomic total); `events()` returns
+/// the retained events and is only exact-and-race-free **after the
+/// recording threads have quiesced** (e.g. after `thread::scope` joins) —
+/// the differential suite relies on exactly that join-then-drain pattern.
+pub struct RingSink {
+    id: u64,
+    per_thread_capacity: usize,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    recorded: AtomicU64,
+}
+
+impl RingSink {
+    /// Creates a sink whose rings each retain `per_thread_capacity` events.
+    pub fn new(per_thread_capacity: usize) -> Self {
+        assert!(per_thread_capacity > 0, "ring capacity must be nonzero");
+        RingSink {
+            id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+            per_thread_capacity,
+            rings: Mutex::new(Vec::new()),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Total events ever recorded (exact, even those since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events that fell off a full ring: `recorded() - retained`.
+    pub fn dropped(&self) -> u64 {
+        let retained: u64 = self
+            .rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.written.load(Ordering::Acquire).min(r.slots.len()) as u64)
+            .sum();
+        self.recorded() - retained
+    }
+
+    /// Number of distinct threads that have recorded into this sink.
+    pub fn threads(&self) -> usize {
+        self.rings.lock().unwrap().len()
+    }
+
+    /// All retained events, grouped by recording thread (oldest first
+    /// within a thread). Exact only once recording threads have quiesced;
+    /// a ring with a still-active writer may be mid-overwrite.
+    pub fn events(&self) -> Vec<IoEvent> {
+        let rings = self.rings.lock().unwrap();
+        let mut out = Vec::new();
+        for ring in rings.iter() {
+            ring.drain_snapshot(&mut out);
+        }
+        out
+    }
+
+    fn ring_for_this_thread(&self) -> Arc<ThreadRing> {
+        LOCAL_RINGS.with(|cell| {
+            let mut local = cell.borrow_mut();
+            if let Some((_, ring)) = local.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(ring);
+            }
+            let ring = Arc::new(ThreadRing::new(self.per_thread_capacity));
+            self.rings.lock().unwrap().push(Arc::clone(&ring));
+            local.push((self.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: IoEvent) {
+        self.ring_for_this_thread().push(event);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingSink")
+            .field("per_thread_capacity", &self.per_thread_capacity)
+            .field("threads", &self.threads())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(query_id: u64, page_id: u64) -> IoEvent {
+        IoEvent {
+            query_id,
+            page_id,
+            level: 0,
+            kind: EventKind::Miss,
+            ns: 0,
+        }
+    }
+
+    #[test]
+    fn retains_events_in_order() {
+        let sink = RingSink::new(16);
+        for i in 0..5 {
+            sink.record(ev(1, i));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(sink.recorded(), 5);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.threads(), 1);
+        let pages: Vec<u64> = events.iter().map(|e| e.page_id).collect();
+        assert_eq!(pages, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let sink = RingSink::new(4);
+        for i in 0..10 {
+            sink.record(ev(1, i));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(sink.recorded(), 10);
+        assert_eq!(sink.dropped(), 6);
+        let pages: Vec<u64> = events.iter().map(|e| e.page_id).collect();
+        assert_eq!(pages, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn distinct_sinks_get_distinct_rings() {
+        let a = RingSink::new(8);
+        let b = RingSink::new(8);
+        a.record(ev(1, 1));
+        b.record(ev(2, 2));
+        b.record(ev(2, 3));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 2);
+    }
+
+    #[test]
+    fn threads_keep_separate_rings_and_nothing_is_lost() {
+        let sink = RingSink::new(1024);
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        sink.record(ev(t, i));
+                    }
+                });
+            }
+        });
+        // Threads have joined: the snapshot is exact.
+        assert_eq!(sink.threads(), THREADS as usize);
+        assert_eq!(sink.recorded(), THREADS * PER_THREAD);
+        assert_eq!(sink.dropped(), 0);
+        let events = sink.events();
+        assert_eq!(events.len(), (THREADS * PER_THREAD) as usize);
+        for t in 0..THREADS {
+            let from_t: Vec<u64> = events
+                .iter()
+                .filter(|e| e.query_id == t)
+                .map(|e| e.page_id)
+                .collect();
+            assert_eq!(from_t, (0..PER_THREAD).collect::<Vec<u64>>());
+        }
+    }
+}

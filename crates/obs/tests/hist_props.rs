@@ -1,0 +1,107 @@
+//! Property tests for the power-of-two histogram (ISSUE 3, satellite 2):
+//! `record`/`merge` is associative and commutative, bucket counts sum to
+//! the sample count, and quantile estimates bound the true value within
+//! one bucket.
+
+use proptest::prelude::*;
+use rtree_obs::Histogram;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// The true q-quantile of a sample set, matching the histogram's
+/// definition: the k-th smallest with k = max(1, ceil(q * n)).
+fn true_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let k = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[k - 1]
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..32),
+        b in prop::collection::vec(any::<u64>(), 0..32),
+        c in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_sample_count(
+        samples in prop::collection::vec(any::<u64>(), 0..256),
+    ) {
+        let h = hist_of(&samples);
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn quantile_bounds_the_true_value_within_one_bucket(
+        samples in prop::collection::vec(any::<u64>(), 1..128),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&samples);
+        let truth = true_quantile(&samples, q);
+        let (lo, hi) = h.quantile_bounds(q);
+        // The true quantile sample lies inside its estimated bucket…
+        prop_assert!(lo <= truth && truth <= hi,
+            "q={} truth={} bounds=[{}, {}]", q, truth, lo, hi);
+        // …and the point estimate is the bucket's upper bound, i.e. within
+        // one power-of-two bucket of the truth and never below it.
+        prop_assert_eq!(h.quantile(q), hi);
+    }
+
+    #[test]
+    fn small_value_buckets_are_exact(
+        samples in prop::collection::vec(0u64..2, 1..64),
+        q in 0.0f64..=1.0,
+    ) {
+        // Values 0 and 1 each get a dedicated bucket, so the estimate is
+        // exact there — a sanity anchor for the bounding property above.
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.quantile(q), true_quantile(&samples, q));
+    }
+}

@@ -14,9 +14,61 @@
 
 use crate::{PageStore, PAGE_SIZE};
 use rtree_buffer::{AccessOutcome, BufferPool, PageId, PinError, ReplacementPolicy};
+#[cfg(feature = "trace")]
+use rtree_obs::{EventKind, IoEvent, TraceSink};
 use rtree_wal::Wal;
 use std::collections::HashMap;
 use std::io;
+#[cfg(feature = "trace")]
+use std::sync::Arc;
+
+/// Per-manager trace state: the sink plus the current span (query id and
+/// tree level), set by the tree layer before it drives the manager. Only
+/// compiled with the `trace` feature; without it the manager carries no
+/// tracing state at all.
+#[cfg(feature = "trace")]
+pub(crate) struct Tracer {
+    pub(crate) sink: Option<Arc<dyn TraceSink>>,
+    /// Query/operation span currently executing (0 = none).
+    pub(crate) query_id: u64,
+    /// Tree level of the page about to be touched (-1 = unknown).
+    pub(crate) level: i16,
+}
+
+#[cfg(feature = "trace")]
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            sink: None,
+            query_id: 0,
+            level: -1,
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+impl Tracer {
+    /// Emits one event at the current span's level.
+    #[inline]
+    pub(crate) fn emit(&self, page: PageId, kind: EventKind) {
+        self.emit_at(page, self.level, kind);
+    }
+
+    /// Emits one event at an explicit level (used where the current span's
+    /// level does not describe the page, e.g. an evicted victim).
+    #[inline]
+    pub(crate) fn emit_at(&self, page: PageId, level: i16, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(IoEvent {
+                query_id: self.query_id,
+                page_id: page.0,
+                level,
+                kind,
+                ns: rtree_obs::now_ns(),
+            });
+        }
+    }
+}
 
 /// Physical I/O counters, shared by every disk-access measurement in the
 /// workspace: one shape for reads and writes.
@@ -52,6 +104,8 @@ pub struct BufferManager<S: PageStore> {
     scratch: Box<[u8]>,
     stats: IoStats,
     wal: Option<Wal>,
+    #[cfg(feature = "trace")]
+    pub(crate) tracer: Tracer,
 }
 
 impl<S: PageStore> BufferManager<S> {
@@ -64,7 +118,17 @@ impl<S: PageStore> BufferManager<S> {
             scratch: vec![0u8; PAGE_SIZE].into_boxed_slice(),
             stats: IoStats::default(),
             wal: None,
+            #[cfg(feature = "trace")]
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Routes every subsequent physical-I/O and pool-outcome event to
+    /// `sink` (`None` stops tracing). Only present with the `trace`
+    /// feature.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.tracer.sink = sink;
     }
 
     /// Attaches a write-ahead log; from here on every buffered write is
@@ -129,6 +193,8 @@ impl<S: PageStore> BufferManager<S> {
             self.store.write_page(victim, frame)?;
             self.stats.writes += 1;
             self.pool.clear_dirty(victim);
+            #[cfg(feature = "trace")]
+            self.tracer.emit_at(victim, -1, EventKind::WriteBack);
         }
         self.frames.remove(&victim);
         Ok(())
@@ -137,7 +203,10 @@ impl<S: PageStore> BufferManager<S> {
     /// Fetches a page, going to the store only on a miss.
     pub fn fetch(&mut self, id: PageId) -> io::Result<&[u8]> {
         match self.pool.access(id) {
-            AccessOutcome::Hit => {}
+            AccessOutcome::Hit => {
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::Hit);
+            }
             AccessOutcome::Miss { evicted } => {
                 if let Some(victim) = evicted {
                     self.retire_victim(victim)?;
@@ -146,10 +215,14 @@ impl<S: PageStore> BufferManager<S> {
                 self.store.read_page(id, &mut frame)?;
                 self.stats.reads += 1;
                 self.frames.insert(id, frame);
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::Miss);
             }
             AccessOutcome::MissBypass => {
                 self.store.read_page(id, &mut self.scratch)?;
                 self.stats.reads += 1;
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::Miss);
                 return Ok(&self.scratch);
             }
         }
@@ -171,6 +244,8 @@ impl<S: PageStore> BufferManager<S> {
             self.store.read_page(id, &mut frame)?;
             self.stats.reads += 1;
             self.frames.insert(id, frame);
+            #[cfg(feature = "trace")]
+            self.tracer.emit(id, EventKind::Miss);
         }
         Ok(())
     }
@@ -187,6 +262,8 @@ impl<S: PageStore> BufferManager<S> {
     pub(crate) fn read_scratch(&mut self, id: PageId) -> io::Result<&[u8]> {
         self.store.read_page(id, &mut self.scratch)?;
         self.stats.peek_reads += 1;
+        #[cfg(feature = "trace")]
+        self.tracer.emit(id, EventKind::PeekRead);
         Ok(&self.scratch)
     }
 
@@ -199,6 +276,8 @@ impl<S: PageStore> BufferManager<S> {
         }
         self.store.write_page(id, data)?;
         self.stats.writes += 1;
+        #[cfg(feature = "trace")]
+        self.tracer.emit(id, EventKind::WriteBack);
         Ok(())
     }
 
@@ -209,7 +288,10 @@ impl<S: PageStore> BufferManager<S> {
     pub fn write_buffered(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
         assert_eq!(data.len(), PAGE_SIZE);
         match self.pool.access(id) {
-            AccessOutcome::Hit => {}
+            AccessOutcome::Hit => {
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::Hit);
+            }
             AccessOutcome::Miss { evicted } => {
                 if let Some(victim) = evicted {
                     self.retire_victim(victim)?;
@@ -219,22 +301,32 @@ impl<S: PageStore> BufferManager<S> {
                 self.store.read_page(id, &mut frame)?;
                 self.stats.reads += 1;
                 self.frames.insert(id, frame);
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::Miss);
             }
             AccessOutcome::MissBypass => {
                 self.store.read_page(id, &mut self.scratch)?;
                 self.stats.reads += 1;
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::Miss);
                 if let Some(wal) = &mut self.wal {
                     wal.log_page_image(id.0, &self.scratch, data)?;
                     wal.sync()?;
+                    #[cfg(feature = "trace")]
+                    self.tracer.emit(id, EventKind::WalAppend);
                 }
                 self.store.write_page(id, data)?;
                 self.stats.writes += 1;
+                #[cfg(feature = "trace")]
+                self.tracer.emit(id, EventKind::WriteBack);
                 return Ok(());
             }
         }
         let frame = self.frames.get_mut(&id).expect("resident page has a frame");
         if let Some(wal) = &mut self.wal {
             wal.log_page_image(id.0, frame, data)?;
+            #[cfg(feature = "trace")]
+            self.tracer.emit(id, EventKind::WalAppend);
         }
         frame.copy_from_slice(data);
         self.pool.mark_dirty(id);
@@ -266,6 +358,8 @@ impl<S: PageStore> BufferManager<S> {
             self.store.write_page(id, frame)?;
             self.stats.writes += 1;
             self.pool.clear_dirty(id);
+            #[cfg(feature = "trace")]
+            self.tracer.emit_at(id, -1, EventKind::WriteBack);
         }
         self.store.flush()
     }

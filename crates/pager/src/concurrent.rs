@@ -39,10 +39,22 @@ use rtree_buffer::{
 };
 use rtree_geom::Rect;
 use rtree_index::RTree;
+#[cfg(feature = "trace")]
+use rtree_obs::{EventKind, IoEvent, TraceSink};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Per-query accounting carried through one traversal (trace builds only):
+/// the span id plus local read/access counters, recorded into the tree's
+/// [`rtree_obs::QueryMetrics`] when the query finishes.
+#[cfg(feature = "trace")]
+struct QuerySpan {
+    qid: u64,
+    reads: u64,
+    accesses: u64,
+}
 
 /// Fibonacci multiplier for the page → shard hash.
 const HASH: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -112,6 +124,15 @@ pub struct ConcurrentDiskRTree<S> {
     root_frame: OnceLock<Arc<[u8]>>,
     peek_reads: AtomicU64,
     meta: PageMeta,
+    /// Trace sink shared by every querying thread (trace builds only).
+    #[cfg(feature = "trace")]
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Query span id source (trace builds only; 0 = no span).
+    #[cfg(feature = "trace")]
+    query_ids: AtomicU64,
+    /// Per-query latency / reads / pins distributions (trace builds only).
+    #[cfg(feature = "trace")]
+    metrics: rtree_obs::QueryMetrics,
 }
 
 impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
@@ -212,6 +233,42 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             root_frame: OnceLock::new(),
             peek_reads: AtomicU64::new(0),
             meta,
+            #[cfg(feature = "trace")]
+            sink: None,
+            #[cfg(feature = "trace")]
+            query_ids: AtomicU64::new(0),
+            #[cfg(feature = "trace")]
+            metrics: rtree_obs::QueryMetrics::new(),
+        }
+    }
+
+    /// Routes every physical-I/O and pool-outcome event to `sink` (`None`
+    /// stops tracing). Takes `&mut self`: install the sink before sharing
+    /// the tree across threads. Only present with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.sink = sink;
+    }
+
+    /// Snapshot of the per-query latency / reads / pins histograms
+    /// (all threads). Only present with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn query_metrics(&self) -> rtree_obs::QueryMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Emits one trace event (trace builds only; no-op without a sink).
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn emit(&self, query_id: u64, page: PageId, level: i16, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(IoEvent {
+                query_id,
+                page_id: page.0,
+                level,
+                kind,
+                ns: rtree_obs::now_ns(),
+            });
         }
     }
 
@@ -320,20 +377,25 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
                 shard.reads.fetch_add(1, Ordering::Relaxed);
                 shard.stats.record_miss();
                 s.frames.insert(id, Arc::from(buf.into_boxed_slice()));
+                #[cfg(feature = "trace")]
+                self.emit(0, id, self.meta.onpage_level_of(page), EventKind::Miss);
             }
         }
         Ok(())
     }
 
     /// Fetches a page through its shard, charging the access to the pool.
-    fn fetch(&self, id: PageId) -> io::Result<Arc<[u8]>> {
+    /// Also reports whether the access missed (i.e. cost a physical read),
+    /// so the caller can attribute the event to its query span.
+    fn fetch(&self, id: PageId) -> io::Result<(Arc<[u8]>, bool)> {
         let shard = self.shard(id);
         let mut s = shard.state.lock();
         let outcome = s.pool.access(id);
         shard.stats.record(&outcome);
         match outcome {
-            AccessOutcome::Hit => Ok(Arc::clone(
-                s.frames.get(&id).expect("resident page has a frame"),
+            AccessOutcome::Hit => Ok((
+                Arc::clone(s.frames.get(&id).expect("resident page has a frame")),
+                false,
             )),
             AccessOutcome::Miss { evicted } => {
                 if let Some(victim) = evicted {
@@ -344,13 +406,13 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
                 shard.reads.fetch_add(1, Ordering::Relaxed);
                 let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
                 s.frames.insert(id, Arc::clone(&frame));
-                Ok(frame)
+                Ok((frame, true))
             }
             AccessOutcome::MissBypass => {
                 let mut buf = vec![0u8; PAGE_SIZE];
                 self.store.read_page_shared(id, &mut buf)?;
                 shard.reads.fetch_add(1, Ordering::Relaxed);
-                Ok(Arc::from(buf.into_boxed_slice()))
+                Ok((Arc::from(buf.into_boxed_slice()), true))
             }
         }
     }
@@ -358,9 +420,11 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
     /// The root frame for the uncharged MBR peek: read from the store at
     /// most once per tree (the tree is immutable) and cached outside the
     /// pool so the peek neither charges nor perturbs replacement state.
-    fn root_frame(&self) -> io::Result<Arc<[u8]>> {
+    /// Also reports whether *this* call performed the physical read, so the
+    /// caller can emit the matching peek event.
+    fn root_frame(&self) -> io::Result<(Arc<[u8]>, bool)> {
         if let Some(frame) = self.root_frame.get() {
-            return Ok(Arc::clone(frame));
+            return Ok((Arc::clone(frame), false));
         }
         let mut buf = vec![0u8; PAGE_SIZE];
         self.store
@@ -369,17 +433,46 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         // so both count, but only one frame is kept.
         self.peek_reads.fetch_add(1, Ordering::Relaxed);
         let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
-        Ok(Arc::clone(self.root_frame.get_or_init(|| frame)))
+        Ok((Arc::clone(self.root_frame.get_or_init(|| frame)), true))
     }
 
     /// Executes a region query; safe to call from many threads.
     pub fn query(&self, query: &Rect) -> io::Result<Vec<u64>> {
+        #[cfg(feature = "trace")]
+        {
+            let mut span = QuerySpan {
+                qid: self.query_ids.fetch_add(1, Ordering::Relaxed) + 1,
+                reads: 0,
+                accesses: 0,
+            };
+            let start = rtree_obs::now_ns();
+            let result = self.query_inner(query, &mut span);
+            self.metrics
+                .record_query(rtree_obs::now_ns() - start, span.reads, span.accesses);
+            result
+        }
+        #[cfg(not(feature = "trace"))]
+        self.query_inner(query)
+    }
+
+    fn query_inner(
+        &self,
+        query: &Rect,
+        #[cfg(feature = "trace")] span: &mut QuerySpan,
+    ) -> io::Result<Vec<u64>> {
         let mut results = Vec::new();
         let root = PageId(self.meta.root);
+        let root_level = (self.meta.height - 1) as u16;
 
         // Uncharged root peek (model semantics: a node is accessed iff its
         // MBR intersects the query).
-        let root_frame = self.root_frame()?;
+        let (root_frame, fresh_peek) = self.root_frame()?;
+        #[cfg(feature = "trace")]
+        if fresh_peek {
+            self.emit(span.qid, root, root_level as i16, EventKind::PeekRead);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = fresh_peek;
         let root_node = NodePage::decode(&root_frame)?;
         if root_node.entries.is_empty() {
             return Ok(results);
@@ -393,16 +486,34 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             return Ok(results);
         }
 
-        let mut stack = vec![root];
-        while let Some(pid) = stack.pop() {
-            let frame = self.fetch(pid)?;
+        // Each stack entry carries the node's level so every fetch can be
+        // attributed to it (children of a level-L node sit at L - 1).
+        let mut stack = vec![(root, root_level)];
+        while let Some((pid, level)) = stack.pop() {
+            let (frame, missed) = self.fetch(pid)?;
+            #[cfg(feature = "trace")]
+            {
+                span.accesses += 1;
+                if missed {
+                    span.reads += 1;
+                }
+                let kind = if missed {
+                    EventKind::Miss
+                } else {
+                    EventKind::Hit
+                };
+                self.emit(span.qid, pid, level as i16, kind);
+            }
+            #[cfg(not(feature = "trace"))]
+            let _ = missed;
             let node = NodePage::decode(&frame)?;
+            debug_assert_eq!(node.level, level, "stack level mirrors the page");
             for (r, ptr) in &node.entries {
                 if r.intersects(query) {
                     if node.level == 0 {
                         results.push(*ptr);
                     } else {
-                        stack.push(PageId(*ptr));
+                        stack.push((PageId(*ptr), level - 1));
                     }
                 }
             }

@@ -43,9 +43,27 @@ use std::io;
 pub struct DiskRTree<S: PageStore> {
     pub(crate) mgr: BufferManager<S>,
     pub(crate) meta: PageMeta,
+    /// Monotonic query/operation span id source (0 = no span).
+    #[cfg(feature = "trace")]
+    next_query: u64,
+    /// Per-query latency / reads / pins distributions.
+    #[cfg(feature = "trace")]
+    metrics: rtree_obs::QueryMetrics,
 }
 
 impl<S: PageStore> DiskRTree<S> {
+    /// Assembles a handle from an already-initialized manager and metadata
+    /// (single construction point so trace state stays in one place).
+    pub(crate) fn from_parts(mgr: BufferManager<S>, meta: PageMeta) -> Self {
+        DiskRTree {
+            mgr,
+            meta,
+            #[cfg(feature = "trace")]
+            next_query: 0,
+            #[cfg(feature = "trace")]
+            metrics: rtree_obs::QueryMetrics::new(),
+        }
+    }
     /// Serializes `tree` into `store` and returns a handle with the given
     /// buffer capacity and policy.
     ///
@@ -59,10 +77,10 @@ impl<S: PageStore> DiskRTree<S> {
         policy: impl ReplacementPolicy + 'static,
     ) -> io::Result<Self> {
         let meta = materialize(&mut store, tree)?;
-        Ok(DiskRTree {
-            mgr: BufferManager::new(store, buffer_capacity, policy),
+        Ok(Self::from_parts(
+            BufferManager::new(store, buffer_capacity, policy),
             meta,
-        })
+        ))
     }
 
     /// Opens a previously materialized tree.
@@ -74,10 +92,10 @@ impl<S: PageStore> DiskRTree<S> {
         let mut buf = vec![0u8; PAGE_SIZE];
         store.read_page(PageId(0), &mut buf)?;
         let meta = PageMeta::decode(&buf)?;
-        Ok(DiskRTree {
-            mgr: BufferManager::new(store, buffer_capacity, policy),
+        Ok(Self::from_parts(
+            BufferManager::new(store, buffer_capacity, policy),
             meta,
-        })
+        ))
     }
 
     /// The stored metadata.
@@ -156,7 +174,15 @@ impl<S: PageStore> DiskRTree<S> {
             self.meta.level_starts[p]
         };
         for page in 1..end {
+            #[cfg(feature = "trace")]
+            {
+                self.mgr.tracer.level = self.meta.onpage_level_of(page);
+            }
             self.mgr.pin(PageId(page))?;
+        }
+        #[cfg(feature = "trace")]
+        {
+            self.mgr.tracer.level = -1;
         }
         Ok(())
     }
@@ -181,15 +207,75 @@ impl<S: PageStore> DiskRTree<S> {
         self.mgr.pool().stats().hit_ratio()
     }
 
+    /// Buffer pool access statistics so far.
+    pub fn buffer_stats(&self) -> rtree_buffer::BufferStats {
+        self.mgr.pool().stats()
+    }
+
+    /// Routes every physical-I/O and pool-outcome event to `sink` (`None`
+    /// stops tracing). Only present with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_sink(&mut self, sink: Option<std::sync::Arc<dyn rtree_obs::TraceSink>>) {
+        self.mgr.set_trace_sink(sink);
+    }
+
+    /// Snapshot of the per-query latency / reads / pins histograms. Only
+    /// present with the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub fn query_metrics(&self) -> rtree_obs::QueryMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Opens a traced mutation span: subsequent events carry a fresh
+    /// operation id (levels are unknown during mutation, so -1).
+    #[cfg(feature = "trace")]
+    pub(crate) fn begin_op(&mut self) {
+        self.next_query += 1;
+        self.mgr.tracer.query_id = self.next_query;
+        self.mgr.tracer.level = -1;
+    }
+
+    /// Closes the current traced span.
+    #[cfg(feature = "trace")]
+    pub(crate) fn end_op(&mut self) {
+        self.mgr.tracer.query_id = 0;
+        self.mgr.tracer.level = -1;
+    }
+
     /// Executes a region query, returning matching item ids. Every page
     /// whose MBR intersects the query is fetched through the buffer
     /// manager; physical reads accumulate in [`DiskRTree::physical_reads`].
     pub fn query(&mut self, query: &Rect) -> io::Result<Vec<u64>> {
+        #[cfg(feature = "trace")]
+        {
+            self.begin_op();
+            let start = rtree_obs::now_ns();
+            let reads_before = self.mgr.physical_reads();
+            let accesses_before = self.mgr.pool().stats().accesses;
+            let result = self.query_inner(query);
+            self.metrics.record_query(
+                rtree_obs::now_ns() - start,
+                self.mgr.physical_reads() - reads_before,
+                self.mgr.pool().stats().accesses - accesses_before,
+            );
+            self.end_op();
+            result
+        }
+        #[cfg(not(feature = "trace"))]
+        self.query_inner(query)
+    }
+
+    fn query_inner(&mut self, query: &Rect) -> io::Result<Vec<u64>> {
         let mut results = Vec::new();
         let root = PageId(self.meta.root);
+        let root_level = (self.meta.height - 1) as u16;
 
         // Root handling mirrors the model: access it only if its MBR
         // intersects the query. Decode it from a cheap peek first.
+        #[cfg(feature = "trace")]
+        {
+            self.mgr.tracer.level = root_level as i16;
+        }
         let root_node = NodePage::decode(self.mgr.fetch_unchecked_for_root(root)?)?;
         if root_node.entries.is_empty() {
             return Ok(results);
@@ -203,15 +289,22 @@ impl<S: PageStore> DiskRTree<S> {
             return Ok(results);
         }
 
-        let mut stack = vec![root];
-        while let Some(pid) = stack.pop() {
+        // Each stack entry carries the node's level so every fetch can be
+        // attributed to it (children of a level-L node sit at L - 1).
+        let mut stack = vec![(root, root_level)];
+        while let Some((pid, level)) = stack.pop() {
+            #[cfg(feature = "trace")]
+            {
+                self.mgr.tracer.level = level as i16;
+            }
             let node = NodePage::decode(self.mgr.fetch(pid)?)?;
+            debug_assert_eq!(node.level, level, "stack level mirrors the page");
             for (r, ptr) in &node.entries {
                 if r.intersects(query) {
                     if node.level == 0 {
                         results.push(*ptr);
                     } else {
-                        stack.push(PageId(*ptr));
+                        stack.push((PageId(*ptr), level - 1));
                     }
                 }
             }

@@ -171,10 +171,10 @@ impl<S: PageStore> DiskRTree<S> {
         }
         .encode(&mut buf);
         store.write_page(root, &buf)?;
-        Ok(DiskRTree {
-            mgr: BufferManager::new(store, buffer_capacity, policy),
+        Ok(DiskRTree::from_parts(
+            BufferManager::new(store, buffer_capacity, policy),
             meta,
-        })
+        ))
     }
 
     /// Inserts an item, logging every touched page and committing at the
@@ -182,6 +182,18 @@ impl<S: PageStore> DiskRTree<S> {
     /// pages.
     pub fn insert(&mut self, rect: Rect, item: u64) -> io::Result<()> {
         debug_assert!(rect.is_valid(), "inserting an invalid rectangle");
+        #[cfg(feature = "trace")]
+        {
+            self.begin_op();
+            let result = self.insert_inner(rect, item);
+            self.end_op();
+            result
+        }
+        #[cfg(not(feature = "trace"))]
+        self.insert_inner(rect, item)
+    }
+
+    fn insert_inner(&mut self, rect: Rect, item: u64) -> io::Result<()> {
         self.insert_entry((rect, item), 0)?;
         self.meta.items += 1;
         self.finish_op()
@@ -191,6 +203,18 @@ impl<S: PageStore> DiskRTree<S> {
     /// underfull nodes and reinserting their orphaned entries. Returns
     /// whether the entry was found.
     pub fn delete(&mut self, rect: &Rect, item: u64) -> io::Result<bool> {
+        #[cfg(feature = "trace")]
+        {
+            self.begin_op();
+            let result = self.delete_inner(rect, item);
+            self.end_op();
+            result
+        }
+        #[cfg(not(feature = "trace"))]
+        self.delete_inner(rect, item)
+    }
+
+    fn delete_inner(&mut self, rect: &Rect, item: u64) -> io::Result<bool> {
         let mut path = Vec::new();
         let Some(leaf_id) = self.find_leaf(self.meta.root, rect, item, &mut path)? else {
             return Ok(false);

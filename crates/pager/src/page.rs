@@ -240,6 +240,23 @@ impl PageMeta {
             level_starts,
         })
     }
+
+    /// On-page node level (leaves are 0, the root is `height - 1`) of a
+    /// bulk-loaded node page, or -1 when it cannot be known: the meta page,
+    /// an out-of-range id, or a mutated tree whose level table was cleared.
+    pub fn onpage_level_of(&self, page: u64) -> i16 {
+        if page == 0 || page > self.nodes || self.level_starts.is_empty() {
+            return -1;
+        }
+        // `level_starts` is in paper order (root level first): the last
+        // level whose start is <= page owns it.
+        let paper = self
+            .level_starts
+            .iter()
+            .rposition(|&start| start <= page)
+            .expect("level 0 starts at page 1");
+        self.height as i16 - 1 - paper as i16
+    }
 }
 
 /// Decoded node page.
@@ -336,6 +353,21 @@ mod tests {
     #[test]
     fn page_capacity_exceeds_papers_largest_node() {
         assert_eq!(MAX_ENTRIES_PER_PAGE, 102); // >= the paper's largest cap (100)
+    }
+
+    #[test]
+    fn onpage_level_from_level_table() {
+        let meta = sample_meta(); // height 3, level_starts [1, 2, 8]
+        assert_eq!(meta.onpage_level_of(1), 2, "root page");
+        assert_eq!(meta.onpage_level_of(2), 1);
+        assert_eq!(meta.onpage_level_of(7), 1);
+        assert_eq!(meta.onpage_level_of(8), 0, "first leaf");
+        assert_eq!(meta.onpage_level_of(539), 0, "last leaf");
+        assert_eq!(meta.onpage_level_of(0), -1, "meta page has no level");
+        assert_eq!(meta.onpage_level_of(540), -1, "out of range");
+        let mut mutated = meta;
+        mutated.level_starts.clear();
+        assert_eq!(mutated.onpage_level_of(1), -1, "stale level table");
     }
 
     #[test]

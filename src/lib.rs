@@ -20,6 +20,10 @@
 //!   page pinning.
 //! * [`pager`] — page file + buffer manager + disk-backed R-tree execution
 //!   that counts physical reads.
+//! * [`obs`] — observability: I/O trace events and sinks, power-of-two
+//!   histograms, Prometheus-style export (hooks in `pager` are behind its
+//!   `trace` cargo feature).
+//! * [`wal`] — the write-ahead log backing the durable write path.
 //! * [`model`] — the paper's analytic models: node-access cost
 //!   (Kamel–Faloutsos with the Pagel boundary correction), data-driven
 //!   access probabilities, and the LRU buffer model with pinning.
@@ -57,5 +61,7 @@ pub use rtree_datagen as datagen;
 pub use rtree_geom as geom;
 pub use rtree_index as index;
 pub use rtree_nd as nd;
+pub use rtree_obs as obs;
 pub use rtree_pager as pager;
 pub use rtree_sim as sim;
+pub use rtree_wal as wal;

@@ -1,0 +1,329 @@
+//! Differential suite for the trace layer: the event stream emitted by the
+//! pager's trace hooks must reconcile *exactly* with the counters the
+//! buffer manager keeps anyway (`IoStats`, `BufferStats`) — on the
+//! sequential `DiskRTree`, on the write path, and on the sharded
+//! `ConcurrentDiskRTree` under real concurrency.
+//!
+//! Every test body is gated on the `trace` cargo feature internally, so the
+//! same test names pass with the feature on (full reconciliation) and off
+//! (the suite compiles to no-ops and the build stays honest about the
+//! zero-cost claim):
+//!
+//! ```text
+//! cargo test --test trace_vs_stats                      # hooks absent
+//! cargo test --test trace_vs_stats --features trace     # hooks reconciled
+//! ```
+
+#![allow(dead_code)]
+
+use buffered_rtrees::datagen::SyntheticRegion;
+use buffered_rtrees::index::BulkLoader;
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use buffered_rtrees::buffer::{
+        ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, RandomPolicy, ReplacementPolicy,
+    };
+    use buffered_rtrees::datagen::SyntheticRegion;
+    use buffered_rtrees::index::{BulkLoader, RTree};
+    use buffered_rtrees::model::Workload;
+    use buffered_rtrees::obs::{CountingSink, EventKind, RingSink, TraceSink};
+    use buffered_rtrees::pager::{ConcurrentDiskRTree, DiskRTree, MemStore};
+    use buffered_rtrees::sim::QuerySampler;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    pub fn policies(seed: u64) -> Vec<(&'static str, Box<dyn ReplacementPolicy>)> {
+        vec![
+            ("LRU", Box::new(LruPolicy::new())),
+            ("LRU2", Box::new(LruKPolicy::lru2())),
+            ("FIFO", Box::new(FifoPolicy::new())),
+            ("CLOCK", Box::new(ClockPolicy::new())),
+            ("RANDOM", Box::new(RandomPolicy::new(seed))),
+        ]
+    }
+
+    pub fn sample_tree(n: usize, seed: u64) -> RTree {
+        let rects = SyntheticRegion::new(n).generate(seed);
+        BulkLoader::hilbert(16).load(&rects)
+    }
+
+    /// Sequential read path: for every policy, the counting sink's view of
+    /// the run equals the I/O and pool statistics.
+    pub fn sequential_reconciliation() {
+        let tree = sample_tree(2_000, 7);
+        for (name, policy) in policies(0xBEEF) {
+            let mut disk = DiskRTree::create(MemStore::new(), &tree, 24, policy).unwrap();
+            let sink = Arc::new(CountingSink::new());
+            disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+            disk.pin_top_levels(1).unwrap();
+
+            let workload = Workload::uniform_region(0.04, 0.04);
+            let mut sampler = QuerySampler::new(&workload, 1234);
+            for _ in 0..600 {
+                disk.query(&sampler.sample()).unwrap();
+            }
+
+            let io = disk.io_stats();
+            let pool = disk.buffer_stats();
+            let c = sink.counts();
+            assert_eq!(c.misses, io.reads, "{name}: misses vs physical reads");
+            assert_eq!(c.peek_reads, io.peek_reads, "{name}: peek reads");
+            assert_eq!(c.write_backs, io.writes, "{name}: write backs");
+            assert_eq!(c.accesses(), pool.accesses, "{name}: logical accesses");
+            assert_eq!(c.hits, pool.hits, "{name}: hits");
+            assert!(c.misses > 0, "{name}: workload must actually miss");
+            assert!(c.hits > 0, "{name}: workload must actually hit");
+        }
+    }
+
+    /// Write path: inserts, deletes, WAL appends, checkpoints, and the
+    /// final flush all show up in the event stream with the same totals as
+    /// the I/O counters.
+    pub fn write_path_reconciliation() {
+        use buffered_rtrees::wal::{MemLog, Wal};
+
+        let rects = SyntheticRegion::new(900).generate(21);
+        for (name, policy) in policies(0xD00D) {
+            let mut disk = DiskRTree::create_empty(MemStore::new(), 12, 5, 16, policy).unwrap();
+            let sink = Arc::new(CountingSink::new());
+            disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+            disk.attach_wal(Wal::open(MemLog::new()).unwrap());
+
+            for (i, r) in rects.iter().enumerate() {
+                disk.insert(*r, i as u64).unwrap();
+                if i % 250 == 249 {
+                    disk.checkpoint().unwrap();
+                }
+            }
+            for (i, r) in rects.iter().enumerate().take(300) {
+                assert!(disk.delete(r, i as u64).unwrap(), "{name}: delete {i}");
+            }
+            disk.flush().unwrap();
+
+            let io = disk.io_stats();
+            let pool = disk.buffer_stats();
+            let c = sink.counts();
+            assert_eq!(c.misses, io.reads, "{name}: misses vs physical reads");
+            assert_eq!(c.write_backs, io.writes, "{name}: write backs");
+            assert_eq!(c.peek_reads, io.peek_reads, "{name}: peek reads");
+            assert_eq!(c.accesses(), pool.accesses, "{name}: logical accesses");
+            assert!(c.write_backs > 0, "{name}: writes must have happened");
+            assert!(c.wal_appends > 0, "{name}: WAL must have been appended");
+        }
+    }
+
+    /// Ring attribution: replaying queries one at a time, the per-query
+    /// physical read delta reported by `query_counting` equals the number
+    /// of Miss events carrying that query's id, and every traversal event
+    /// has a known level.
+    pub fn ring_attributes_misses_to_queries() {
+        let tree = sample_tree(1_500, 3);
+        let mut disk = DiskRTree::create(MemStore::new(), &tree, 20, LruPolicy::new()).unwrap();
+        let sink = Arc::new(RingSink::new(1 << 16));
+        disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+
+        let workload = Workload::uniform_region(0.05, 0.05);
+        let mut sampler = QuerySampler::new(&workload, 99);
+        let mut reads_by_query: HashMap<u64, u64> = HashMap::new();
+        let mut next_qid = 0u64;
+        for _ in 0..250 {
+            let (_results, reads) = disk.query_counting(&sampler.sample()).unwrap();
+            next_qid += 1;
+            reads_by_query.insert(next_qid, reads);
+        }
+
+        let mut miss_events: HashMap<u64, u64> = HashMap::new();
+        for e in sink.events() {
+            match e.kind {
+                EventKind::Miss if e.query_id != 0 => {
+                    *miss_events.entry(e.query_id).or_default() += 1;
+                }
+                EventKind::Hit | EventKind::Miss => {
+                    assert!(e.level >= 0, "traversal events know their level");
+                }
+                _ => {}
+            }
+            if e.query_id != 0 && matches!(e.kind, EventKind::Hit | EventKind::Miss) {
+                assert!(
+                    e.level >= 0,
+                    "query-attributed traversal events know their level"
+                );
+            }
+        }
+        assert_eq!(sink.dropped(), 0, "ring must be large enough for the run");
+        for (qid, reads) in &reads_by_query {
+            assert_eq!(
+                miss_events.get(qid).copied().unwrap_or(0),
+                *reads,
+                "query {qid}: miss events vs physical read delta"
+            );
+        }
+        // No phantom query ids either.
+        for qid in miss_events.keys() {
+            assert!(reads_by_query.contains_key(qid), "unknown query id {qid}");
+        }
+    }
+
+    /// Sharded concurrent path: N threads hammer the tree; after joining,
+    /// the counting sink reconciles with the aggregated shard counters for
+    /// every policy.
+    pub fn sharded_reconciliation() {
+        let tree = sample_tree(2_500, 17);
+        for (name, _p) in policies(1) {
+            let mut disk = ConcurrentDiskRTree::create_sharded(
+                MemStore::new(),
+                &tree,
+                32,
+                4,
+                || -> Box<dyn ReplacementPolicy> {
+                    match name {
+                        "LRU" => Box::new(LruPolicy::new()),
+                        "LRU2" => Box::new(LruKPolicy::lru2()),
+                        "FIFO" => Box::new(FifoPolicy::new()),
+                        "CLOCK" => Box::new(ClockPolicy::new()),
+                        _ => Box::new(RandomPolicy::new(42)),
+                    }
+                },
+            )
+            .unwrap();
+            let sink = Arc::new(CountingSink::new());
+            disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+            let disk = Arc::new(disk);
+            disk.pin_top_levels(1).unwrap();
+
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let disk = Arc::clone(&disk);
+                    scope.spawn(move || {
+                        let workload = Workload::uniform_region(0.04, 0.04);
+                        let mut sampler = QuerySampler::new(&workload, 777 + t);
+                        for _ in 0..300 {
+                            disk.query(&sampler.sample()).unwrap();
+                        }
+                    });
+                }
+            });
+
+            let io = disk.io_stats();
+            let pool = disk.buffer_stats();
+            let c = sink.counts();
+            assert_eq!(c.misses, io.reads, "{name}: misses vs physical reads");
+            assert_eq!(c.peek_reads, io.peek_reads, "{name}: peek reads");
+            assert_eq!(c.accesses(), pool.accesses, "{name}: logical accesses");
+            assert_eq!(c.hits, pool.hits, "{name}: hits");
+        }
+    }
+
+    /// Concurrent ring soundness: after every worker joins, the merged
+    /// per-thread rings hold exactly as many events as the sink's atomic
+    /// admission counter, which in turn equals the counter totals.
+    pub fn concurrent_ring_soundness() {
+        let tree = sample_tree(2_000, 29);
+        let mut disk = ConcurrentDiskRTree::create_sharded(
+            MemStore::new(),
+            &tree,
+            48,
+            4,
+            || -> Box<dyn ReplacementPolicy> { Box::new(LruPolicy::new()) },
+        )
+        .unwrap();
+        let sink = Arc::new(RingSink::new(1 << 17));
+        disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        let disk = Arc::new(disk);
+
+        let threads = 4u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let disk = Arc::clone(&disk);
+                scope.spawn(move || {
+                    let workload = Workload::uniform_region(0.05, 0.05);
+                    let mut sampler = QuerySampler::new(&workload, 31 + t);
+                    for _ in 0..400 {
+                        disk.query(&sampler.sample()).unwrap();
+                    }
+                });
+            }
+        });
+
+        let events = sink.events();
+        assert_eq!(sink.dropped(), 0, "ring sized for the whole run");
+        assert_eq!(events.len() as u64, sink.recorded(), "merged == admitted");
+        assert!(
+            sink.threads() >= threads as usize,
+            "each worker registered its own ring"
+        );
+
+        let io = disk.io_stats();
+        let pool = disk.buffer_stats();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut peeks = 0u64;
+        for e in &events {
+            match e.kind {
+                EventKind::Hit => hits += 1,
+                EventKind::Miss => misses += 1,
+                EventKind::PeekRead => peeks += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(misses, io.reads, "ring misses vs physical reads");
+        assert_eq!(peeks, io.peek_reads, "ring peeks vs peek reads");
+        assert_eq!(hits + misses, pool.accesses, "ring events vs accesses");
+        assert_eq!(
+            hits + misses + peeks,
+            sink.recorded(),
+            "read-only run emits only traversal events"
+        );
+    }
+}
+
+#[test]
+fn sequential_trace_reconciles_with_io_stats() {
+    #[cfg(feature = "trace")]
+    enabled::sequential_reconciliation();
+}
+
+#[test]
+fn write_path_trace_reconciles_with_io_stats() {
+    #[cfg(feature = "trace")]
+    enabled::write_path_reconciliation();
+}
+
+#[test]
+fn ring_sink_attributes_reads_to_query_ids() {
+    #[cfg(feature = "trace")]
+    enabled::ring_attributes_misses_to_queries();
+}
+
+#[test]
+fn sharded_trace_reconciles_with_io_stats() {
+    #[cfg(feature = "trace")]
+    enabled::sharded_reconciliation();
+}
+
+#[test]
+fn concurrent_ring_loses_nothing_after_join() {
+    #[cfg(feature = "trace")]
+    enabled::concurrent_ring_soundness();
+}
+
+/// With the feature off this suite still builds against the public API —
+/// the un-traced query path must behave identically.
+#[test]
+fn untraced_path_still_counts_reads() {
+    use buffered_rtrees::buffer::LruPolicy;
+    use buffered_rtrees::pager::{DiskRTree, MemStore};
+
+    let rects = SyntheticRegion::new(800).generate(5);
+    let tree = BulkLoader::hilbert(16).load(&rects);
+    let mut disk = DiskRTree::create(MemStore::new(), &tree, 10, LruPolicy::new()).unwrap();
+    let all = buffered_rtrees::geom::Rect::new(0.0, 0.0, 1.0, 1.0);
+    let hits = disk.query(&all).unwrap();
+    assert_eq!(hits.len(), 800);
+    assert!(disk.io_stats().reads > 0);
+    assert_eq!(
+        disk.buffer_stats().accesses,
+        disk.buffer_stats().hits + disk.buffer_stats().misses
+    );
+}
