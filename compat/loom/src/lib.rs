@@ -1,0 +1,237 @@
+//! Offline subset of the `loom` 0.7 surface used by this workspace's
+//! model-checking tests.
+//!
+//! The real `loom` exhaustively enumerates thread interleavings under the
+//! C11 memory model via DPOR. This environment has no registry access, so
+//! this shim provides the same *API shape* over `std` primitives and
+//! replaces exhaustive enumeration with **bounded schedule exploration**:
+//! [`model`] re-runs the test body [`ITERATIONS`] times, and the
+//! primitives below inject deterministic-per-iteration yield patterns at
+//! every acquire/load so each iteration exercises a different real
+//! interleaving. This downgrades "proof over all schedules" to "stress over
+//! many schedules", which is the honest best-available here — tests written
+//! against this shim become genuinely exhaustive the day the real `loom`
+//! is dropped in, with no source change.
+//!
+//! Only what the workspace's tests use is provided: `model`,
+//! `thread::{spawn, yield_now}`, `sync::{Arc, Mutex, MutexGuard}` and
+//! `sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering, fence}`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Schedules explored per [`model`] call.
+pub const ITERATIONS: u64 = 64;
+
+/// Global iteration salt: combined with a per-thread operation counter to
+/// pick yield points, so every iteration perturbs the schedule differently
+/// and every run of the test binary explores the same 64 schedules.
+static ITERATION: StdAtomicU64 = StdAtomicU64::new(0);
+
+thread_local! {
+    static OP_COUNTER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Maybe-yield, decided by a splitmix64 hash of (iteration, per-thread op
+/// ordinal) — deterministic for a fixed iteration, different across
+/// iterations.
+fn explore_point() {
+    let iter = ITERATION.load(StdOrdering::Relaxed);
+    let op = OP_COUNTER.with(|c| {
+        let n = c.get();
+        c.set(n.wrapping_add(1));
+        n
+    });
+    let mut z = iter
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(op.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    // Yield at roughly half the exploration points.
+    if z & 1 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `f` under bounded schedule exploration (see the crate docs).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for i in 0..ITERATIONS {
+        ITERATION.store(i, StdOrdering::Relaxed);
+        OP_COUNTER.with(|c| c.set(0));
+        f();
+    }
+}
+
+/// `loom::thread`: spawn/yield with exploration points on spawn.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawns a thread, yielding first so sibling spawns race for real.
+    pub fn spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::explore_point();
+        std::thread::spawn(f)
+    }
+}
+
+/// `loom::sync`: Arc, an exploration-instrumented Mutex, and atomics.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// A mutex that injects an exploration point before every acquisition,
+    /// so lock-ordering races shift between iterations.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    /// Guard type matching `loom::sync::MutexGuard`.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock (panics on poisoning, like loom aborts the
+        /// schedule on a panicked thread).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            super::explore_point();
+            self.0.lock().unwrap()
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap()
+        }
+    }
+
+    /// Atomics with exploration points on loads and RMWs.
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, Ordering};
+
+        macro_rules! atomic_shim {
+            ($(#[$doc:meta] $name:ident over $std:ty, value $value:ty);* $(;)?) => {$(
+                #[$doc]
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    pub fn new(v: $value) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load, preceded by an exploration point.
+                    pub fn load(&self, order: Ordering) -> $value {
+                        crate::explore_point();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store, preceded by an exploration point.
+                    pub fn store(&self, v: $value, order: Ordering) {
+                        crate::explore_point();
+                        self.0.store(v, order)
+                    }
+
+                    /// Atomic fetch-add, preceded by an exploration point.
+                    pub fn fetch_add(&self, v: $value, order: Ordering) -> $value {
+                        crate::explore_point();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Atomic compare-exchange, preceded by an exploration
+                    /// point.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        crate::explore_point();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            )*};
+        }
+
+        atomic_shim! {
+            /// `loom::sync::atomic::AtomicU64`.
+            AtomicU64 over std::sync::atomic::AtomicU64, value u64;
+            /// `loom::sync::atomic::AtomicUsize`.
+            AtomicUsize over std::sync::atomic::AtomicUsize, value usize;
+        }
+
+        /// `loom::sync::atomic::AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates the atomic with an initial value.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load, preceded by an exploration point.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::explore_point();
+                self.0.load(order)
+            }
+
+            /// Atomic store, preceded by an exploration point.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::explore_point();
+                self.0.store(v, order)
+            }
+
+            /// Atomic swap, preceded by an exploration point.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::explore_point();
+                self.0.swap(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_the_body_every_iteration() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&runs);
+        super::model(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), super::ITERATIONS);
+    }
+
+    #[test]
+    fn mutex_counting_is_race_free_under_exploration() {
+        super::model(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        for _ in 0..10 {
+                            *c.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock(), 30);
+        });
+    }
+}

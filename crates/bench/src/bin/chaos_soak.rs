@@ -1,0 +1,80 @@
+//! **Chaos soak** — runs the deterministic simulation harness over a block
+//! of consecutive seeds and tabulates what the fleet of runs exercised:
+//! fault kinds hit, operations committed, queries cross-checked, and (the
+//! point of the exercise) zero oracle violations. A failing seed prints
+//! its shrunk replay line and fails the process, so the soak doubles as a
+//! long-running regression gate.
+//!
+//! `--quick` shrinks the sweep; the seed block is fixed so every soak run
+//! explores the same runs bit for bit.
+
+use rtree_bench::{flag, Table};
+use rtree_chaos::{run, shrink, FaultPlan};
+
+fn main() {
+    let (seed_count, ops) = if flag("--quick") { (8, 60) } else { (48, 250) };
+    let base_seed = 0u64;
+
+    let mut by_fault = [0u64; 5];
+    let mut crashed = 0u64;
+    let mut total_committed = 0u64;
+    let mut total_queries = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+
+    for seed in base_seed..base_seed + seed_count {
+        let report = run(seed, ops);
+        let slot = match report.fault {
+            FaultPlan::None => 0,
+            FaultPlan::StoreCrash { .. } => 1,
+            FaultPlan::LogCrash { .. } => 2,
+            FaultPlan::ShortAppend { .. } => 3,
+            FaultPlan::ReadFault { .. } => 4,
+        };
+        by_fault[slot] += 1;
+        crashed += u64::from(report.crashed);
+        total_committed += report.committed_items;
+        total_queries += report.queries_checked as u64;
+        if !report.passed() {
+            let shrunk = shrink(seed, ops, false);
+            failures.push(format!(
+                "seed {seed} ({}): {} failure(s), first: {} — replay: rtrees chaos --seed {seed} --ops {}",
+                report.fault,
+                report.failures.len(),
+                report.failures[0].detail,
+                shrunk.unwrap_or(ops),
+            ));
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Chaos soak: seeds {base_seed}..{} at {ops} ops",
+            base_seed + seed_count
+        ),
+        &["metric", "value"],
+    );
+    table.row(vec!["runs".into(), seed_count.to_string()]);
+    table.row(vec!["fault: none".into(), by_fault[0].to_string()]);
+    table.row(vec!["fault: store crash".into(), by_fault[1].to_string()]);
+    table.row(vec!["fault: log crash".into(), by_fault[2].to_string()]);
+    table.row(vec!["fault: short append".into(), by_fault[3].to_string()]);
+    table.row(vec!["fault: read fault".into(), by_fault[4].to_string()]);
+    table.row(vec!["runs that crashed mid-op".into(), crashed.to_string()]);
+    table.row(vec![
+        "items committed (total)".into(),
+        total_committed.to_string(),
+    ]);
+    table.row(vec![
+        "queries cross-checked".into(),
+        total_queries.to_string(),
+    ]);
+    table.row(vec!["oracle violations".into(), failures.len().to_string()]);
+    table.emit("chaos_soak");
+
+    if !failures.is_empty() {
+        for line in &failures {
+            eprintln!("FAIL {line}");
+        }
+        std::process::exit(1);
+    }
+}

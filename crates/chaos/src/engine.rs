@@ -1,0 +1,623 @@
+//! The chaos engine: executes a [`ChaosPlan`] against the real disk tree
+//! stack with faults armed, then checks the run against three oracles.
+//!
+//! * **Differential** — every query answered by the disk tree (before the
+//!   crash, after recovery, and from the concurrent reader) must equal the
+//!   answer of an in-memory reference tree that applied exactly the
+//!   committed operations.
+//! * **Durability** — after the simulated reboot, `recover` must restore
+//!   exactly the committed prefix: item counts and query results match the
+//!   reference, nothing more and nothing less.
+//! * **Accounting** — the trace event stream must reconcile with the
+//!   counters the buffer manager keeps anyway (`IoStats`, `BufferStats`),
+//!   on both the sequential and the sharded concurrent path.
+//!
+//! Oracle violations are *recorded*, never panicked on: the report drives
+//! shrinking and the CLI exit code.
+
+use crate::plan::{ChaosOp, ChaosPlan, FaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_buffer::LruPolicy;
+use rtree_buffer::PageId;
+use rtree_geom::Rect;
+use rtree_index::{RTree, RTreeBuilder};
+use rtree_obs::{CountingSink, TraceSink};
+use rtree_pager::{
+    recover, ConcurrentDiskRTree, DiskRTree, FaultStore, MemStore, PageStore, StepSchedule,
+    StepStore, PAGE_SIZE,
+};
+use rtree_wal::{CrashSwitch, FaultLog, LogBackend, MemLog, Wal};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Which oracle a failure came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// Disk tree and model tree disagreed on a query result.
+    Differential,
+    /// Recovery did not restore exactly the committed prefix.
+    Durability,
+    /// Trace events did not reconcile with the I/O / pool counters.
+    Accounting,
+}
+
+impl fmt::Display for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Oracle::Differential => write!(f, "differential"),
+            Oracle::Durability => write!(f, "durability"),
+            Oracle::Accounting => write!(f, "accounting"),
+        }
+    }
+}
+
+/// One oracle violation.
+#[derive(Clone, Debug)]
+pub struct ChaosFailure {
+    /// The oracle that fired.
+    pub oracle: Oracle,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// The outcome of one chaos run — everything the CLI prints and the
+/// shrinker bisects on.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The run seed.
+    pub seed: u64,
+    /// Operations requested (`--ops`).
+    pub ops_requested: usize,
+    /// Operations that fully committed before the fault (or all of them).
+    pub ops_executed: usize,
+    /// Whether the injected fault actually fired.
+    pub crashed: bool,
+    /// The fault schedule the seed generated.
+    pub fault: FaultPlan,
+    /// Items in the reference tree at the end of the committed prefix.
+    pub committed_items: u64,
+    /// Query results compared across all phases.
+    pub queries_checked: usize,
+    /// Oracle violations, in detection order.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The exact command line that reproduces this run.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "rtrees chaos --seed {} --ops {}",
+            self.seed, self.ops_requested
+        )
+    }
+}
+
+/// Runs the plan for `seed` with `ops` operations; all oracles, no planted
+/// bug.
+pub fn run(seed: u64, ops: usize) -> ChaosReport {
+    run_plan(&ChaosPlan::generate(seed, ops), false)
+}
+
+/// Like [`run`] but with a deliberately planted differential bug (a phantom
+/// id appended to disk query results once more than eight operations have
+/// executed). Used to verify that the oracles catch real divergence and
+/// that shrinking converges.
+pub fn run_planted(seed: u64, ops: usize) -> ChaosReport {
+    run_plan(&ChaosPlan::generate(seed, ops), true)
+}
+
+/// Operations a planted bug waits for before corrupting query results —
+/// small, so planted failures shrink to short prefixes.
+const PLANT_AFTER: usize = 8;
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+/// Byte-for-byte copy of a store's pages into a fresh [`MemStore`]
+/// (`MemStore` is deliberately not `Clone`; the harness copies at the
+/// `PageStore` level instead).
+fn copy_store(src: &mut MemStore) -> std::io::Result<MemStore> {
+    let mut dst = MemStore::new();
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for id in 0..src.page_count() {
+        dst.allocate()?;
+        src.read_page(PageId(id), &mut buf)?;
+        dst.write_page(PageId(id), &buf)?;
+    }
+    Ok(dst)
+}
+
+/// Executes `plan` end to end. See the module docs for the phase structure.
+pub fn run_plan(plan: &ChaosPlan, plant: bool) -> ChaosReport {
+    let mut report = ChaosReport {
+        seed: plan.seed,
+        ops_requested: plan.ops.len(),
+        ops_executed: 0,
+        crashed: false,
+        fault: plan.fault,
+        committed_items: 0,
+        queries_checked: 0,
+        failures: Vec::new(),
+    };
+
+    // ---- Phase 1: sequential workload with the fault armed. -------------
+    let switch = CrashSwitch::new();
+    let log = MemLog::new();
+    let store = {
+        let s = FaultStore::new(MemStore::new(), switch.clone());
+        match plan.fault {
+            FaultPlan::StoreCrash { at, torn } => s.crash_at_write(at, torn),
+            FaultPlan::ShortAppend { at } => s.crash_at_allocate(at),
+            FaultPlan::ReadFault { at } => s.fail_read_at(at),
+            FaultPlan::None | FaultPlan::LogCrash { .. } => s,
+        }
+    };
+    let mut disk = match DiskRTree::create_empty(
+        store,
+        plan.max_entries,
+        plan.min_entries,
+        plan.buffer_capacity,
+        plan.policy.build(),
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Durability,
+                detail: format!("create_empty failed before any op: {e}"),
+            });
+            return report;
+        }
+    };
+    let wal = match plan.fault {
+        FaultPlan::LogCrash { at, torn } => {
+            Wal::open(FaultLog::new(log.clone(), switch.clone()).crash_at_append(at, torn))
+        }
+        _ => Wal::open(log.clone()),
+    };
+    match wal {
+        Ok(w) => disk.attach_wal(w),
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Durability,
+                detail: format!("WAL open failed: {e}"),
+            });
+            return report;
+        }
+    }
+
+    let mut reference = RTreeBuilder::new(plan.max_entries)
+        .min_entries(plan.min_entries)
+        .build();
+    let mut live: Vec<(Rect, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    for op in &plan.ops {
+        let result = match op {
+            ChaosOp::Insert(rect) => {
+                let id = next_id;
+                match disk.insert(*rect, id) {
+                    Ok(()) => {
+                        next_id += 1;
+                        live.push((*rect, id));
+                        reference.insert(*rect, id);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            ChaosOp::Delete(pick) => {
+                if live.is_empty() {
+                    Ok(())
+                } else {
+                    let k = (*pick % live.len() as u64) as usize;
+                    let (rect, id) = live[k];
+                    match disk.delete(&rect, id) {
+                        Ok(found) => {
+                            if !found {
+                                report.failures.push(ChaosFailure {
+                                    oracle: Oracle::Differential,
+                                    detail: format!(
+                                        "live entry {id} missing from disk tree on delete"
+                                    ),
+                                });
+                            }
+                            live.swap_remove(k);
+                            if !reference.delete(&rect, id) {
+                                report.failures.push(ChaosFailure {
+                                    oracle: Oracle::Differential,
+                                    detail: format!("reference lost live entry {id}"),
+                                });
+                            }
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+            }
+            ChaosOp::Query(rect) => match disk.query(rect) {
+                Ok(mut got) => {
+                    if plant && report.ops_executed > PLANT_AFTER {
+                        // The deliberately planted bug: a phantom id the
+                        // reference tree never saw.
+                        got.push(u64::MAX);
+                    }
+                    report.queries_checked += 1;
+                    let want = sorted(reference.search(rect));
+                    let got = sorted(got);
+                    if got != want {
+                        report.failures.push(ChaosFailure {
+                            oracle: Oracle::Differential,
+                            detail: format!(
+                                "pre-crash query {rect}: disk {} ids vs reference {} ids",
+                                got.len(),
+                                want.len()
+                            ),
+                        });
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            ChaosOp::Checkpoint => disk.checkpoint(),
+            ChaosOp::Flush => disk.flush(),
+            ChaosOp::Resize(frames) => disk.resize_buffer(*frames, plan.policy.build()),
+        };
+        // The first injected fault aborts the run mid-operation; the
+        // reference holds exactly the committed prefix.
+        if result.is_err() {
+            report.crashed = true;
+            break;
+        }
+        report.ops_executed += 1;
+    }
+    report.committed_items = reference.len() as u64;
+
+    // ---- Phase 2: reboot + durability oracle. ---------------------------
+    // Buffered state (dirty frames included) is discarded, the switch is
+    // reset (the machine came back up), and the log replays against the
+    // surviving bytes.
+    switch.reset();
+    let mut store = disk.into_store().into_inner();
+    let log_bytes = match log.read_all() {
+        Ok(b) => b,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Durability,
+                detail: format!("reading surviving log failed: {e}"),
+            });
+            return report;
+        }
+    };
+    if let Err(e) = recover(&mut store, &log_bytes) {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Durability,
+            detail: format!("recover failed: {e}"),
+        });
+        return report;
+    }
+    let mut recovered = match DiskRTree::open(store, 64, LruPolicy::new()) {
+        Ok(t) => t,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Durability,
+                detail: format!("opening recovered tree failed: {e}"),
+            });
+            return report;
+        }
+    };
+
+    if recovered.meta().items != reference.len() as u64 {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Durability,
+            detail: format!(
+                "recovered item count {} != committed {}",
+                recovered.meta().items,
+                reference.len()
+            ),
+        });
+    }
+    let everything = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let mut recovered_queries: Vec<Rect> = vec![everything];
+    recovered_queries.extend(plan.query_rects());
+    // Extra sampled probes, from an RNG stream independent of the plan's.
+    let mut probe_rng = StdRng::seed_from_u64(plan.seed ^ 0x5EED_D00D_CAFE_F00D);
+    for _ in 0..8 {
+        let x = probe_rng.gen_range(0.0..0.8);
+        let y = probe_rng.gen_range(0.0..0.8);
+        recovered_queries.push(Rect::new(
+            x,
+            y,
+            x + probe_rng.gen_range(0.01..0.3),
+            y + probe_rng.gen_range(0.01..0.3),
+        ));
+    }
+    for rect in &recovered_queries {
+        match recovered.query(rect) {
+            Ok(got) => {
+                report.queries_checked += 1;
+                let got = sorted(got);
+                let want = sorted(reference.search(rect));
+                if got != want {
+                    report.failures.push(ChaosFailure {
+                        oracle: Oracle::Durability,
+                        detail: format!(
+                            "post-recovery query {rect}: disk {} ids vs reference {} ids",
+                            got.len(),
+                            want.len()
+                        ),
+                    });
+                }
+            }
+            Err(e) => {
+                report.failures.push(ChaosFailure {
+                    oracle: Oracle::Durability,
+                    detail: format!("post-recovery query {rect} failed: {e}"),
+                });
+            }
+        }
+    }
+
+    let mut store = recovered.into_store();
+
+    // ---- Phase 3: concurrent readers under a seeded schedule. -----------
+    run_concurrent_phase(plan, &mut store, &reference, &mut report);
+
+    // ---- Phase 4: sequential accounting oracle. -------------------------
+    run_accounting_phase(plan, store, &mut report);
+
+    report
+}
+
+/// Opens a copy of the recovered store behind a [`StepStore`] (which
+/// perturbs thread timing per the plan's schedule seed), queries it from
+/// `plan.threads` threads, and reconciles the trace events against the
+/// shard counters after the threads join.
+fn run_concurrent_phase(
+    plan: &ChaosPlan,
+    store: &mut MemStore,
+    reference: &RTree,
+    report: &mut ChaosReport,
+) {
+    let copy = match copy_store(store) {
+        Ok(c) => c,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Differential,
+                detail: format!("copying store for concurrent phase failed: {e}"),
+            });
+            return;
+        }
+    };
+    let stepped = StepStore::new(copy, StepSchedule::from_seed(plan.sched_seed));
+    let mut tree = match ConcurrentDiskRTree::open_sharded(
+        stepped,
+        plan.buffer_capacity,
+        plan.shards,
+        || -> Box<dyn rtree_buffer::ReplacementPolicy> { Box::new(LruPolicy::new()) },
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Differential,
+                detail: format!("opening concurrent tree failed: {e}"),
+            });
+            return;
+        }
+    };
+    let sink = Arc::new(CountingSink::new());
+    tree.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+
+    // Pinning: the level table survives only while the tree is unmutated,
+    // so clamp to what the recovered meta still describes. A pin that runs
+    // out of frames in some shard is a legal outcome with tiny pools, not
+    // an oracle violation — but it is deterministic either way.
+    let pinnable = plan.pin_levels.min(tree.meta().level_starts.len());
+    let _ = tree.pin_top_levels(pinnable);
+    // Out-of-range pinning must be rejected, never panic.
+    if tree
+        .pin_top_levels(tree.meta().level_starts.len() + 1)
+        .is_ok()
+    {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Differential,
+            detail: "out-of-range pin_top_levels unexpectedly succeeded".into(),
+        });
+    }
+
+    let queries = plan.query_rects();
+    let expected: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| sorted(reference.search(q)))
+        .collect();
+    let tree = Arc::new(tree);
+    // Keyed by query index so the report order is independent of which
+    // thread detected a mismatch first.
+    let mismatches: Mutex<Vec<(usize, ChaosFailure)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..plan.threads {
+            let tree = Arc::clone(&tree);
+            let mismatches = &mismatches;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (i, q) in queries.iter().enumerate() {
+                    if i % plan.threads != t {
+                        continue;
+                    }
+                    match tree.query(q) {
+                        Ok(got) => {
+                            if sorted(got) != expected[i] {
+                                mismatches.lock().unwrap().push((
+                                    i,
+                                    ChaosFailure {
+                                        oracle: Oracle::Differential,
+                                        detail: format!(
+                                            "concurrent query {q} (thread {t}) diverged from reference"
+                                        ),
+                                    },
+                                ));
+                            }
+                        }
+                        Err(e) => {
+                            mismatches.lock().unwrap().push((
+                                i,
+                                ChaosFailure {
+                                    oracle: Oracle::Differential,
+                                    detail: format!("concurrent query {q} failed: {e}"),
+                                },
+                            ));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    report.queries_checked += queries.len();
+    let mut found = mismatches.into_inner().unwrap();
+    found.sort_by_key(|(i, _)| *i);
+    report.failures.extend(found.into_iter().map(|(_, f)| f));
+
+    // Quiescent now — the trace stream must reconcile exactly.
+    let io = tree.io_stats();
+    let pool = tree.buffer_stats();
+    let c = sink.counts();
+    let checks: [(&str, u64, u64); 5] = [
+        ("concurrent misses vs physical reads", c.misses, io.reads),
+        ("concurrent peek reads", c.peek_reads, io.peek_reads),
+        ("concurrent write backs (read-only run)", c.write_backs, 0),
+        ("concurrent accesses", c.accesses(), pool.accesses),
+        ("concurrent hits", c.hits, pool.hits),
+    ];
+    for (what, lhs, rhs) in checks {
+        if lhs != rhs {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Accounting,
+                detail: format!("{what}: trace {lhs} != stats {rhs}"),
+            });
+        }
+    }
+}
+
+/// Reopens the recovered store sequentially with the plan's own pool
+/// configuration, replays the plan's queries plus a small fault-free
+/// write burst, and reconciles trace totals against `IoStats` and
+/// `BufferStats` (the `trace_vs_stats` invariants, here under a
+/// seed-chosen policy and capacity).
+fn run_accounting_phase(plan: &ChaosPlan, store: MemStore, report: &mut ChaosReport) {
+    let mut disk = match DiskRTree::open(store, plan.buffer_capacity, plan.policy.build()) {
+        Ok(d) => d,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Accounting,
+                detail: format!("reopening store for accounting phase failed: {e}"),
+            });
+            return;
+        }
+    };
+    let sink = Arc::new(CountingSink::new());
+    disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+    let wal_log = MemLog::new();
+    match Wal::open(wal_log) {
+        Ok(w) => disk.attach_wal(w),
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Accounting,
+                detail: format!("accounting-phase WAL open failed: {e}"),
+            });
+            return;
+        }
+    }
+
+    let fail = |report: &mut ChaosReport, detail: String| {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Accounting,
+            detail,
+        });
+    };
+
+    // Reads: the plan's own query mix.
+    for q in plan.query_rects() {
+        if let Err(e) = disk.query(&q) {
+            fail(report, format!("accounting-phase query failed: {e}"));
+            return;
+        }
+    }
+    // Writes: a deterministic fault-free burst, inserted then removed so
+    // the store's logical contents are unchanged afterwards.
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xACC0_0050_F00D_5EED);
+    let mut burst: Vec<(Rect, u64)> = Vec::new();
+    for i in 0..12u64 {
+        let x = rng.gen_range(0.0..0.9);
+        let y = rng.gen_range(0.0..0.9);
+        let rect = Rect::new(x, y, x + 0.01, y + 0.01);
+        let id = (1u64 << 40) + i;
+        if let Err(e) = disk.insert(rect, id) {
+            fail(report, format!("accounting-phase insert failed: {e}"));
+            return;
+        }
+        burst.push((rect, id));
+    }
+    if let Err(e) = disk.checkpoint() {
+        fail(report, format!("accounting-phase checkpoint failed: {e}"));
+        return;
+    }
+    for (rect, id) in &burst {
+        match disk.delete(rect, *id) {
+            Ok(true) => {}
+            Ok(false) => {
+                fail(
+                    report,
+                    format!("accounting-phase burst entry {id} vanished"),
+                );
+                return;
+            }
+            Err(e) => {
+                fail(report, format!("accounting-phase delete failed: {e}"));
+                return;
+            }
+        }
+    }
+    if let Err(e) = disk.flush() {
+        fail(report, format!("accounting-phase flush failed: {e}"));
+        return;
+    }
+
+    let io = disk.io_stats();
+    let pool = disk.buffer_stats();
+    let c = sink.counts();
+    let checks: [(&str, u64, u64); 5] = [
+        ("sequential misses vs physical reads", c.misses, io.reads),
+        ("sequential write backs", c.write_backs, io.writes),
+        ("sequential peek reads", c.peek_reads, io.peek_reads),
+        ("sequential accesses", c.accesses(), pool.accesses),
+        ("sequential hits", c.hits, pool.hits),
+    ];
+    for (what, lhs, rhs) in checks {
+        if lhs != rhs {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Accounting,
+                detail: format!("{what}: trace {lhs} != stats {rhs}"),
+            });
+        }
+    }
+    if c.write_backs == 0 {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Accounting,
+            detail: "accounting-phase write burst produced no write-backs".into(),
+        });
+    }
+    if c.wal_appends == 0 {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Accounting,
+            detail: "accounting-phase writes appended nothing to the WAL".into(),
+        });
+    }
+}

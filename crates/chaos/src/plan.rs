@@ -1,0 +1,317 @@
+//! Seed → plan: everything a chaos run does is a pure function of one
+//! `u64`.
+//!
+//! Generation order is fixed — configuration first, the fault schedule
+//! second, the operation stream last — so truncating the operation stream
+//! (what shrinking does via `--ops K`) never changes the tree shape, the
+//! buffer policy or where the fault fires. That is what makes the
+//! `rtrees chaos --seed N --ops K` replay line sufficient to reproduce a
+//! failure bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_buffer::{
+    ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, RandomPolicy, ReplacementPolicy,
+};
+use rtree_geom::Rect;
+use std::fmt;
+
+/// One step of the sequential workload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosOp {
+    /// Insert this rectangle (the engine assigns the item id).
+    Insert(Rect),
+    /// Delete the live entry at `pick % live.len()`; a no-op when nothing
+    /// is live yet.
+    Delete(u64),
+    /// Region (or point — zero-extent) query, checked against the model.
+    Query(Rect),
+    /// Flush dirty pages, log a checkpoint, truncate the WAL.
+    Checkpoint,
+    /// Flush dirty pages without touching the WAL.
+    Flush,
+    /// Swap the buffer pool for one with this many frames (flushes first).
+    Resize(usize),
+}
+
+/// Where (and how) the injected fault fires, 1-based like the `FaultStore`
+/// and `FaultLog` triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// No fault: the workload runs to completion.
+    None,
+    /// Crash on the n-th physical page write; `torn` persists half a page.
+    StoreCrash {
+        /// 1-based write ordinal.
+        at: u64,
+        /// Tear the crashing write.
+        torn: bool,
+    },
+    /// Crash on the n-th page allocation (short append).
+    ShortAppend {
+        /// 1-based allocation ordinal.
+        at: u64,
+    },
+    /// Crash on the n-th WAL append; `torn` leaves half a record behind.
+    LogCrash {
+        /// 1-based append ordinal.
+        at: u64,
+        /// Tear the crashing append.
+        torn: bool,
+    },
+    /// Fail the n-th page read with an I/O error (transient, no crash).
+    ReadFault {
+        /// 1-based read ordinal.
+        at: u64,
+    },
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlan::None => write!(f, "none"),
+            FaultPlan::StoreCrash { at, torn } => {
+                write!(f, "store-crash@w{at}{}", if *torn { "+torn" } else { "" })
+            }
+            FaultPlan::ShortAppend { at } => write!(f, "short-append@a{at}"),
+            FaultPlan::LogCrash { at, torn } => {
+                write!(f, "log-crash@l{at}{}", if *torn { "+torn" } else { "" })
+            }
+            FaultPlan::ReadFault { at } => write!(f, "read-fault@r{at}"),
+        }
+    }
+}
+
+/// Replacement policy choice; carries the seed for the randomized policy so
+/// the whole plan stays a function of the run seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Least recently used.
+    Lru,
+    /// LRU-2 (second-to-last reference).
+    Lru2,
+    /// First in, first out.
+    Fifo,
+    /// Clock (second chance).
+    Clock,
+    /// Seeded random replacement (deterministic for a fixed seed).
+    Random(u64),
+}
+
+impl PolicyChoice {
+    /// Builds a fresh boxed policy instance.
+    pub fn build(&self) -> Box<dyn ReplacementPolicy> {
+        match *self {
+            PolicyChoice::Lru => Box::new(LruPolicy::new()),
+            PolicyChoice::Lru2 => Box::new(LruKPolicy::lru2()),
+            PolicyChoice::Fifo => Box::new(FifoPolicy::new()),
+            PolicyChoice::Clock => Box::new(ClockPolicy::new()),
+            PolicyChoice::Random(seed) => Box::new(RandomPolicy::new(seed)),
+        }
+    }
+
+    /// Display name (matches the CLI's policy vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyChoice::Lru => "LRU",
+            PolicyChoice::Lru2 => "LRU2",
+            PolicyChoice::Fifo => "FIFO",
+            PolicyChoice::Clock => "CLOCK",
+            PolicyChoice::Random(_) => "RANDOM",
+        }
+    }
+}
+
+/// The full, deterministic description of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// The seed everything below derives from.
+    pub seed: u64,
+    /// Guttman node capacity `M` of the tree under test.
+    pub max_entries: usize,
+    /// Minimum fill `m`.
+    pub min_entries: usize,
+    /// Buffer frames — kept small so evictions (and the crash points that
+    /// ride on them) happen constantly.
+    pub buffer_capacity: usize,
+    /// Replacement policy for the sequential phase.
+    pub policy: PolicyChoice,
+    /// The injected fault, if any.
+    pub fault: FaultPlan,
+    /// The sequential operation stream.
+    pub ops: Vec<ChaosOp>,
+    /// Threads for the concurrent read phase.
+    pub threads: usize,
+    /// Latch shards for the concurrent read phase.
+    pub shards: usize,
+    /// Top levels to pin in the concurrent phase.
+    pub pin_levels: usize,
+    /// Seed for the step-controlled interleaving schedule.
+    pub sched_seed: u64,
+}
+
+impl ChaosPlan {
+    /// Generates the plan for `seed` with exactly `ops` workload steps.
+    pub fn generate(seed: u64, ops: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // 1. Configuration.
+        let max_entries = rng.gen_range(4..=10usize);
+        let min_entries = rng.gen_range(2..=(max_entries / 2).max(2));
+        let buffer_capacity = rng.gen_range(2..=24usize);
+        let policy = match rng.gen_range(0..5u32) {
+            0 => PolicyChoice::Lru,
+            1 => PolicyChoice::Lru2,
+            2 => PolicyChoice::Fifo,
+            3 => PolicyChoice::Clock,
+            _ => PolicyChoice::Random(rng.gen()),
+        };
+        let threads = rng.gen_range(2..=4usize);
+        let shards = 1usize << rng.gen_range(0..3u32);
+        let pin_levels = rng.gen_range(0..=2usize);
+        let sched_seed = rng.gen();
+
+        // 2. Fault schedule. `crash_at_write` skips the two bootstrap
+        // writes of `create_empty`, which happen before the WAL attaches.
+        let fault = match rng.gen_range(0..8u32) {
+            0 | 1 => FaultPlan::StoreCrash {
+                at: rng.gen_range(3..400u64),
+                torn: rng.gen_bool(0.5),
+            },
+            2 | 3 => FaultPlan::LogCrash {
+                at: rng.gen_range(1..3000u64),
+                torn: rng.gen_bool(0.5),
+            },
+            4 => FaultPlan::ShortAppend {
+                at: rng.gen_range(3..120u64),
+            },
+            5 => FaultPlan::ReadFault {
+                at: rng.gen_range(1..2000u64),
+            },
+            _ => FaultPlan::None,
+        };
+
+        // 3. Operation stream (config and fault above are untouched by the
+        // number of ops requested).
+        let ops = (0..ops).map(|_| Self::gen_op(&mut rng)).collect();
+
+        ChaosPlan {
+            seed,
+            max_entries,
+            min_entries,
+            buffer_capacity,
+            policy,
+            fault,
+            ops,
+            threads,
+            shards,
+            pin_levels,
+            sched_seed,
+        }
+    }
+
+    fn gen_op(rng: &mut StdRng) -> ChaosOp {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 45 {
+            let x = rng.gen_range(0.0..0.9);
+            let y = rng.gen_range(0.0..0.9);
+            let w = rng.gen_range(0.001..0.08);
+            let h = rng.gen_range(0.001..0.08);
+            ChaosOp::Insert(Rect::new(x, y, x + w, y + h))
+        } else if roll < 65 {
+            ChaosOp::Delete(rng.gen())
+        } else if roll < 90 {
+            let x = rng.gen_range(0.0..0.8);
+            let y = rng.gen_range(0.0..0.8);
+            if rng.gen_bool(0.3) {
+                // Point query: zero-extent rectangle.
+                ChaosOp::Query(Rect::new(x, y, x, y))
+            } else {
+                let w = rng.gen_range(0.01..0.3);
+                let h = rng.gen_range(0.01..0.3);
+                ChaosOp::Query(Rect::new(x, y, x + w, y + h))
+            }
+        } else if roll < 94 {
+            ChaosOp::Checkpoint
+        } else if roll < 97 {
+            ChaosOp::Flush
+        } else {
+            ChaosOp::Resize(rng.gen_range(2..=32usize))
+        }
+    }
+
+    /// The query rectangles of the plan, in order (drives the concurrent
+    /// read phase).
+    pub fn query_rects(&self) -> Vec<Rect> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                ChaosOp::Query(r) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = ChaosPlan::generate(12345, 300);
+        let b = ChaosPlan::generate(12345, 300);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(
+            (a.max_entries, a.min_entries, a.buffer_capacity),
+            (b.max_entries, b.min_entries, b.buffer_capacity)
+        );
+        assert_eq!(
+            (a.threads, a.shards, a.pin_levels, a.sched_seed),
+            (b.threads, b.shards, b.pin_levels, b.sched_seed)
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_prefix_and_preserves_config() {
+        let long = ChaosPlan::generate(777, 500);
+        let short = ChaosPlan::generate(777, 50);
+        assert_eq!(short.ops[..], long.ops[..50]);
+        assert_eq!(short.fault, long.fault);
+        assert_eq!(short.policy, long.policy);
+        assert_eq!(short.buffer_capacity, long.buffer_capacity);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosPlan::generate(1, 200);
+        let b = ChaosPlan::generate(2, 200);
+        assert_ne!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_kind() {
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let p = ChaosPlan::generate(seed, 1);
+            kinds.insert(std::mem::discriminant(&p.fault));
+        }
+        assert_eq!(kinds.len(), 5, "64 seeds should hit all five fault kinds");
+    }
+
+    #[test]
+    fn min_entries_respects_guttman_bound() {
+        for seed in 0..200u64 {
+            let p = ChaosPlan::generate(seed, 1);
+            assert!(p.min_entries >= 2);
+            assert!(
+                p.min_entries <= (p.max_entries / 2).max(2),
+                "seed {seed}: m={} M={}",
+                p.min_entries,
+                p.max_entries
+            );
+        }
+    }
+}

@@ -33,7 +33,10 @@ pub(crate) fn err(msg: impl Into<String>) -> CliError {
 
 /// Flags that are presence toggles and take no value. Everything else uses
 /// the uniform `--key value` form.
-const BOOL_FLAGS: &[&str] = &["json", "prom"];
+const BOOL_FLAGS: &[&str] = &["json", "prom", "plant"];
+
+/// Subcommands that are fully seed-driven and take no input argument.
+const NO_POSITIONAL: &[&str] = &["chaos"];
 
 impl Args {
     /// Parses raw arguments (without the program name).
@@ -65,9 +68,14 @@ impl Args {
                 return Err(err(format!("unexpected argument {tok:?}")));
             }
         }
+        let positional = match positional {
+            Some(p) => p,
+            None if NO_POSITIONAL.contains(&command.as_str()) => String::new(),
+            None => return Err(err("missing input argument")),
+        };
         Ok(Args {
             command,
-            positional: positional.ok_or_else(|| err("missing input argument"))?,
+            positional,
             flags,
         })
     }
@@ -168,6 +176,17 @@ mod tests {
         // elsewhere.
         assert!(parse("trace d.csv --policy").is_err());
         assert!(parse("trace d.csv --json --json").is_err());
+    }
+
+    #[test]
+    fn chaos_needs_no_positional() {
+        let a = parse("chaos --seed 7 --ops 50 --plant").unwrap();
+        assert_eq!(a.command, "chaos");
+        assert_eq!(a.positional, "");
+        assert_eq!(a.flag_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag_bool("plant"));
+        // Other commands still require their input argument.
+        assert!(parse("build --cap 5").is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "update" => update(args),
         "concurrent" => concurrent(args),
         "trace" => trace(args),
+        "chaos" => chaos(args),
         other => Err(err(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -141,15 +142,16 @@ fn model(args: &Args) -> Result<String, CliError> {
     let model = BufferModel::new(&desc, &workload);
 
     let mut out = String::new();
-    writeln!(
+    // `fmt::Write` into a `String` cannot fail; discard the Ok(()) rather
+    // than `.expect()` so an (impossible) error can't panic a report path.
+    let _ = writeln!(
         out,
         "tree: {} nodes {:?}; expected nodes visited/query (no buffer): {:.4}",
         desc.total_nodes(),
         desc.nodes_per_level(),
         model.expected_node_accesses()
-    )
-    .expect("string write");
-    writeln!(out, "{:>10}  {:>22}", "buffer", "disk accesses/query").expect("string write");
+    );
+    let _ = writeln!(out, "{:>10}  {:>22}", "buffer", "disk accesses/query");
     for b in buffers {
         let ed = if pin == 0 {
             Ok(model.expected_disk_accesses(b))
@@ -159,30 +161,61 @@ fn model(args: &Args) -> Result<String, CliError> {
                 .map_err(|e| e.to_string())
         };
         match ed {
-            Ok(v) => writeln!(out, "{b:>10}  {v:>22.4}").expect("string write"),
-            Err(e) => writeln!(out, "{b:>10}  {e:>22}").expect("string write"),
+            Ok(v) => {
+                let _ = writeln!(out, "{b:>10}  {v:>22.4}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{b:>10}  {e:>22}");
+            }
         }
     }
     if pin > 0 {
-        writeln!(
+        let _ = writeln!(
             out,
             "(top {pin} levels pinned: {} pages)",
             model.pinned_pages(pin)
-        )
-        .expect("string write");
+        );
     }
     Ok(out)
 }
 
-fn make_policy(name: &str, seed: u64) -> Result<Box<dyn ReplacementPolicy>, CliError> {
+/// A policy name resolved ahead of construction, so the per-shard factory
+/// closures the sharded constructors require can build instances without a
+/// fallible (re-)parse inside the closure.
+#[derive(Clone, Copy)]
+enum PolicyKind {
+    Lru,
+    Lru2,
+    Fifo,
+    Clock,
+    Random(u64),
+}
+
+impl PolicyKind {
+    fn build(self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new()),
+            PolicyKind::Lru2 => Box::new(LruKPolicy::lru2()),
+            PolicyKind::Fifo => Box::new(FifoPolicy::new()),
+            PolicyKind::Clock => Box::new(ClockPolicy::new()),
+            PolicyKind::Random(seed) => Box::new(RandomPolicy::new(seed)),
+        }
+    }
+}
+
+fn parse_policy(name: &str, seed: u64) -> Result<PolicyKind, CliError> {
     Ok(match name.to_uppercase().as_str() {
-        "LRU" => Box::new(LruPolicy::new()),
-        "LRU2" | "LRU-2" => Box::new(LruKPolicy::lru2()),
-        "FIFO" => Box::new(FifoPolicy::new()),
-        "CLOCK" => Box::new(ClockPolicy::new()),
-        "RANDOM" => Box::new(RandomPolicy::new(seed)),
+        "LRU" => PolicyKind::Lru,
+        "LRU2" | "LRU-2" => PolicyKind::Lru2,
+        "FIFO" => PolicyKind::Fifo,
+        "CLOCK" => PolicyKind::Clock,
+        "RANDOM" => PolicyKind::Random(seed),
         other => return Err(err(format!("unknown policy {other:?}"))),
     })
+}
+
+fn make_policy(name: &str, seed: u64) -> Result<Box<dyn ReplacementPolicy>, CliError> {
+    Ok(parse_policy(name, seed)?.build())
 }
 
 fn simulate(args: &Args) -> Result<String, CliError> {
@@ -270,12 +303,12 @@ fn concurrent(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.flag_or("seed", 0xC0Cu64)?;
     let workload = parse_workload(args.flag("workload").unwrap_or("region:0.05:0.05"))?;
     let policy_name = args.flag("policy").unwrap_or("LRU");
-    make_policy(policy_name, seed)?; // validate the name before the build
+    let policy = parse_policy(policy_name, seed)?; // fail before the build
     let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
 
     let disk = Arc::new(
-        ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, || {
-            make_policy(policy_name, seed).expect("validated above")
+        ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, move || {
+            policy.build()
         })
         .map_err(|e| err(format!("creating tree: {e}")))?,
     );
@@ -381,12 +414,12 @@ fn trace(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.flag_or("seed", 0x7ACEu64)?;
     let workload = parse_workload(args.flag("workload").unwrap_or("region:0.05:0.05"))?;
     let policy_name = args.flag("policy").unwrap_or("LRU");
-    make_policy(policy_name, seed)?; // validate the name before the build
+    let policy = parse_policy(policy_name, seed)?; // fail before the build
     let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
 
     let mut disk =
-        ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, || {
-            make_policy(policy_name, seed).expect("validated above")
+        ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, move || {
+            policy.build()
         })
         .map_err(|e| err(format!("creating tree: {e}")))?;
     // The sink must be installed before the tree is shared across threads.
@@ -525,29 +558,26 @@ fn trace(args: &Args) -> Result<String, CliError> {
 
     let lat = &metrics.latency_ns;
     let mut out = table.render();
-    writeln!(
+    let _ = writeln!(
         out,
         "totals: {} accesses, {} hits, {} misses, {} root peek reads",
         counts.accesses(),
         counts.hits,
         counts.misses,
         counts.peek_reads,
-    )
-    .expect("string write");
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "latency/query: p50 {:.1} us, p99 {:.1} us (upper bucket bounds, {} samples)",
         lat.quantile(0.50) as f64 / 1_000.0,
         lat.quantile(0.99) as f64 / 1_000.0,
         lat.count(),
-    )
-    .expect("string write");
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "reconciled with IoStats/BufferStats: {}",
         if reconciled { "yes" } else { "NO" },
-    )
-    .expect("string write");
+    );
     Ok(out)
 }
 
@@ -593,7 +623,7 @@ fn update(args: &Args) -> Result<String, CliError> {
     let mut ops = 0usize;
     let mut tick = |disk: &mut DiskRTree<MemStore>, wal_bytes: &mut u64| -> Result<(), CliError> {
         ops += 1;
-        if checkpoint > 0 && ops % checkpoint == 0 {
+        if checkpoint > 0 && ops.is_multiple_of(checkpoint) {
             *wal_bytes += log.len();
             disk.checkpoint().map_err(io)?;
         }
@@ -651,12 +681,119 @@ fn update(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Parses `A..B` (half-open) into the seed list `A..B`.
+fn parse_seed_range(spec: &str) -> Result<Vec<u64>, CliError> {
+    let (lo, hi) = spec
+        .split_once("..")
+        .ok_or_else(|| err(format!("--seeds {spec:?}: expected A..B")))?;
+    let lo: u64 = lo
+        .parse()
+        .map_err(|e| err(format!("--seeds start {lo:?}: {e}")))?;
+    let hi: u64 = hi
+        .parse()
+        .map_err(|e| err(format!("--seeds end {hi:?}: {e}")))?;
+    if lo >= hi {
+        return Err(err(format!("--seeds {spec:?}: empty range")));
+    }
+    Ok((lo..hi).collect())
+}
+
+fn chaos(args: &Args) -> Result<String, CliError> {
+    args.allow_flags(&["seed", "seeds", "ops", "plant"])?;
+    let ops: usize = args.flag_or("ops", 400usize)?;
+    if ops == 0 {
+        return Err(err("--ops must be at least 1"));
+    }
+    let plant = args.flag_bool("plant");
+    let seeds: Vec<u64> = match (args.flag("seeds"), args.flag("seed")) {
+        (Some(_), Some(_)) => return Err(err("--seed and --seeds are mutually exclusive")),
+        (Some(range), None) => parse_seed_range(range)?,
+        (None, _) => vec![args.flag_or("seed", 0u64)?],
+    };
+
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for &seed in &seeds {
+        let report = if plant {
+            rtree_chaos::run_planted(seed, ops)
+        } else {
+            rtree_chaos::run(seed, ops)
+        };
+        let _ = writeln!(
+            out,
+            "seed {seed}: fault {}, {}/{} ops committed, {} items, {} queries checked — {}",
+            report.fault,
+            report.ops_executed,
+            report.ops_requested,
+            report.committed_items,
+            report.queries_checked,
+            if report.passed() { "ok" } else { "FAIL" },
+        );
+        if !report.passed() {
+            failed += 1;
+            for f in &report.failures {
+                let _ = writeln!(out, "  [{}] {}", f.oracle, f.detail);
+            }
+            // Shrink to the minimal reproducing prefix and print the exact
+            // replay command.
+            if let Some(k) = rtree_chaos::shrink(seed, ops, plant) {
+                let _ = writeln!(
+                    out,
+                    "  shrunk to {k} ops — replay: rtrees chaos --seed {seed} --ops {k}{}",
+                    if plant { " --plant" } else { "" },
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        Err(CliError(format!(
+            "{failed} of {} chaos run(s) failed an oracle\n{out}",
+            seeds.len()
+        )))
+    } else {
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn chaos_single_seed_passes_and_is_replayable() {
+        let a = run(&args("chaos --seed 3 --ops 80")).unwrap();
+        let b = run(&args("chaos --seed 3 --ops 80")).unwrap();
+        assert_eq!(a, b, "same seed must print the same report");
+        assert!(a.contains("seed 3:"), "got: {a}");
+        assert!(a.contains("ok"), "got: {a}");
+    }
+
+    #[test]
+    fn chaos_seed_range_runs_every_seed() {
+        let out = run(&args("chaos --seeds 0..4 --ops 40")).unwrap();
+        for seed in 0..4 {
+            assert!(out.contains(&format!("seed {seed}:")), "got: {out}");
+        }
+        assert!(run(&args("chaos --seeds 4..4")).is_err());
+        assert!(run(&args("chaos --seeds nope")).is_err());
+        assert!(run(&args("chaos --seed 1 --seeds 0..2")).is_err());
+        assert!(run(&args("chaos --ops 0")).is_err());
+    }
+
+    #[test]
+    fn chaos_planted_failure_shrinks_and_prints_replay_line() {
+        // Some seed in a small range reaches the planted bug; its failure
+        // must carry a shrunk `rtrees chaos` replay line.
+        let e = (0..16u64)
+            .find_map(|s| run(&args(&format!("chaos --seed {s} --ops 120 --plant"))).err())
+            .expect("a planted seed in 0..16 must fail");
+        assert!(e.0.contains("differential"), "got: {e}");
+        assert!(e.0.contains("replay: rtrees chaos --seed"), "got: {e}");
+        assert!(e.0.contains("--plant"), "got: {e}");
     }
 
     #[test]

@@ -64,5 +64,13 @@ USAGE:
       exactly with the I/O counters. --json emits the table as JSON;
       --prom emits Prometheus-style text metrics instead.
 
+  rtrees chaos [--seed N | --seeds A..B] [--ops K] [--plant]
+      Deterministic simulation test: the seed generates a tree/buffer
+      configuration, a fault schedule (crashes, torn writes, read faults),
+      a mixed workload, and a thread-interleaving schedule, then replays
+      them against differential, durability and accounting oracles. On
+      failure the run shrinks to a minimal `--seed N --ops K` replay line.
+      --plant injects a known bug (harness self-test).
+
 Common: --help prints this text.
 ";

@@ -112,9 +112,7 @@ impl RingSink {
     /// Events that fell off a full ring: `recorded() - retained`.
     pub fn dropped(&self) -> u64 {
         let retained: u64 = self
-            .rings
-            .lock()
-            .unwrap()
+            .registry()
             .iter()
             .map(|r| r.written.load(Ordering::Acquire).min(r.slots.len()) as u64)
             .sum();
@@ -123,14 +121,25 @@ impl RingSink {
 
     /// Number of distinct threads that have recorded into this sink.
     pub fn threads(&self) -> usize {
-        self.rings.lock().unwrap().len()
+        self.registry().len()
+    }
+
+    /// The registry mutex only guards the `Vec` of ring handles — pushes in
+    /// `ring_for_this_thread` can't half-complete observably — so a panic
+    /// on a recording thread leaves it valid. Recover from poisoning rather
+    /// than propagate: draining a sink whose writer panicked is exactly the
+    /// post-mortem read path, and it must not panic in turn.
+    fn registry(&self) -> std::sync::MutexGuard<'_, Vec<Arc<ThreadRing>>> {
+        self.rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// All retained events, grouped by recording thread (oldest first
     /// within a thread). Exact only once recording threads have quiesced;
     /// a ring with a still-active writer may be mid-overwrite.
     pub fn events(&self) -> Vec<IoEvent> {
-        let rings = self.rings.lock().unwrap();
+        let rings = self.registry();
         let mut out = Vec::new();
         for ring in rings.iter() {
             ring.drain_snapshot(&mut out);
@@ -145,7 +154,7 @@ impl RingSink {
                 return Arc::clone(ring);
             }
             let ring = Arc::new(ThreadRing::new(self.per_thread_capacity));
-            self.rings.lock().unwrap().push(Arc::clone(&ring));
+            self.registry().push(Arc::clone(&ring));
             local.push((self.id, Arc::clone(&ring)));
             ring
         })

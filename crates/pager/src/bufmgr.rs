@@ -374,6 +374,23 @@ impl<S: PageStore> BufferManager<S> {
         }
         Ok(())
     }
+
+    /// Replaces the buffer pool with a fresh one of `capacity` frames under
+    /// `policy`. Every dirty page is flushed first (log-first, as always),
+    /// so no buffered state is lost; pinned pages become unpinned and the
+    /// pool's hit/miss statistics restart from zero, while the cumulative
+    /// [`IoStats`] and the attached WAL are preserved. Call only between
+    /// operations.
+    pub fn resize(
+        &mut self,
+        capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+    ) -> io::Result<()> {
+        self.flush_all()?;
+        self.pool = BufferPool::new(capacity, policy);
+        self.frames.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

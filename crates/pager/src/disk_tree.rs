@@ -187,6 +187,19 @@ impl<S: PageStore> DiskRTree<S> {
         Ok(())
     }
 
+    /// Replaces the buffer pool with `capacity` frames under `policy`,
+    /// flushing all dirty pages first so no buffered state is lost. The
+    /// cache starts cold: pinned pages are unpinned and the pool statistics
+    /// restart, while the cumulative [`crate::IoStats`] and any attached
+    /// WAL survive. Call only between operations.
+    pub fn resize_buffer(
+        &mut self,
+        capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+    ) -> io::Result<()> {
+        self.mgr.resize(capacity, policy)
+    }
+
     /// Physical page reads so far.
     pub fn physical_reads(&self) -> u64 {
         self.mgr.physical_reads()

@@ -2,10 +2,12 @@
 //! errors, and whole-process crash simulation coordinated with the WAL
 //! through a shared [`CrashSwitch`].
 
+use crate::store::SharedPageStore;
 use crate::{PageStore, PAGE_SIZE};
 use rtree_buffer::PageId;
 use rtree_wal::CrashSwitch;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A [`PageStore`] wrapper that injects storage faults.
 ///
@@ -29,7 +31,10 @@ pub struct FaultStore<S: PageStore> {
     fail_read_at: Option<u64>,
     writes: u64,
     allocates: u64,
-    reads: u64,
+    /// Atomic so shared (`&self`) reads count too — the concurrent tree
+    /// reads through [`SharedPageStore`], and a read-fault trigger must
+    /// fire at the same global read ordinal either way.
+    reads: AtomicU64,
 }
 
 impl<S: PageStore> FaultStore<S> {
@@ -44,7 +49,7 @@ impl<S: PageStore> FaultStore<S> {
             fail_read_at: None,
             writes: 0,
             allocates: 0,
-            reads: 0,
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -84,10 +89,18 @@ impl<S: PageStore> FaultStore<S> {
     }
 }
 
+impl<S: PageStore> FaultStore<S> {
+    /// Counts one read and reports whether the read-fault trigger fires on
+    /// it (shared with the `SharedPageStore` path).
+    fn read_faults(&self) -> bool {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        self.fail_read_at == Some(n)
+    }
+}
+
 impl<S: PageStore> PageStore for FaultStore<S> {
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
-        self.reads += 1;
-        if self.fail_read_at == Some(self.reads) {
+        if self.read_faults() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "injected read fault",
@@ -137,6 +150,22 @@ impl<S: PageStore> PageStore for FaultStore<S> {
             return Err(CrashSwitch::error());
         }
         self.inner.flush()
+    }
+}
+
+impl<S: SharedPageStore> SharedPageStore for FaultStore<S> {
+    /// Shared reads go through the same fault counter as exclusive reads,
+    /// so the chaos harness can aim a transient read fault at the
+    /// concurrent tree too. Like exclusive reads, they stay allowed after
+    /// a crash (recovery must be able to inspect the surviving bytes).
+    fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        if self.read_faults() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "injected read fault",
+            ));
+        }
+        self.inner.read_page_shared(id, buf)
     }
 }
 

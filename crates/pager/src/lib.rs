@@ -29,6 +29,7 @@ mod fault;
 mod mutate;
 mod page;
 mod recovery;
+mod sched;
 mod store;
 
 pub use bufmgr::{BufferManager, IoStats};
@@ -37,4 +38,5 @@ pub use disk_tree::DiskRTree;
 pub use fault::FaultStore;
 pub use page::{NodePage, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
 pub use recovery::{recover, RecoveryReport};
-pub use store::{FileStore, MemStore, PageStore};
+pub use sched::{StepSchedule, StepStore};
+pub use store::{FileStore, MemStore, PageStore, SharedPageStore};

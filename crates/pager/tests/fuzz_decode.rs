@@ -1,0 +1,142 @@
+//! Deterministic fuzz smoke for the page decoders: the no-network stand-in
+//! for `fuzz/fuzz_targets/page_decode.rs` that runs in plain `cargo test`.
+//!
+//! Two generators feed `PageMeta::decode` / `NodePage::decode`:
+//! pure random bytes (cheap, shallow — mostly dies at the magic check) and
+//! *mutated valid pages* (encode a real page, flip a few seeded bytes —
+//! reaches past the checksum only when the flips land in it, past the
+//! structure checks when they don't). The invariant is the fuzz target's:
+//! decode returns `Ok` or a typed `PageError`, and never panics.
+//!
+//! Hand-minimized regression inputs live at the bottom as separate tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rtree_geom::Rect;
+use rtree_pager::{NodePage, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+
+fn decode_both(bytes: &[u8]) {
+    let _ = PageMeta::decode(bytes);
+    let _ = NodePage::decode(bytes);
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF022_DECD);
+    let mut page = vec![0u8; PAGE_SIZE];
+    for _ in 0..10_000 {
+        rng.fill_bytes(&mut page);
+        decode_both(&page);
+    }
+    // Wrong lengths must be rejected, not sliced out of bounds.
+    for len in [
+        0usize,
+        1,
+        7,
+        63,
+        PAGE_SIZE - 1,
+        PAGE_SIZE + 1,
+        3 * PAGE_SIZE,
+    ] {
+        let buf = vec![0xA5u8; len];
+        decode_both(&buf);
+    }
+}
+
+fn sample_meta() -> PageMeta {
+    PageMeta {
+        root: 1,
+        height: 3,
+        max_entries: 50,
+        min_entries: 20,
+        items: 1234,
+        nodes: 77,
+        free_head: 0,
+        level_starts: vec![1, 2, 10],
+    }
+}
+
+fn sample_node() -> NodePage {
+    NodePage {
+        level: 1,
+        entries: (0..40)
+            .map(|i| {
+                let x = i as f64 / 64.0;
+                (Rect::new(x, x, x + 0.01, x + 0.01), 1000 + i as u64)
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn mutated_valid_pages_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_F1B5);
+    let mut meta_page = vec![0u8; PAGE_SIZE];
+    sample_meta().encode(&mut meta_page);
+    let mut node_page = vec![0u8; PAGE_SIZE];
+    sample_node().encode(&mut node_page);
+
+    for template in [&meta_page, &node_page] {
+        for _ in 0..10_000 {
+            let mut page = template.clone();
+            for _ in 0..rng.gen_range(1..=8usize) {
+                let at = rng.gen_range(0..PAGE_SIZE);
+                page[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+            decode_both(&page);
+        }
+    }
+}
+
+#[test]
+fn valid_pages_round_trip() {
+    let mut page = vec![0u8; PAGE_SIZE];
+    sample_meta().encode(&mut page);
+    assert_eq!(PageMeta::decode(&page).unwrap(), sample_meta());
+    sample_node().encode(&mut page);
+    assert_eq!(NodePage::decode(&page).unwrap(), sample_node());
+}
+
+// ---- Regression inputs (minimized from the generators above). ----------
+
+/// A node page whose entry count claims more than the page can hold must be
+/// a typed overflow error, not a huge `Vec::with_capacity` + out-of-bounds
+/// read. Bytes 4..6 are the count; the checksum is re-sealed by re-encoding
+/// via a raw patch of count *after* computing a valid CRC would be caught,
+/// so this exercises the pre-checksum ordering too.
+#[test]
+fn regression_entry_count_overflow() {
+    let mut page = vec![0u8; PAGE_SIZE];
+    sample_node().encode(&mut page);
+    let bogus = (MAX_ENTRIES_PER_PAGE as u16 + 1).to_le_bytes();
+    page[4..6].copy_from_slice(&bogus);
+    // The corrupted count invalidates the checksum first; both outcomes
+    // are legal, a panic is not.
+    match NodePage::decode(&page) {
+        Err(PageError::ChecksumMismatch { .. }) | Err(PageError::EntryOverflow(_)) => {}
+        other => panic!("expected checksum/overflow error, got {other:?}"),
+    }
+}
+
+/// A meta page whose level-table length disagrees with its height must be
+/// rejected as inconsistent (the table would otherwise be indexed by level).
+#[test]
+fn regression_level_table_length_mismatch() {
+    let mut meta = sample_meta();
+    meta.level_starts = vec![1, 2]; // height says 3
+    let mut page = vec![0u8; PAGE_SIZE];
+    // encode asserts nothing about this; decode must.
+    meta.encode(&mut page);
+    assert!(matches!(
+        PageMeta::decode(&page),
+        Err(PageError::InconsistentMeta(_))
+    ));
+}
+
+/// All-zero page: fails at the magic check for both decoders.
+#[test]
+fn regression_zero_page() {
+    let page = vec![0u8; PAGE_SIZE];
+    assert!(matches!(PageMeta::decode(&page), Err(PageError::BadMagic)));
+    assert!(matches!(NodePage::decode(&page), Err(PageError::BadMagic)));
+}

@@ -71,11 +71,22 @@ impl MemLog {
     pub fn new() -> Self {
         MemLog::default()
     }
+
+    /// Every critical section below leaves the byte buffer in a valid state
+    /// (a `Vec` append/clear/clone cannot half-complete observably), so a
+    /// panic on another handle never invalidates the data; recover from
+    /// poisoning instead of cascading the panic into crash-test inspection
+    /// paths that read the log *after* a simulated-crash unwind.
+    fn bytes(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        self.data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 impl LogBackend for MemLog {
     fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
-        self.data.lock().unwrap().extend_from_slice(bytes);
+        self.bytes().extend_from_slice(bytes);
         Ok(())
     }
 
@@ -84,16 +95,16 @@ impl LogBackend for MemLog {
     }
 
     fn read_all(&self) -> io::Result<Vec<u8>> {
-        Ok(self.data.lock().unwrap().clone())
+        Ok(self.bytes().clone())
     }
 
     fn truncate(&mut self) -> io::Result<()> {
-        self.data.lock().unwrap().clear();
+        self.bytes().clear();
         Ok(())
     }
 
     fn len(&self) -> u64 {
-        self.data.lock().unwrap().len() as u64
+        self.bytes().len() as u64
     }
 }
 

@@ -1,0 +1,25 @@
+//! Fuzz target: arbitrary bytes through both page decoders.
+//!
+//! Invariant: `PageMeta::decode` and `NodePage::decode` must return
+//! `Err(PageError)` or a valid value on *any* input — never panic, never
+//! overflow an index, never allocate absurdly (entry counts are validated
+//! before `Vec::with_capacity`).
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rtree_pager::{NodePage, PageMeta, PAGE_SIZE};
+
+fuzz_target!(|data: &[u8]| {
+    // As-is: decoders must reject wrong lengths gracefully.
+    let _ = PageMeta::decode(data);
+    let _ = NodePage::decode(data);
+
+    // Padded / truncated to exactly one page: exercises the full parse
+    // path past the length check.
+    let mut page = vec![0u8; PAGE_SIZE];
+    let n = data.len().min(PAGE_SIZE);
+    page[..n].copy_from_slice(&data[..n]);
+    let _ = PageMeta::decode(&page);
+    let _ = NodePage::decode(&page);
+});

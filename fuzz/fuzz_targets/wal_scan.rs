@@ -1,0 +1,19 @@
+//! Fuzz target: arbitrary bytes through the WAL tail scanner.
+//!
+//! Invariant: `scan` must terminate and classify any byte string into
+//! `(records, clean, valid_len)` without panicking — a corrupt length
+//! prefix, a bogus CRC, or a huge `data_len` must all land in the torn
+//! tail, and `valid_len` must never exceed the input length.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rtree_wal::scan;
+
+fuzz_target!(|data: &[u8]| {
+    let result = scan(data);
+    assert!(result.valid_len <= data.len());
+    if result.clean {
+        assert_eq!(result.valid_len, data.len());
+    }
+});
