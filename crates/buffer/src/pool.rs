@@ -202,6 +202,21 @@ impl BufferPool {
     /// Returns the page evicted to make room, if any — the caller owns its
     /// frame and must write it back if dirty.
     pub fn pin(&mut self, page: PageId) -> Result<Option<PageId>, PinError> {
+        let was_resident = self.resident.contains(&page);
+        let evicted = self.admit_pinned(page)?;
+        if !was_resident {
+            self.stats.accesses += 1;
+            self.stats.misses += 1;
+        }
+        Ok(evicted)
+    }
+
+    /// Like [`BufferPool::pin`] but *without* touching the access/hit/miss
+    /// statistics: the prefetch path. A prefetch fill is a physical read
+    /// but not a pool access — the access (a hit) is charged later, when a
+    /// query consumes the prefetched frame — so counting it here would
+    /// break the `hits + misses == accesses` reconciliation.
+    pub fn admit_pinned(&mut self, page: PageId) -> Result<Option<PageId>, PinError> {
         if self.pinned.contains(&page) {
             return Ok(None);
         }
@@ -223,8 +238,6 @@ impl BufferPool {
         } else {
             None
         };
-        self.stats.accesses += 1;
-        self.stats.misses += 1;
         self.resident.insert(page);
         self.pinned.insert(page);
         Ok(evicted)
@@ -378,6 +391,36 @@ mod tests {
         assert_eq!(pool.pinned_count(), 1);
         let s = pool.stats();
         assert_eq!(s.misses, 1, "second pin must not re-read");
+    }
+
+    #[test]
+    fn admit_pinned_skips_stats_until_the_consuming_access() {
+        let mut pool = BufferPool::new(2, LruPolicy::new());
+        assert_eq!(pool.admit_pinned(PageId(1)), Ok(None));
+        assert_eq!(pool.stats(), BufferStats::default(), "prefetch is silent");
+        assert!(pool.is_pinned(PageId(1)));
+        // The consuming access is a hit — the only statistics the prefetch
+        // ever produces.
+        assert_eq!(pool.access(PageId(1)), AccessOutcome::Hit);
+        let s = pool.stats();
+        assert_eq!((s.accesses, s.hits, s.misses), (1, 1, 0));
+        pool.unpin(PageId(1));
+        // Pinned-full pool refuses further admissions cleanly.
+        pool.pin(PageId(2)).unwrap();
+        pool.pin(PageId(3)).unwrap();
+        assert_eq!(
+            pool.admit_pinned(PageId(4)),
+            Err(PinError::CapacityExceeded)
+        );
+    }
+
+    #[test]
+    fn admit_pinned_evicts_like_pin() {
+        let mut pool = BufferPool::new(1, LruPolicy::new());
+        pool.access(PageId(1));
+        assert_eq!(pool.admit_pinned(PageId(2)), Ok(Some(PageId(1))));
+        assert!(pool.is_pinned(PageId(2)));
+        assert!(!pool.contains(PageId(1)));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtree_buffer::LruPolicy;
 use rtree_buffer::PageId;
+use rtree_exec::{BatchConfig, BatchExecutor};
 use rtree_geom::Rect;
 use rtree_index::{RTree, RTreeBuilder};
 use rtree_obs::{CountingSink, TraceSink};
@@ -266,6 +267,34 @@ pub fn run_plan(plan: &ChaosPlan, plant: bool) -> ChaosReport {
                 }
                 Err(e) => Err(e),
             },
+            ChaosOp::BatchQuery(rects) => {
+                let exec = BatchExecutor::with_config(BatchConfig {
+                    prefetch_window: plan.batch_window,
+                });
+                match exec.execute(&mut disk, rects) {
+                    Ok(out) => {
+                        report.queries_checked += rects.len();
+                        for (i, rect) in rects.iter().enumerate() {
+                            let got = sorted(out.results[i].clone());
+                            let want = sorted(reference.search(rect));
+                            if got != want {
+                                report.failures.push(ChaosFailure {
+                                    oracle: Oracle::Differential,
+                                    detail: format!(
+                                        "pre-crash batch query {rect} ({i} of {}): \
+                                         disk {} ids vs reference {} ids",
+                                        rects.len(),
+                                        got.len(),
+                                        want.len()
+                                    ),
+                                });
+                            }
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
             ChaosOp::Checkpoint => disk.checkpoint(),
             ChaosOp::Flush => disk.flush(),
             ChaosOp::Resize(frames) => disk.resize_buffer(*frames, plan.policy.build()),
@@ -485,6 +514,34 @@ fn run_concurrent_phase(
     found.sort_by_key(|(i, _)| *i);
     report.failures.extend(found.into_iter().map(|(_, f)| f));
 
+    // The concurrent *batch* path answers the same workload once more —
+    // sharded sub-batches, level-synchronous dedup — and must agree with
+    // the reference query for query.
+    if !queries.is_empty() {
+        match tree.query_batch(&queries, plan.threads) {
+            Ok(batch) => {
+                report.queries_checked += queries.len();
+                for (i, got) in batch.into_iter().enumerate() {
+                    if sorted(got) != expected[i] {
+                        report.failures.push(ChaosFailure {
+                            oracle: Oracle::Differential,
+                            detail: format!(
+                                "concurrent batch query {} diverged from reference",
+                                queries[i]
+                            ),
+                        });
+                    }
+                }
+            }
+            Err(e) => {
+                report.failures.push(ChaosFailure {
+                    oracle: Oracle::Differential,
+                    detail: format!("concurrent batch execution failed: {e}"),
+                });
+            }
+        }
+    }
+
     // Quiescent now — the trace stream must reconcile exactly.
     let io = tree.io_stats();
     let pool = tree.buffer_stats();
@@ -543,11 +600,26 @@ fn run_accounting_phase(plan: &ChaosPlan, store: MemStore, report: &mut ChaosRep
         });
     };
 
-    // Reads: the plan's own query mix.
-    for q in plan.query_rects() {
-        if let Err(e) = disk.query(&q) {
+    // Reads: the plan's own query mix, sequentially...
+    let query_rects = plan.query_rects();
+    for q in &query_rects {
+        if let Err(e) = disk.query(q) {
             fail(report, format!("accounting-phase query failed: {e}"));
             return;
+        }
+    }
+    // ...then once more through the batch executor, so the split ledger
+    // (demand misses + prefetch fills = physical reads) is exercised under
+    // the seed-chosen policy and capacity too.
+    if !query_rects.is_empty() {
+        let exec = BatchExecutor::with_config(BatchConfig {
+            prefetch_window: plan.batch_window,
+        });
+        for chunk in query_rects.chunks(8) {
+            if let Err(e) = exec.execute(&mut disk, chunk) {
+                fail(report, format!("accounting-phase batch failed: {e}"));
+                return;
+            }
         }
     }
     // Writes: a deterministic fault-free burst, inserted then removed so
@@ -593,8 +665,14 @@ fn run_accounting_phase(plan: &ChaosPlan, store: MemStore, report: &mut ChaosRep
     let io = disk.io_stats();
     let pool = disk.buffer_stats();
     let c = sink.counts();
-    let checks: [(&str, u64, u64); 5] = [
-        ("sequential misses vs physical reads", c.misses, io.reads),
+    let checks: [(&str, u64, u64); 7] = [
+        (
+            "sequential misses + prefetches vs physical reads",
+            c.reads(),
+            io.reads,
+        ),
+        ("sequential demand reads", c.misses, io.demand_reads()),
+        ("sequential prefetch reads", c.prefetches, io.prefetch_reads),
         ("sequential write backs", c.write_backs, io.writes),
         ("sequential peek reads", c.peek_reads, io.peek_reads),
         ("sequential accesses", c.accesses(), pool.accesses),

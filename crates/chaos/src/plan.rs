@@ -26,6 +26,9 @@ pub enum ChaosOp {
     Delete(u64),
     /// Region (or point — zero-extent) query, checked against the model.
     Query(Rect),
+    /// A batch of queries run through the batched executor (dedup +
+    /// readahead); every per-query result set is checked against the model.
+    BatchQuery(Vec<Rect>),
     /// Flush dirty pages, log a checkpoint, truncate the WAL.
     Checkpoint,
     /// Flush dirty pages without touching the WAL.
@@ -148,6 +151,8 @@ pub struct ChaosPlan {
     pub pin_levels: usize,
     /// Seed for the step-controlled interleaving schedule.
     pub sched_seed: u64,
+    /// Readahead window for `BatchQuery` ops (0 disables prefetch).
+    pub batch_window: usize,
 }
 
 impl ChaosPlan {
@@ -170,6 +175,7 @@ impl ChaosPlan {
         let shards = 1usize << rng.gen_range(0..3u32);
         let pin_levels = rng.gen_range(0..=2usize);
         let sched_seed = rng.gen();
+        let batch_window = rng.gen_range(0..=8usize);
 
         // 2. Fault schedule. `crash_at_write` skips the two bootstrap
         // writes of `create_empty`, which happen before the WAL attaches.
@@ -207,6 +213,7 @@ impl ChaosPlan {
             shards,
             pin_levels,
             sched_seed,
+            batch_window,
         }
     }
 
@@ -220,17 +227,11 @@ impl ChaosPlan {
             ChaosOp::Insert(Rect::new(x, y, x + w, y + h))
         } else if roll < 65 {
             ChaosOp::Delete(rng.gen())
+        } else if roll < 85 {
+            ChaosOp::Query(Self::gen_query(rng))
         } else if roll < 90 {
-            let x = rng.gen_range(0.0..0.8);
-            let y = rng.gen_range(0.0..0.8);
-            if rng.gen_bool(0.3) {
-                // Point query: zero-extent rectangle.
-                ChaosOp::Query(Rect::new(x, y, x, y))
-            } else {
-                let w = rng.gen_range(0.01..0.3);
-                let h = rng.gen_range(0.01..0.3);
-                ChaosOp::Query(Rect::new(x, y, x + w, y + h))
-            }
+            let n = rng.gen_range(2..=6usize);
+            ChaosOp::BatchQuery((0..n).map(|_| Self::gen_query(rng)).collect())
         } else if roll < 94 {
             ChaosOp::Checkpoint
         } else if roll < 97 {
@@ -240,16 +241,32 @@ impl ChaosPlan {
         }
     }
 
-    /// The query rectangles of the plan, in order (drives the concurrent
-    /// read phase).
+    /// Region (or point — zero-extent) query rectangle.
+    fn gen_query(rng: &mut StdRng) -> Rect {
+        let x = rng.gen_range(0.0..0.8);
+        let y = rng.gen_range(0.0..0.8);
+        if rng.gen_bool(0.3) {
+            // Point query: zero-extent rectangle.
+            Rect::new(x, y, x, y)
+        } else {
+            let w = rng.gen_range(0.01..0.3);
+            let h = rng.gen_range(0.01..0.3);
+            Rect::new(x, y, x + w, y + h)
+        }
+    }
+
+    /// The query rectangles of the plan — single and batched, in order
+    /// (drives the concurrent read phase).
     pub fn query_rects(&self) -> Vec<Rect> {
-        self.ops
-            .iter()
-            .filter_map(|op| match op {
-                ChaosOp::Query(r) => Some(*r),
-                _ => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                ChaosOp::Query(r) => out.push(*r),
+                ChaosOp::BatchQuery(rs) => out.extend_from_slice(rs),
+                _ => {}
+            }
+        }
+        out
     }
 }
 

@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "model" => model(args),
         "simulate" => simulate(args),
         "update" => update(args),
+        "batch" => batch(args),
         "concurrent" => concurrent(args),
         "trace" => trace(args),
         "chaos" => chaos(args),
@@ -268,6 +269,92 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         misses as f64 / queries as f64,
         pool.stats().hit_ratio(),
     ))
+}
+
+fn batch(args: &Args) -> Result<String, CliError> {
+    use rtree_bench::Table;
+    use rtree_exec::{BatchConfig, BatchExecutor};
+    use rtree_pager::{DiskRTree, MemStore};
+
+    args.allow_flags(&[
+        "loader", "cap", "buffer", "queries", "workload", "policy", "seed", "window", "sizes",
+        "json",
+    ])?;
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 50usize)?;
+    if !(4..=rtree_pager::MAX_ENTRIES_PER_PAGE).contains(&cap) {
+        return Err(err(format!(
+            "--cap must be in 4..={}",
+            rtree_pager::MAX_ENTRIES_PER_PAGE
+        )));
+    }
+    let buffer: usize = args.flag_or("buffer", 100usize)?;
+    if buffer == 0 {
+        return Err(err("--buffer must be positive"));
+    }
+    let queries: usize = args.flag_or("queries", 1_024usize)?;
+    if queries == 0 {
+        return Err(err("--queries must be positive"));
+    }
+    let seed: u64 = args.flag_or("seed", 0xBA7Cu64)?;
+    let window: usize = args.flag_or("window", 8usize)?;
+    let sizes = args.flag_list("sizes", &[1, 4, 16, 64, 256, 1024])?;
+    if sizes.iter().any(|&s| s == 0) {
+        return Err(err("--sizes entries must be positive"));
+    }
+    let workload = parse_workload(args.flag("workload").unwrap_or("region:0.05:0.05"))?;
+    let policy_name = args.flag("policy").unwrap_or("LRU");
+    let policy = parse_policy(policy_name, seed)?; // fail before the build
+    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
+
+    // One fixed query stream: every batch size answers the identical
+    // queries against an equally cold tree, so the curve isolates batching.
+    let mut sampler = QuerySampler::new(&workload, seed);
+    let stream: Vec<Rect> = (0..queries).map(|_| sampler.sample()).collect();
+
+    let mut table = Table::new(
+        format!(
+            "batched execution: {queries} queries, {} policy, buffer {buffer}, window {window}",
+            policy_name.to_uppercase(),
+        ),
+        &[
+            "batch",
+            "reads/query",
+            "hit ratio",
+            "dedup saved",
+            "prefetched",
+        ],
+    );
+    for &size in &sizes {
+        let mut disk = DiskRTree::create(MemStore::new(), &tree, buffer, policy.build())
+            .map_err(|e| err(format!("creating tree: {e}")))?;
+        let exec = BatchExecutor::with_config(BatchConfig {
+            prefetch_window: window,
+        });
+        let (mut work, mut requests, mut prefetched) = (0u64, 0u64, 0u64);
+        for chunk in stream.chunks(size) {
+            let out = exec
+                .execute(&mut disk, chunk)
+                .map_err(|e| err(format!("batch: {e}")))?;
+            work += out.stats.work_items;
+            requests += out.stats.page_requests;
+            prefetched += out.stats.prefetched;
+        }
+        table.row(vec![
+            size.to_string(),
+            format!("{:.4}", disk.physical_reads() as f64 / queries as f64),
+            format!("{:.4}", disk.buffer_stats().hit_ratio()),
+            format!("{:.4}", 1.0 - work as f64 / requests.max(1) as f64),
+            prefetched.to_string(),
+        ]);
+    }
+    if args.flag_bool("json") {
+        return Ok(table.to_json());
+    }
+    Ok(table.render())
 }
 
 fn concurrent(args: &Args) -> Result<String, CliError> {
@@ -839,6 +926,54 @@ mod tests {
         // Bad configurations surface as errors, not panics.
         assert!(run(&args(&format!("concurrent {} --threads 0", data.display()))).is_err());
         assert!(run(&args(&format!("concurrent {} --pin 99", data.display()))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_hit_curve_improves_with_batch_size() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        run(&args(&format!(
+            "generate clustered:4000:16:0.02 --seed 9 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "batch {} --cap 10 --buffer 16 --queries 512 --sizes 1,256 \
+             --workload region:0.04:0.04 --seed 5",
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("batched execution"), "got: {out}");
+
+        // The acceptance criterion: at batch 256 the clustered workload
+        // must cost strictly fewer physical reads per query than at
+        // batch 1 (dedup + the shared frontier do real work).
+        let reads_at = |size: &str| -> f64 {
+            out.lines()
+                .find_map(|l| {
+                    let mut cols = l.split_whitespace();
+                    (cols.next() == Some(size)).then(|| cols.next().unwrap().parse().unwrap())
+                })
+                .unwrap_or_else(|| panic!("no row for batch {size} in: {out}"))
+        };
+        assert!(
+            reads_at("256") < reads_at("1"),
+            "batch 256 not cheaper: {out}"
+        );
+
+        let json = run(&args(&format!(
+            "batch {} --cap 10 --buffer 16 --queries 128 --sizes 1,64 --json",
+            data.display()
+        )))
+        .unwrap();
+        assert!(json.contains("\"rows\""), "got: {json}");
+        assert!(json.contains("\"reads/query\""), "got: {json}");
+
+        // Bad configurations surface as errors, not panics.
+        assert!(run(&args(&format!("batch {} --sizes 0,4", data.display()))).is_err());
+        assert!(run(&args(&format!("batch {} --buffer 0", data.display()))).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -47,6 +47,16 @@ USAGE:
       reads/writes per operation — the write-amplification counterpart of
       the read-cost experiments.
 
+  rtrees batch <DATA.csv> [--loader L] [--cap N] [--buffer B] [--queries N]
+               [--workload W] [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
+               [--window W] [--sizes S1,S2,...] [--json]
+      Answers the same query stream from a cold tree at each batch size
+      (default 1,4,16,64,256,1024) through the batched executor — page
+      dedup, PageId-sorted level-synchronous traversal, readahead window W
+      (default 8, 0 disables) — and reports the physical reads/query curve,
+      pool hit ratio, the fraction of page requests dedup removed, and the
+      prefetched-page count. --json emits the table as JSON.
+
   rtrees concurrent <DATA.csv> [--loader L] [--cap N] [--buffer B] [--threads T]
                     [--shards S] [--pin P] [--queries N] [--workload W]
                     [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]

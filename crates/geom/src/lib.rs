@@ -7,13 +7,16 @@
 //! domain `U'`), and the Hilbert / Morton space-filling curves used by the
 //! packing loaders.
 //!
-//! All geometry is `f64` and all types are `Copy`; nothing here allocates.
+//! All geometry is `f64` and the primitive types are `Copy`; only the
+//! batched [`RectSoA`] kernel owns buffers.
 
+mod batch;
 mod hilbert;
 mod morton;
 mod point;
 mod rect;
 
+pub use batch::RectSoA;
 pub use hilbert::{hilbert_index, hilbert_point, HilbertCurve};
 pub use morton::{morton_index, MortonCurve};
 pub use point::Point;

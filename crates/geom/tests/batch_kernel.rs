@@ -1,0 +1,76 @@
+//! Kernel equivalence: the autovectorized SoA intersection kernel must
+//! agree with the scalar reference — and with `Rect::intersects` — on
+//! arbitrary rectangle sets, including degenerate (zero-extent) rectangles
+//! and exactly-touching edges, which the coarse coordinate grid below makes
+//! common rather than measure-zero.
+
+use proptest::prelude::*;
+use rtree_geom::{Rect, RectSoA};
+
+/// Coordinates snapped to a 1/8 grid: touching edges and shared corners
+/// occur with high probability, exercising the closed-interval boundary.
+fn grid_coord() -> impl Strategy<Value = f64> {
+    (0u8..=8).prop_map(|i| f64::from(i) / 8.0)
+}
+
+/// Rectangles on the grid; `lo == hi` (degenerate) is allowed.
+fn arb_grid_rect() -> impl Strategy<Value = Rect> {
+    (grid_coord(), grid_coord(), grid_coord(), grid_coord())
+        .prop_map(|(x0, y0, x1, y1)| Rect::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1)))
+}
+
+/// Continuous rectangles, for coverage away from the grid.
+fn arb_free_rect() -> impl Strategy<Value = Rect> {
+    ((0.0f64..=1.0, 0.0f64..=1.0), (0.0f64..=0.3, 0.0f64..=0.3))
+        .prop_map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    prop_oneof![arb_grid_rect(), arb_grid_rect(), arb_free_rect()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel == scalar reference == per-entry `Rect::intersects`, for sets
+    /// spanning multiple 64-wide mask blocks.
+    #[test]
+    fn kernel_matches_scalar_reference(
+        rects in prop::collection::vec(arb_rect(), 0..200),
+        queries in prop::collection::vec(arb_rect(), 1..12),
+    ) {
+        let soa = RectSoA::from_rects(&rects);
+        prop_assert_eq!(soa.len(), rects.len());
+        let (mut fast, mut slow) = (Vec::new(), Vec::new());
+        for q in &queries {
+            fast.clear();
+            slow.clear();
+            soa.intersecting(q, &mut fast);
+            soa.intersecting_scalar(q, &mut slow);
+            prop_assert_eq!(&fast, &slow, "kernel vs scalar for query {}", q);
+            let direct: Vec<u32> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(&slow, &direct, "scalar vs Rect::intersects");
+        }
+    }
+
+    /// Degenerate query rectangles (points) agree too — the closed-interval
+    /// semantics make a point on a boundary a hit.
+    #[test]
+    fn point_queries_agree(
+        rects in prop::collection::vec(arb_grid_rect(), 1..100),
+        px in grid_coord(),
+        py in grid_coord(),
+    ) {
+        let q = Rect::new(px, py, px, py);
+        let soa = RectSoA::from_rects(&rects);
+        let (mut fast, mut slow) = (Vec::new(), Vec::new());
+        soa.intersecting(&q, &mut fast);
+        soa.intersecting_scalar(&q, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+}

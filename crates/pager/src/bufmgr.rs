@@ -84,13 +84,39 @@ pub struct IoStats {
     /// happens — it is surfaced here so no physical I/O is silently
     /// dropped from the accounting.
     pub peek_reads: u64,
+    /// The share of `reads` issued by [`BufferManager::prefetch`] rather
+    /// than a demand miss (so `prefetch_reads <= reads`, and demand misses
+    /// are `reads - prefetch_reads`). Prefetch fills are real physical
+    /// transfers — they stay inside `reads` so "physical reads" keeps
+    /// meaning every charged page-in — but no query's miss count is
+    /// inflated by them: the consuming access later lands as a hit.
+    pub prefetch_reads: u64,
 }
 
 impl IoStats {
-    /// Total physical page transfers, peeks included.
+    /// Total physical page transfers, peeks included (`reads` already
+    /// includes prefetch fills).
     pub fn total(&self) -> u64 {
         self.reads + self.writes + self.peek_reads
     }
+
+    /// Physical reads charged to demand misses (excludes prefetch fills).
+    pub fn demand_reads(&self) -> u64 {
+        self.reads - self.prefetch_reads
+    }
+}
+
+/// What [`BufferManager::prefetch`] did for a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// The page was read from the store into a frame and **pinned**; the
+    /// caller must [`BufferManager::unpin`] it after the consuming access.
+    Fetched,
+    /// The page was already resident: nothing was read or pinned.
+    Resident,
+    /// No frame could be reserved (every frame pinned); nothing was read.
+    /// The caller should stop issuing readahead for now.
+    NoCapacity,
 }
 
 /// A buffer manager: caches page contents according to the pool's
@@ -250,9 +276,80 @@ impl<S: PageStore> BufferManager<S> {
         Ok(())
     }
 
+    /// Reads a page ahead of its demand access. On [`PrefetchOutcome::Fetched`]
+    /// the frame is filled and **pinned** so it cannot be evicted before the
+    /// access that consumes it — the caller unpins after that access. The
+    /// transfer counts as a physical read (`IoStats::reads`, with the
+    /// prefetch share mirrored in `IoStats::prefetch_reads`) but **not** as
+    /// a pool access: no miss is charged to any query, and the later
+    /// consuming access lands as a hit. Emits [`EventKind::Prefetch`]
+    /// instead of a miss in trace builds.
+    pub fn prefetch(&mut self, id: PageId) -> io::Result<PrefetchOutcome> {
+        if self.pool.contains(id) {
+            return Ok(PrefetchOutcome::Resident);
+        }
+        if self.pool.pinned_count() >= self.pool.capacity() {
+            return Ok(PrefetchOutcome::NoCapacity);
+        }
+        // Read before touching pool state: a failed I/O then needs no
+        // rollback of a half-made reservation.
+        let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        self.store.read_page(id, &mut frame)?;
+        let evicted = self
+            .pool
+            .admit_pinned(id)
+            .expect("a frame is free: pinned_count < capacity was checked");
+        if let Some(victim) = evicted {
+            self.retire_victim(victim)?;
+        }
+        self.stats.reads += 1;
+        self.stats.prefetch_reads += 1;
+        self.frames.insert(id, frame);
+        #[cfg(feature = "trace")]
+        self.tracer.emit(id, EventKind::Prefetch);
+        Ok(PrefetchOutcome::Fetched)
+    }
+
+    /// Unpins a page pinned by [`BufferManager::pin`] or
+    /// [`BufferManager::prefetch`]; it stays resident and re-enters the
+    /// replacement order as most recently used.
+    pub fn unpin(&mut self, id: PageId) {
+        self.pool.unpin(id);
+    }
+
     /// Borrows the frame of a resident page without touching policy state.
     pub(crate) fn peek_frame(&self, id: PageId) -> Option<&[u8]> {
         self.frames.get(&id).map(|b| &b[..])
+    }
+
+    /// Reads a page *without* charging the buffer: a resident frame is
+    /// peeked (no policy touch), a non-resident page goes through the
+    /// scratch frame and counts only as a peek read. Used for the
+    /// model-semantics root-MBR test (a node is accessed iff its MBR
+    /// intersects the query), by both the tree's own query path and the
+    /// batch executor.
+    pub fn fetch_uncharged(&mut self, id: PageId) -> io::Result<&[u8]> {
+        if self.pool.contains(id) {
+            return Ok(self.peek_frame(id).expect("resident page has a frame"));
+        }
+        self.read_scratch(id)
+    }
+
+    /// Sets the trace span subsequent events are attributed to: the
+    /// query/operation id (0 = none) and the on-page level of the pages
+    /// about to be touched (-1 = unknown). Only present with the `trace`
+    /// feature; external drivers like the batch executor use this the same
+    /// way the tree's own query path does internally.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_span(&mut self, query_id: u64, level: i16) {
+        self.tracer.query_id = query_id;
+        self.tracer.level = level;
+    }
+
+    /// The operation id of the current trace span (0 = none).
+    #[cfg(feature = "trace")]
+    pub fn trace_span_id(&self) -> u64 {
+        self.tracer.query_id
     }
 
     /// Reads a page into the scratch frame, bypassing the pool and the
@@ -467,7 +564,7 @@ mod tests {
             IoStats {
                 reads: 1,
                 writes: 1,
-                peek_reads: 0
+                ..IoStats::default()
             }
         );
     }
@@ -521,6 +618,60 @@ mod tests {
         // A second flush is a no-op.
         m.flush_all().unwrap();
         assert_eq!(m.physical_writes(), 2);
+    }
+
+    #[test]
+    fn prefetch_reads_once_and_the_access_hits() {
+        let mut m = make(4, 2);
+        assert_eq!(m.prefetch(PageId(1)).unwrap(), PrefetchOutcome::Fetched);
+        let io = m.io_stats();
+        assert_eq!((io.reads, io.prefetch_reads), (1, 1));
+        assert_eq!(io.demand_reads(), 0, "no miss charged to anyone");
+        assert_eq!(m.pool().stats().accesses, 0, "prefetch is not an access");
+        // The consuming access: a hit, no further read.
+        assert_eq!(m.fetch(PageId(1)).unwrap()[0], 1);
+        m.unpin(PageId(1));
+        let io = m.io_stats();
+        assert_eq!((io.reads, io.prefetch_reads), (1, 1));
+        let s = m.pool().stats();
+        assert_eq!((s.accesses, s.hits, s.misses), (1, 1, 0));
+    }
+
+    #[test]
+    fn prefetched_page_survives_pressure_until_unpinned() {
+        let mut m = make(8, 2);
+        m.prefetch(PageId(1)).unwrap();
+        // Demand traffic fills and churns the other frame; page 1 is pinned
+        // by the readahead reservation, so it cannot be the victim.
+        for i in 2..6 {
+            m.fetch(PageId(i)).unwrap();
+        }
+        let before = m.physical_reads();
+        assert_eq!(m.fetch(PageId(1)).unwrap()[0], 1);
+        assert_eq!(m.physical_reads(), before, "reservation held the frame");
+        m.unpin(PageId(1));
+    }
+
+    #[test]
+    fn prefetch_resident_and_full_pools_are_no_ops() {
+        let mut m = make(4, 2);
+        m.fetch(PageId(1)).unwrap();
+        assert_eq!(m.prefetch(PageId(1)).unwrap(), PrefetchOutcome::Resident);
+        assert_eq!(m.io_stats().prefetch_reads, 0);
+        m.pin(PageId(0)).unwrap();
+        m.pin(PageId(2)).unwrap();
+        // Every frame pinned: readahead declines instead of erroring.
+        assert_eq!(m.prefetch(PageId(3)).unwrap(), PrefetchOutcome::NoCapacity);
+        assert_eq!(m.io_stats().prefetch_reads, 0);
+    }
+
+    #[test]
+    fn prefetch_missing_page_errors_without_reserving() {
+        let mut m = make(2, 2);
+        assert!(m.prefetch(PageId(77)).is_err());
+        assert!(!m.pool().contains(PageId(77)), "failed read left state");
+        assert_eq!(m.pool().pinned_count(), 0);
+        assert_eq!(m.io_stats().prefetch_reads, 0);
     }
 
     #[test]

@@ -37,11 +37,11 @@ use parking_lot::Mutex;
 use rtree_buffer::{
     AccessOutcome, AtomicBufferStats, BufferPool, BufferStats, PageId, ReplacementPolicy,
 };
-use rtree_geom::Rect;
+use rtree_geom::{Rect, RectSoA};
 use rtree_index::RTree;
 #[cfg(feature = "trace")]
 use rtree_obs::{EventKind, IoEvent, TraceSink};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -300,6 +300,7 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             reads: self.physical_reads(),
             writes: 0,
             peek_reads: self.peek_reads.load(Ordering::Relaxed),
+            prefetch_reads: 0,
         }
     }
 
@@ -520,6 +521,156 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         }
         Ok(results)
     }
+
+    /// Runs a batch of region queries sharded across `threads` worker
+    /// threads (contiguous sub-batches; `0` means one per hardware
+    /// thread). `results[i]` holds the ids matching `queries[i]`.
+    ///
+    /// Each worker traverses its sub-batch **level-synchronously with page
+    /// dedup**: a page needed by k of its queries is fetched and decoded
+    /// once, each level is visited in ascending page order (sequential
+    /// under the bulk-loaded layout), and per-node filtering runs the
+    /// [`rtree_geom::RectSoA`] kernel. The root peek is shared and
+    /// uncharged, exactly as in [`ConcurrentDiskRTree::query`]. With
+    /// `threads = 1` the traversal runs inline on the caller's thread.
+    pub fn query_batch(&self, queries: &[Rect], threads: usize) -> io::Result<Vec<Vec<u64>>>
+    where
+        S: Sync,
+    {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+        .min(queries.len());
+
+        // Shared uncharged root peek; workers reuse the decoded MBR.
+        let (root_frame, fresh_peek) = self.root_frame()?;
+        #[cfg(feature = "trace")]
+        if fresh_peek {
+            self.emit(
+                0,
+                PageId(self.meta.root),
+                (self.meta.height - 1) as i16,
+                EventKind::PeekRead,
+            );
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = fresh_peek;
+        let root_node = NodePage::decode(&root_frame)?;
+        if root_node.entries.is_empty() {
+            return Ok(vec![Vec::new(); queries.len()]);
+        }
+        let root_mbr = root_node
+            .entries
+            .iter()
+            .skip(1)
+            .fold(root_node.entries[0].0, |acc, (r, _)| acc.union(r));
+
+        if threads == 1 {
+            return self.batch_inner(queries, &root_mbr);
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let outputs: Vec<io::Result<Vec<Vec<u64>>>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = queries
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || self.batch_inner(slice, &root_mbr)))
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut results = Vec::with_capacity(queries.len());
+        for out in outputs {
+            results.extend(out?);
+        }
+        Ok(results)
+    }
+
+    /// One worker's level-synchronous deduplicated traversal over its
+    /// contiguous slice of the batch.
+    fn batch_inner(&self, queries: &[Rect], root_mbr: &Rect) -> io::Result<Vec<Vec<u64>>> {
+        #[cfg(feature = "trace")]
+        {
+            let mut span = QuerySpan {
+                qid: self.query_ids.fetch_add(1, Ordering::Relaxed) + 1,
+                reads: 0,
+                accesses: 0,
+            };
+            let start = rtree_obs::now_ns();
+            let result = self.batch_levels(queries, root_mbr, &mut span);
+            self.metrics
+                .record_query(rtree_obs::now_ns() - start, span.reads, span.accesses);
+            result
+        }
+        #[cfg(not(feature = "trace"))]
+        self.batch_levels(queries, root_mbr)
+    }
+
+    fn batch_levels(
+        &self,
+        queries: &[Rect],
+        root_mbr: &Rect,
+        #[cfg(feature = "trace")] span: &mut QuerySpan,
+    ) -> io::Result<Vec<Vec<u64>>> {
+        let mut results = vec![Vec::new(); queries.len()];
+        let active: Vec<u32> = (0..queries.len() as u32)
+            .filter(|&q| root_mbr.intersects(&queries[q as usize]))
+            .collect();
+        if active.is_empty() {
+            return Ok(results);
+        }
+
+        // Frontier: page -> ids of the sub-batch queries that need it. The
+        // BTreeMap is both the dedup and the per-level PageId sort.
+        let mut frontier: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        frontier.insert(self.meta.root, active);
+        let mut soa = RectSoA::new();
+        let mut matched: Vec<u32> = Vec::new();
+
+        while !frontier.is_empty() {
+            for (pid, qids) in std::mem::take(&mut frontier) {
+                let (frame, missed) = self.fetch(PageId(pid))?;
+                #[cfg(feature = "trace")]
+                {
+                    span.accesses += 1;
+                    if missed {
+                        span.reads += 1;
+                    }
+                    let kind = if missed {
+                        EventKind::Miss
+                    } else {
+                        EventKind::Hit
+                    };
+                    self.emit(span.qid, PageId(pid), self.meta.onpage_level_of(pid), kind);
+                }
+                #[cfg(not(feature = "trace"))]
+                let _ = missed;
+                let node = NodePage::decode(&frame)?;
+                soa.clear();
+                for (r, _) in &node.entries {
+                    soa.push(r);
+                }
+                for qid in qids {
+                    matched.clear();
+                    soa.intersecting(&queries[qid as usize], &mut matched);
+                    for &e in &matched {
+                        let ptr = node.entries[e as usize].1;
+                        if node.level == 0 {
+                            results[qid as usize].push(ptr);
+                        } else {
+                            frontier.entry(ptr).or_default().push(qid);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
 }
 
 #[cfg(test)]
@@ -598,6 +749,90 @@ mod tests {
             }
         });
         assert!(disk.physical_reads() > 0);
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_across_thread_counts() {
+        let rects = sample_rects(2_000);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let queries: Vec<Rect> = (0..48)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 0.8;
+                let y = (i as f64 * 0.59) % 0.8;
+                Rect::new(x, y, x + 0.1, y + 0.1)
+            })
+            .collect();
+        let expected: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| {
+                let mut v = tree.search(q);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+
+        for threads in [1, 3, 4, 64, 0] {
+            let disk =
+                ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 48, 4, LruPolicy::new)
+                    .unwrap();
+            let got = disk.query_batch(&queries, threads).unwrap();
+            assert_eq!(got.len(), queries.len());
+            for (i, mut g) in got.into_iter().enumerate() {
+                g.sort_unstable();
+                assert_eq!(g, expected[i], "threads {threads}, query {i}");
+            }
+            assert!(disk.physical_reads() > 0);
+        }
+    }
+
+    #[test]
+    fn query_batch_single_thread_dedups_shared_pages() {
+        let rects = sample_rects(2_000);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let queries: Vec<Rect> = (0..32)
+            .map(|i| {
+                let x = (i as f64 * 0.11) % 0.5;
+                Rect::new(x, x, x + 0.2, x + 0.2)
+            })
+            .collect();
+
+        // Cold batch with a tiny buffer: dedup, not cache capacity, must
+        // bound the reads at the distinct-page count.
+        let batch =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 4, LruPolicy::new()).unwrap();
+        batch.query_batch(&queries, 1).unwrap();
+        let batch_reads = batch.physical_reads();
+
+        // Equally cold sequential run reads every distinct page at least
+        // once, plus whatever the small buffer forces it to re-read.
+        let seq = ConcurrentDiskRTree::create(MemStore::new(), &tree, 4, LruPolicy::new()).unwrap();
+        for q in &queries {
+            seq.query(q).unwrap();
+        }
+        assert!(
+            batch_reads <= seq.physical_reads(),
+            "batch {} vs sequential {}",
+            batch_reads,
+            seq.physical_reads()
+        );
+
+        let stats = batch.buffer_stats();
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
+    }
+
+    #[test]
+    fn query_batch_empty_and_miss_batches() {
+        let rects = sample_rects(300);
+        let tree = BulkLoader::hilbert(10).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 16, LruPolicy::new()).unwrap();
+        assert!(disk.query_batch(&[], 4).unwrap().is_empty());
+        let far = vec![Rect::new(2.0, 2.0, 3.0, 3.0); 5];
+        let out = disk.query_batch(&far, 2).unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(Vec::is_empty));
+        // Root-MBR filtering: nothing was charged to the pool.
+        assert_eq!(disk.physical_reads(), 0);
     }
 
     #[test]

@@ -255,6 +255,24 @@ impl<S: PageStore> DiskRTree<S> {
         self.mgr.tracer.level = -1;
     }
 
+    /// Mutable access to the underlying buffer manager — the hook external
+    /// execution engines (the batch executor in `rtree-exec`) use to drive
+    /// fetch/prefetch/pin against the same pool and counters as
+    /// [`DiskRTree::query`].
+    pub fn manager_mut(&mut self) -> &mut BufferManager<S> {
+        &mut self.mgr
+    }
+
+    /// Allocates a fresh operation-span id from the same sequence
+    /// [`DiskRTree::query`] uses, for external engines that attribute their
+    /// trace events to a span of their own. Only present with the `trace`
+    /// feature.
+    #[cfg(feature = "trace")]
+    pub fn allocate_op_id(&mut self) -> u64 {
+        self.next_query += 1;
+        self.next_query
+    }
+
     /// Executes a region query, returning matching item ids. Every page
     /// whose MBR intersects the query is fetched through the buffer
     /// manager; physical reads accumulate in [`DiskRTree::physical_reads`].
@@ -289,7 +307,7 @@ impl<S: PageStore> DiskRTree<S> {
         {
             self.mgr.tracer.level = root_level as i16;
         }
-        let root_node = NodePage::decode(self.mgr.fetch_unchecked_for_root(root)?)?;
+        let root_node = NodePage::decode(self.mgr.fetch_uncharged(root)?)?;
         if root_node.entries.is_empty() {
             return Ok(results);
         }
@@ -330,21 +348,6 @@ impl<S: PageStore> DiskRTree<S> {
         let before = self.mgr.physical_reads();
         let results = self.query(query)?;
         Ok((results, self.mgr.physical_reads() - before))
-    }
-}
-
-impl<S: PageStore> BufferManager<S> {
-    /// Reads the root page *without* charging the buffer: used only to test
-    /// the root MBR against the query, mirroring the model's semantics where
-    /// a node is accessed iff its MBR intersects the query.
-    fn fetch_unchecked_for_root(&mut self, id: PageId) -> io::Result<&[u8]> {
-        if self.pool().contains(id) {
-            // Resident: peek at the frame without touching policy state.
-            return Ok(self.peek_frame(id).expect("resident page has a frame"));
-        }
-        // Not resident: read into scratch, uncounted; the counted access
-        // happens in `query` once the root is known to intersect.
-        self.read_scratch(id)
     }
 }
 

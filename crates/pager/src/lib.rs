@@ -32,7 +32,7 @@ mod recovery;
 mod sched;
 mod store;
 
-pub use bufmgr::{BufferManager, IoStats};
+pub use bufmgr::{BufferManager, IoStats, PrefetchOutcome};
 pub use concurrent::ConcurrentDiskRTree;
 pub use disk_tree::DiskRTree;
 pub use fault::FaultStore;

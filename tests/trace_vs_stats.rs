@@ -165,6 +165,102 @@ mod enabled {
         }
     }
 
+    /// Batched execution path: with readahead in play, the reconciliation
+    /// splits — Miss events cover the demand reads, Prefetch events the
+    /// readahead fills, and together they equal the physical read counter.
+    /// Pool accesses stay pure: a prefetch is charged only when its
+    /// consuming access lands (as a Hit).
+    pub fn batch_reconciliation() {
+        use buffered_rtrees::exec::{BatchConfig, BatchExecutor};
+
+        let tree = sample_tree(2_000, 13);
+        for (name, policy) in policies(0xABBA) {
+            let mut disk = DiskRTree::create(MemStore::new(), &tree, 32, policy).unwrap();
+            let sink = Arc::new(CountingSink::new());
+            disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+
+            let workload = Workload::uniform_region(0.04, 0.04);
+            let mut sampler = QuerySampler::new(&workload, 4321);
+            let stream: Vec<_> = (0..600).map(|_| sampler.sample()).collect();
+            let exec = BatchExecutor::with_config(BatchConfig { prefetch_window: 6 });
+            let mut prefetched = 0u64;
+            for chunk in stream.chunks(32) {
+                prefetched += exec.execute(&mut disk, chunk).unwrap().stats.prefetched;
+            }
+
+            let io = disk.io_stats();
+            let pool = disk.buffer_stats();
+            let c = sink.counts();
+            assert_eq!(
+                c.misses + c.prefetches,
+                io.reads,
+                "{name}: misses + prefetches vs physical reads"
+            );
+            assert_eq!(c.reads(), io.reads, "{name}: EventCounts::reads()");
+            assert_eq!(c.misses, io.demand_reads(), "{name}: demand reads");
+            assert_eq!(c.prefetches, io.prefetch_reads, "{name}: prefetch reads");
+            assert_eq!(c.prefetches, prefetched, "{name}: executor's own count");
+            assert_eq!(c.peek_reads, io.peek_reads, "{name}: peek reads");
+            assert_eq!(c.accesses(), pool.accesses, "{name}: logical accesses");
+            assert_eq!(c.hits, pool.hits, "{name}: hits");
+            assert_eq!(c.hits + c.misses, pool.accesses, "{name}: hits + misses");
+            assert!(c.prefetches > 0, "{name}: readahead must have engaged");
+            assert!(c.hits > 0, "{name}: consuming accesses must hit");
+        }
+    }
+
+    /// Batch span attribution: each batch runs under one operation id; the
+    /// Miss + Prefetch events carrying that id equal the batch's physical
+    /// read delta, and every batch event knows its level.
+    pub fn batch_ring_attribution() {
+        use buffered_rtrees::exec::{BatchConfig, BatchExecutor};
+
+        let tree = sample_tree(1_500, 31);
+        let mut disk = DiskRTree::create(MemStore::new(), &tree, 24, LruPolicy::new()).unwrap();
+        let sink = Arc::new(RingSink::new(1 << 16));
+        disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+
+        let workload = Workload::uniform_region(0.05, 0.05);
+        let mut sampler = QuerySampler::new(&workload, 55);
+        let exec = BatchExecutor::with_config(BatchConfig { prefetch_window: 4 });
+        let mut reads_by_span: HashMap<u64, u64> = HashMap::new();
+        let mut span = 0u64;
+        for _ in 0..40 {
+            let chunk: Vec<_> = (0..16).map(|_| sampler.sample()).collect();
+            let before = disk.physical_reads();
+            exec.execute(&mut disk, &chunk).unwrap();
+            span += 1; // op ids are allocated monotonically from 1
+            reads_by_span.insert(span, disk.physical_reads() - before);
+        }
+
+        assert_eq!(sink.dropped(), 0, "ring must be large enough for the run");
+        let mut read_events: HashMap<u64, u64> = HashMap::new();
+        for e in sink.events() {
+            if matches!(e.kind, EventKind::Miss | EventKind::Prefetch) && e.query_id != 0 {
+                *read_events.entry(e.query_id).or_default() += 1;
+            }
+            if matches!(
+                e.kind,
+                EventKind::Hit | EventKind::Miss | EventKind::Prefetch
+            ) {
+                assert!(e.level >= 0, "batch traversal events know their level");
+            }
+        }
+        for (span, reads) in &reads_by_span {
+            assert_eq!(
+                read_events.get(span).copied().unwrap_or(0),
+                *reads,
+                "batch {span}: read events vs physical read delta"
+            );
+        }
+        for span in read_events.keys() {
+            assert!(
+                reads_by_span.contains_key(span),
+                "unknown batch span {span}"
+            );
+        }
+    }
+
     /// Sharded concurrent path: N threads hammer the tree; after joining,
     /// the counting sink reconciles with the aggregated shard counters for
     /// every policy.
@@ -297,6 +393,18 @@ fn ring_sink_attributes_reads_to_query_ids() {
 }
 
 #[test]
+fn batch_trace_reconciles_with_io_stats() {
+    #[cfg(feature = "trace")]
+    enabled::batch_reconciliation();
+}
+
+#[test]
+fn batch_ring_attributes_reads_to_spans() {
+    #[cfg(feature = "trace")]
+    enabled::batch_ring_attribution();
+}
+
+#[test]
 fn sharded_trace_reconciles_with_io_stats() {
     #[cfg(feature = "trace")]
     enabled::sharded_reconciliation();
@@ -322,6 +430,35 @@ fn untraced_path_still_counts_reads() {
     let hits = disk.query(&all).unwrap();
     assert_eq!(hits.len(), 800);
     assert!(disk.io_stats().reads > 0);
+    assert_eq!(
+        disk.buffer_stats().accesses,
+        disk.buffer_stats().hits + disk.buffer_stats().misses
+    );
+}
+
+/// The batch path's split accounting (demand + prefetch = physical) holds
+/// with the trace hooks compiled out too.
+#[test]
+fn untraced_batch_path_splits_read_accounting() {
+    use buffered_rtrees::buffer::LruPolicy;
+    use buffered_rtrees::exec::BatchExecutor;
+    use buffered_rtrees::geom::Rect;
+    use buffered_rtrees::pager::{DiskRTree, MemStore};
+
+    let rects = SyntheticRegion::new(1_200).generate(9);
+    let tree = BulkLoader::hilbert(10).load(&rects);
+    let mut disk = DiskRTree::create(MemStore::new(), &tree, 48, LruPolicy::new()).unwrap();
+    let queries: Vec<Rect> = (0..24)
+        .map(|i| {
+            let x = (i as f64 * 0.31) % 0.8;
+            Rect::new(x, x, x + 0.1, x + 0.1)
+        })
+        .collect();
+    let out = BatchExecutor::new().execute(&mut disk, &queries).unwrap();
+    let io = disk.io_stats();
+    assert_eq!(io.demand_reads() + io.prefetch_reads, io.reads);
+    assert_eq!(io.prefetch_reads, out.stats.prefetched);
+    assert_eq!(disk.buffer_stats().accesses, out.stats.work_items);
     assert_eq!(
         disk.buffer_stats().accesses,
         disk.buffer_stats().hits + disk.buffer_stats().misses
