@@ -295,6 +295,38 @@ pub fn run_plan(plan: &ChaosPlan, plant: bool) -> ChaosReport {
                     Err(e) => Err(e),
                 }
             }
+            ChaosOp::ServerQuery(rects) => {
+                // The network replay happens post-recovery (phase 5); here
+                // the same rectangles run directly so the sequential phase
+                // sees the workload too and the committed prefix is what
+                // the shadow oracle later expects.
+                let mut r = Ok(());
+                for rect in rects {
+                    match disk.query(rect) {
+                        Ok(got) => {
+                            report.queries_checked += 1;
+                            let got = sorted(got);
+                            let want = sorted(reference.search(rect));
+                            if got != want {
+                                report.failures.push(ChaosFailure {
+                                    oracle: Oracle::Differential,
+                                    detail: format!(
+                                        "pre-crash server-query {rect}: disk {} ids vs \
+                                         reference {} ids",
+                                        got.len(),
+                                        want.len()
+                                    ),
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            r = Err(e);
+                            break;
+                        }
+                    }
+                }
+                r
+            }
             ChaosOp::Checkpoint => disk.checkpoint(),
             ChaosOp::Flush => disk.flush(),
             ChaosOp::Resize(frames) => disk.resize_buffer(*frames, plan.policy.build()),
@@ -399,10 +431,134 @@ pub fn run_plan(plan: &ChaosPlan, plant: bool) -> ChaosReport {
     // ---- Phase 3: concurrent readers under a seeded schedule. -----------
     run_concurrent_phase(plan, &mut store, &reference, &mut report);
 
-    // ---- Phase 4: sequential accounting oracle. -------------------------
+    // ---- Phase 4: the network path against the same shadow oracle. ------
+    run_server_phase(plan, &mut store, &reference, &mut report);
+
+    // ---- Phase 5: sequential accounting oracle (consumes the store). ----
     run_accounting_phase(plan, store, &mut report);
 
     report
+}
+
+/// Replays the plan's `ServerQuery` rectangles through a loopback TCP
+/// server wrapping a copy of the recovered store, from `plan.threads`
+/// client connections, and checks every response against the reference
+/// tree plus the server's own stats reconciliation. Seeded replays now
+/// cover frame encode/decode, the micro-batching scheduler, and the
+/// connection demux — the whole network path.
+fn run_server_phase(
+    plan: &ChaosPlan,
+    store: &mut MemStore,
+    reference: &RTree,
+    report: &mut ChaosReport,
+) {
+    let rects = plan.server_query_rects();
+    if rects.is_empty() {
+        return;
+    }
+    let copy = match copy_store(store) {
+        Ok(c) => c,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Differential,
+                detail: format!("copying store for server phase failed: {e}"),
+            });
+            return;
+        }
+    };
+    let disk = match DiskRTree::open(copy, plan.buffer_capacity, plan.policy.build()) {
+        Ok(d) => d,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Differential,
+                detail: format!("opening tree for server phase failed: {e}"),
+            });
+            return;
+        }
+    };
+    let handle = match rtree_server::serve(
+        rtree_server::SequentialEngine::new(disk, plan.batch_window),
+        "127.0.0.1:0",
+        rtree_server::ServerConfig {
+            batch: rtree_server::BatchPolicy {
+                // Window sized from the plan so seeds sweep both the
+                // count-closed and deadline-closed regimes.
+                max_batch: (plan.threads * 2).max(2),
+                max_wait: std::time::Duration::from_micros(300),
+                ..rtree_server::BatchPolicy::default()
+            },
+            read_timeout: std::time::Duration::from_millis(5),
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Differential,
+                detail: format!("loopback server failed to start: {e}"),
+            });
+            return;
+        }
+    };
+
+    match rtree_server::loadgen::replay(handle.addr(), &rects, plan.threads) {
+        Ok(results) => {
+            report.queries_checked += rects.len();
+            for (i, (rect, got)) in rects.iter().zip(results).enumerate() {
+                let got = sorted(got);
+                let want = sorted(reference.search(rect));
+                if got != want {
+                    report.failures.push(ChaosFailure {
+                        oracle: Oracle::Differential,
+                        detail: format!(
+                            "server query {rect} ({i} of {}): served {} ids vs \
+                             reference {} ids",
+                            rects.len(),
+                            got.len(),
+                            want.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Err(e) => {
+            report.failures.push(ChaosFailure {
+                oracle: Oracle::Differential,
+                detail: format!("server replay failed: {e}"),
+            });
+        }
+    }
+
+    // Shutdown must drain; afterwards the server's ledger has to
+    // reconcile: every replayed query completed, and the I/O split holds.
+    let stats = handle.shutdown();
+    if stats.queries != rects.len() as u64 {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Accounting,
+            detail: format!(
+                "server completed {} queries, replay sent {}",
+                stats.queries,
+                rects.len()
+            ),
+        });
+    }
+    if stats.physical_reads != stats.demand_reads + stats.prefetch_reads {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Accounting,
+            detail: format!(
+                "server read ledger split broken: {} != {} + {}",
+                stats.physical_reads, stats.demand_reads, stats.prefetch_reads
+            ),
+        });
+    }
+    if stats.rejected != 0 {
+        report.failures.push(ChaosFailure {
+            oracle: Oracle::Accounting,
+            detail: format!(
+                "closed-loop replay was rejected {} times by backpressure",
+                stats.rejected
+            ),
+        });
+    }
 }
 
 /// Opens a copy of the recovered store behind a [`StepStore`] (which

@@ -29,6 +29,10 @@ pub enum ChaosOp {
     /// A batch of queries run through the batched executor (dedup +
     /// readahead); every per-query result set is checked against the model.
     BatchQuery(Vec<Rect>),
+    /// Queries replayed through a loopback TCP server after recovery (the
+    /// network phase); also executed directly in the sequential phase so
+    /// both paths are differential-checked against the model.
+    ServerQuery(Vec<Rect>),
     /// Flush dirty pages, log a checkpoint, truncate the WAL.
     Checkpoint,
     /// Flush dirty pages without touching the WAL.
@@ -227,11 +231,14 @@ impl ChaosPlan {
             ChaosOp::Insert(Rect::new(x, y, x + w, y + h))
         } else if roll < 65 {
             ChaosOp::Delete(rng.gen())
-        } else if roll < 85 {
+        } else if roll < 83 {
             ChaosOp::Query(Self::gen_query(rng))
-        } else if roll < 90 {
+        } else if roll < 88 {
             let n = rng.gen_range(2..=6usize);
             ChaosOp::BatchQuery((0..n).map(|_| Self::gen_query(rng)).collect())
+        } else if roll < 91 {
+            let n = rng.gen_range(2..=8usize);
+            ChaosOp::ServerQuery((0..n).map(|_| Self::gen_query(rng)).collect())
         } else if roll < 94 {
             ChaosOp::Checkpoint
         } else if roll < 97 {
@@ -255,6 +262,20 @@ impl ChaosPlan {
         }
     }
 
+    /// The rectangles of `ServerQuery` ops, in order — the workload the
+    /// loopback-server phase replays over TCP.
+    pub fn server_query_rects(&self) -> Vec<Rect> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                ChaosOp::ServerQuery(rs) => Some(rs.as_slice()),
+                _ => None,
+            })
+            .flatten()
+            .copied()
+            .collect()
+    }
+
     /// The query rectangles of the plan — single and batched, in order
     /// (drives the concurrent read phase).
     pub fn query_rects(&self) -> Vec<Rect> {
@@ -262,7 +283,7 @@ impl ChaosPlan {
         for op in &self.ops {
             match op {
                 ChaosOp::Query(r) => out.push(*r),
-                ChaosOp::BatchQuery(rs) => out.extend_from_slice(rs),
+                ChaosOp::BatchQuery(rs) | ChaosOp::ServerQuery(rs) => out.extend_from_slice(rs),
                 _ => {}
             }
         }
@@ -316,6 +337,21 @@ mod tests {
             kinds.insert(std::mem::discriminant(&p.fault));
         }
         assert_eq!(kinds.len(), 5, "64 seeds should hit all five fault kinds");
+    }
+
+    #[test]
+    fn seeds_cover_server_queries() {
+        let mut with_server = 0;
+        for seed in 0..32u64 {
+            let p = ChaosPlan::generate(seed, 300);
+            if !p.server_query_rects().is_empty() {
+                with_server += 1;
+            }
+        }
+        assert!(
+            with_server >= 24,
+            "only {with_server}/32 seeds exercise the server phase"
+        );
     }
 
     #[test]

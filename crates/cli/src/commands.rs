@@ -26,6 +26,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "concurrent" => concurrent(args),
         "trace" => trace(args),
         "chaos" => chaos(args),
+        "serve" => serve(args),
+        "loadgen" => loadgen(args),
         other => Err(err(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -842,6 +844,271 @@ fn chaos(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Shared flag parsing for `serve`: the batch policy and server knobs.
+fn parse_server_config(args: &Args) -> Result<rtree_server::ServerConfig, CliError> {
+    use std::time::Duration;
+    let batch: usize = args.flag_or("batch", 64usize)?;
+    if batch == 0 {
+        return Err(err("--batch must be at least 1"));
+    }
+    let wait_us: u64 = args.flag_or("wait-us", 500u64)?;
+    let queue: usize = args.flag_or("queue", 4096usize)?;
+    if queue == 0 {
+        return Err(err("--queue must be at least 1"));
+    }
+    let workers: usize = args.flag_or("workers", 2usize)?;
+    if workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    Ok(rtree_server::ServerConfig {
+        batch: rtree_server::BatchPolicy {
+            max_batch: batch,
+            max_wait: Duration::from_micros(wait_us),
+            queue_depth: queue,
+            workers,
+        },
+        read_timeout: Duration::from_millis(50),
+    })
+}
+
+/// Runs a bound server to completion: publishes the address, waits for a
+/// `Shutdown` frame (or the `--duration` timer), drains, and reconciles the
+/// batcher/ledger/trace counters into the final summary.
+fn run_server<E: rtree_server::QueryEngine>(
+    handle: rtree_server::ServerHandle<E>,
+    duration_s: f64,
+    port_file: Option<&str>,
+    sink: std::sync::Arc<rtree_obs::CountingSink>,
+) -> Result<String, CliError> {
+    use std::time::{Duration, Instant};
+
+    // The listener is live as soon as `serve` returns, so writing the port
+    // file here lets scripts start a load generator against an ephemeral
+    // port without racing the bind.
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{}\n", handle.addr()))
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+    }
+    let start = Instant::now();
+    while !handle.stopped() {
+        if duration_s > 0.0 && start.elapsed().as_secs_f64() >= duration_s {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let stats = handle.shutdown();
+    let elapsed = start.elapsed();
+    let bstats = handle.batcher().stats();
+    let counts = sink.counts();
+
+    // Three independent ledgers must agree once every worker is joined:
+    // the batcher drained everything it accepted, the I/O split sums to the
+    // physical total, and the trace event stream saw exactly those reads.
+    let drained = bstats.completed == bstats.submitted;
+    let ledger = stats.physical_reads == stats.demand_reads + stats.prefetch_reads;
+    let traced = counts.misses == stats.demand_reads
+        && counts.misses + counts.prefetches == stats.physical_reads;
+
+    let per_query = |n: u64| {
+        if stats.queries == 0 {
+            0.0
+        } else {
+            n as f64 / stats.queries as f64
+        }
+    };
+    let mut out = format!(
+        "served {} for {:.2}s: {} queries in {} batches (max {}, mean {:.2}), rejected {}\n",
+        handle.addr(),
+        elapsed.as_secs_f64(),
+        stats.queries,
+        stats.batches,
+        stats.max_batch,
+        bstats.batch_sizes.mean(),
+        stats.rejected,
+    );
+    let _ = writeln!(
+        out,
+        "reads/query: demand {:.4} prefetch {:.4} physical {:.4}",
+        per_query(stats.demand_reads),
+        per_query(stats.prefetch_reads),
+        per_query(stats.physical_reads),
+    );
+    let _ = writeln!(
+        out,
+        "queue wait us: p50 <= {} p99 <= {}",
+        bstats.queue_wait_us.quantile_bounds(0.50).1,
+        bstats.queue_wait_us.quantile_bounds(0.99).1,
+    );
+    if drained && ledger && traced {
+        let _ = writeln!(out, "reconciled: yes");
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "reconciled: NO (drained {drained}, ledger {ledger}, traced {traced})"
+        );
+        Err(CliError(out))
+    }
+}
+
+fn serve(args: &Args) -> Result<String, CliError> {
+    use rtree_obs::{CountingSink, TraceSink};
+    use rtree_pager::{ConcurrentDiskRTree, DiskRTree, MemStore};
+    use rtree_server::{SequentialEngine, ShardedEngine};
+    use std::sync::Arc;
+
+    args.allow_flags(&[
+        "loader",
+        "cap",
+        "buffer",
+        "policy",
+        "seed",
+        "addr",
+        "port-file",
+        "duration",
+        "engine",
+        "shards",
+        "batch",
+        "wait-us",
+        "queue",
+        "workers",
+        "window",
+    ])?;
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 50usize)?;
+    if !(4..=rtree_pager::MAX_ENTRIES_PER_PAGE).contains(&cap) {
+        return Err(err(format!(
+            "--cap must be in 4..={}",
+            rtree_pager::MAX_ENTRIES_PER_PAGE
+        )));
+    }
+    let buffer: usize = args.flag_or("buffer", 100usize)?;
+    if buffer == 0 {
+        return Err(err("--buffer must be positive"));
+    }
+    let seed: u64 = args.flag_or("seed", 0x7ACEu64)?;
+    let policy = parse_policy(args.flag("policy").unwrap_or("LRU"), seed)?;
+    let window: usize = args.flag_or("window", 8usize)?;
+    let duration: f64 = args.flag_or("duration", 0.0f64)?;
+    let config = parse_server_config(args)?;
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let port_file = args.flag("port-file");
+    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
+    let sink = Arc::new(CountingSink::new());
+
+    match args.flag("engine").unwrap_or("seq") {
+        "seq" => {
+            let mut disk = DiskRTree::create(MemStore::new(), &tree, buffer, policy.build())
+                .map_err(|e| err(format!("creating tree: {e}")))?;
+            disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+            let handle = rtree_server::serve(SequentialEngine::new(disk, window), addr, config)
+                .map_err(|e| err(format!("binding {addr}: {e}")))?;
+            run_server(handle, duration, port_file, sink)
+        }
+        "sharded" => {
+            let shards: usize = args.flag_or("shards", 1usize)?;
+            let workers = config.batch.workers;
+            let mut disk =
+                ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, buffer, shards, {
+                    let policy = policy;
+                    move || policy.build()
+                })
+                .map_err(|e| err(format!("creating tree: {e}")))?;
+            disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+            let handle = rtree_server::serve(ShardedEngine::new(disk, workers), addr, config)
+                .map_err(|e| err(format!("binding {addr}: {e}")))?;
+            run_server(handle, duration, port_file, sink)
+        }
+        other => Err(err(format!("unknown engine {other:?} (seq | sharded)"))),
+    }
+}
+
+fn loadgen(args: &Args) -> Result<String, CliError> {
+    use rtree_bench::Table;
+    use rtree_server::LoadConfig;
+
+    args.allow_flags(&[
+        "connections",
+        "qps",
+        "queries",
+        "workload",
+        "count-fraction",
+        "seed",
+        "shutdown",
+        "quick",
+        "json",
+    ])?;
+    let quick = args.flag_bool("quick");
+    let connections: usize = args.flag_or("connections", 8usize)?;
+    if connections == 0 {
+        return Err(err("--connections must be at least 1"));
+    }
+    let queries: usize = args.flag_or("queries", if quick { 200 } else { 5_000 })?;
+    if queries == 0 {
+        return Err(err("--queries must be at least 1"));
+    }
+    let count_fraction: f64 = args.flag_or("count-fraction", 0.0f64)?;
+    if !(0.0..=1.0).contains(&count_fraction) {
+        return Err(err("--count-fraction must be in [0, 1]"));
+    }
+    let config = LoadConfig {
+        connections,
+        queries,
+        target_qps: args.flag_or("qps", 0.0f64)?,
+        workload: parse_workload(args.flag("workload").unwrap_or("region:0.03:0.03"))?,
+        count_fraction,
+        seed: args.flag_or("seed", 42u64)?,
+        shutdown_after: args.flag_bool("shutdown"),
+    };
+    let addr = args.positional.as_str();
+    let report = rtree_server::loadgen::run(addr, &config)
+        .map_err(|e| err(format!("load run against {addr}: {e}")))?;
+
+    let mut table = Table::new(
+        format!(
+            "loadgen {addr}: {} conns, {} loop",
+            connections,
+            if config.target_qps > 0.0 {
+                "open"
+            } else {
+                "closed"
+            }
+        ),
+        &[
+            "sent",
+            "ok",
+            "overloaded",
+            "errors",
+            "qps",
+            "p50_ms",
+            "p99_ms",
+            "p999_ms",
+            "mean_ms",
+            "demand_reads_per_query",
+        ],
+    );
+    table.row(vec![
+        report.sent.to_string(),
+        report.ok.to_string(),
+        report.overloaded.to_string(),
+        report.errors.to_string(),
+        format!("{:.0}", report.achieved_qps()),
+        format!("{:.3}", report.latency_ms(0.50)),
+        format!("{:.3}", report.latency_ms(0.99)),
+        format!("{:.3}", report.latency_ms(0.999)),
+        format!("{:.3}", report.mean_latency_ms()),
+        format!("{:.4}", report.demand_reads_per_query()),
+    ]);
+    if args.flag_bool("json") {
+        Ok(table.to_json())
+    } else {
+        Ok(table.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1137,5 +1404,110 @@ mod tests {
             assert!(make_policy(p, 1).is_ok());
         }
         assert!(make_policy("MRU", 1).is_err());
+    }
+
+    /// Waits for `serve` to publish its ephemeral port, then returns it.
+    fn wait_for_port(path: &std::path::Path) -> String {
+        for _ in 0..400 {
+            if let Ok(s) = std::fs::read_to_string(path) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    return s;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("server never wrote its port file");
+    }
+
+    #[test]
+    fn serve_and_loadgen_round_trip_over_loopback() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let port = dir.join("port");
+        run(&args(&format!(
+            "generate clustered:3000:12:0.03 --seed 5 --out {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let serve_args = args(&format!(
+            "serve {} --cap 10 --buffer 64 --batch 32 --wait-us 400 --duration 30 \
+             --port-file {}",
+            data.display(),
+            port.display()
+        ));
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = wait_for_port(&port);
+
+        let out = run(&args(&format!(
+            "loadgen {addr} --quick --connections 4 --count-fraction 0.25 --seed 3 \
+             --workload region:0.04:0.04 --shutdown --json"
+        )))
+        .unwrap();
+        assert!(out.contains("\"ok\": 200"), "got: {out}");
+        assert!(out.contains("\"errors\": 0"), "got: {out}");
+
+        // --shutdown stops the server; its summary must reconcile.
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("200 queries"), "got: {summary}");
+        assert!(summary.contains("reconciled: yes"), "got: {summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_sharded_engine_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-shsrv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let port = dir.join("port");
+        run(&args(&format!(
+            "generate region:1500 --seed 8 --out {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let serve_args = args(&format!(
+            "serve {} --cap 10 --buffer 64 --engine sharded --shards 4 --workers 2 \
+             --duration 30 --port-file {}",
+            data.display(),
+            port.display()
+        ));
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = wait_for_port(&port);
+
+        let out = run(&args(&format!(
+            "loadgen {addr} --queries 80 --connections 2 --seed 4 --shutdown"
+        )))
+        .unwrap();
+        assert!(out.contains("loadgen"), "got: {out}");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("reconciled: yes"), "got: {summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-srvbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        run(&args(&format!(
+            "generate point:200 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        for bad in [
+            format!("serve {} --batch 0", data.display()),
+            format!("serve {} --queue 0", data.display()),
+            format!("serve {} --workers 0", data.display()),
+            format!("serve {} --engine warp", data.display()),
+            format!("serve {} --buffer 0", data.display()),
+        ] {
+            assert!(run(&args(&bad)).is_err(), "accepted: {bad}");
+        }
+        assert!(run(&args("loadgen 127.0.0.1:1 --connections 0")).is_err());
+        assert!(run(&args("loadgen 127.0.0.1:1 --count-fraction 1.5")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

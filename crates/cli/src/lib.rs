@@ -82,5 +82,29 @@ USAGE:
       failure the run shrinks to a minimal `--seed N --ops K` replay line.
       --plant injects a known bug (harness self-test).
 
+  rtrees serve <DATA.csv> [--addr HOST:PORT] [--port-file FILE] [--duration S]
+               [--engine seq|sharded] [--shards S] [--loader L] [--cap N]
+               [--buffer B] [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
+               [--batch N] [--wait-us U] [--queue N] [--workers N] [--window W]
+      Builds the tree and serves it over framed TCP (default 127.0.0.1:0 =
+      ephemeral; --port-file publishes the bound address). Queries funnel
+      into the micro-batching scheduler: a batch closes at N queries
+      (default 64) or after U microseconds (default 500), whichever comes
+      first, and runs through the batched executor with readahead window W.
+      Runs until a Shutdown frame arrives (or --duration seconds), drains,
+      and prints queries/batches, reads per query, queue-wait quantiles,
+      and whether the batcher, I/O ledger and trace counters reconcile.
+
+  rtrees loadgen <HOST:PORT> [--connections C] [--queries N] [--qps Q]
+                 [--workload W] [--count-fraction F] [--seed N]
+                 [--shutdown] [--quick] [--json]
+      Open-loop load generator: C connections offer N queries total at a
+      target aggregate rate Q (0 = closed loop), a fraction F as count
+      queries. Latency is charged from each query's scheduled send time,
+      so coordinated omission is not hidden. Reports sent/ok/overloaded/
+      errors, p50/p99/p999/mean latency, and server demand reads per query
+      (from the server's stats delta). --shutdown stops the server after
+      the run; --quick is a 200-query smoke preset.
+
 Common: --help prints this text.
 ";

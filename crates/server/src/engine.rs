@@ -1,0 +1,122 @@
+//! The execution back-ends a [`crate::MicroBatcher`] drives.
+//!
+//! A [`QueryEngine`] takes a closed micro-batch of query rectangles and
+//! returns one result vector per query; the scheduler never sees pages,
+//! buffers, or locks. Two implementations cover the two serving modes the
+//! workspace already measures offline:
+//!
+//! * [`SequentialEngine`] — one `DiskRTree` behind a mutex, executed with
+//!   [`BatchExecutor`] so the batch's page-level dedup and readahead
+//!   engage (the lever ISSUE 6 is built to demonstrate).
+//! * [`ShardedEngine`] — a `ConcurrentDiskRTree`, executed with
+//!   `query_batch` across its shards.
+
+use rtree_exec::{BatchConfig, BatchExecutor};
+use rtree_geom::Rect;
+use rtree_pager::{ConcurrentDiskRTree, DiskRTree, IoStats, PageStore, SharedPageStore};
+use std::io;
+use std::sync::Mutex;
+
+/// A batch execution back-end for the scheduler.
+///
+/// `execute` must return exactly one `Vec<u64>` per input rectangle, in
+/// input order — the batcher demultiplexes results back to waiting
+/// connections by position.
+pub trait QueryEngine: Send + Sync + 'static {
+    /// Executes a closed batch, returning matching ids per query.
+    fn execute(&self, queries: &[Rect]) -> io::Result<Vec<Vec<u64>>>;
+
+    /// Cumulative physical I/O counters of the underlying tree.
+    fn io_stats(&self) -> IoStats;
+}
+
+impl QueryEngine for Box<dyn QueryEngine> {
+    fn execute(&self, queries: &[Rect]) -> io::Result<Vec<Vec<u64>>> {
+        (**self).execute(queries)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
+/// One `DiskRTree` behind a mutex, batches executed via [`BatchExecutor`].
+///
+/// Queries inside a batch share the executor's page-request dedup and
+/// level-ordered readahead, so k concurrent clients cost fewer demand
+/// reads than k sequential queries — the serving-side analogue of the
+/// paper's buffering result.
+pub struct SequentialEngine<S: PageStore + Send + 'static> {
+    tree: Mutex<DiskRTree<S>>,
+    executor: BatchExecutor,
+}
+
+impl<S: PageStore + Send + 'static> SequentialEngine<S> {
+    /// Wraps `tree`, executing batches with `prefetch_window` pages of
+    /// readahead (0 disables readahead but keeps dedup).
+    pub fn new(tree: DiskRTree<S>, prefetch_window: usize) -> Self {
+        SequentialEngine {
+            tree: Mutex::new(tree),
+            executor: BatchExecutor::with_config(BatchConfig { prefetch_window }),
+        }
+    }
+
+    /// Runs `f` with the locked tree — for setup (pinning, trace sinks)
+    /// and test assertions, not the serving path.
+    pub fn with_tree<R>(&self, f: impl FnOnce(&mut DiskRTree<S>) -> R) -> R {
+        let mut tree = self
+            .tree
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut tree)
+    }
+}
+
+impl<S: PageStore + Send + 'static> QueryEngine for SequentialEngine<S> {
+    fn execute(&self, queries: &[Rect]) -> io::Result<Vec<Vec<u64>>> {
+        let mut tree = self
+            .tree
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(self.executor.execute(&mut tree, queries)?.results)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.tree
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .io_stats()
+    }
+}
+
+/// A `ConcurrentDiskRTree` executing batches across its shards with
+/// `query_batch`.
+pub struct ShardedEngine<S: SharedPageStore + Send + Sync + 'static> {
+    tree: ConcurrentDiskRTree<S>,
+    threads: usize,
+}
+
+impl<S: SharedPageStore + Send + Sync + 'static> ShardedEngine<S> {
+    /// Wraps `tree`; each batch fans out over `threads` worker threads.
+    pub fn new(tree: ConcurrentDiskRTree<S>, threads: usize) -> Self {
+        ShardedEngine {
+            tree,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wrapped tree, for setup and assertions.
+    pub fn tree(&self) -> &ConcurrentDiskRTree<S> {
+        &self.tree
+    }
+}
+
+impl<S: SharedPageStore + Send + Sync + 'static> QueryEngine for ShardedEngine<S> {
+    fn execute(&self, queries: &[Rect]) -> io::Result<Vec<Vec<u64>>> {
+        self.tree.query_batch(queries, self.threads)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.tree.io_stats()
+    }
+}

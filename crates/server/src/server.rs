@@ -1,0 +1,296 @@
+//! The TCP front-end: accept loop, per-connection request pumps, and
+//! graceful shutdown.
+//!
+//! Each connection gets a thread that reads frames, decodes requests, and
+//! submits them to the shared [`MicroBatcher`]. Blocking on the batch
+//! result is fine — that *is* the harvesting mechanism: while one
+//! connection waits for its window to close, other connections' requests
+//! pile into the same batch.
+//!
+//! Shutdown works without signal handling (std has none, and the
+//! workspace takes no libc dependency): a [`wire::Request::Shutdown`]
+//! frame, [`ServerHandle::shutdown`], or a `--duration` timer all set one
+//! stop flag. The accept loop is non-blocking and polls it; connection
+//! reads use a short read timeout and poll it *only between frames*, so a
+//! partially received frame is always finished before the check — the
+//! stream never desyncs.
+
+use crate::batcher::{BatchPolicy, JobOutput, MicroBatcher, SubmitError};
+use crate::engine::QueryEngine;
+use crate::wire::{self, Request, Response, StatsReply};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Scheduler policy (batch window, queue bound, workers).
+    pub batch: BatchPolicy,
+    /// Socket read timeout used to poll the stop flag between frames.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch: BatchPolicy::default(),
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle<E: QueryEngine> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    batcher: Arc<MicroBatcher<E>>,
+    accept_thread: Mutex<Option<thread::JoinHandle<()>>>,
+    connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Binds `addr` (port 0 picks an ephemeral port) and serves `engine`
+/// until shutdown.
+pub fn serve<E: QueryEngine>(
+    engine: E,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let batcher = MicroBatcher::new(engine, config.batch);
+    let connections = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let batcher = Arc::clone(&batcher);
+        let connections = Arc::clone(&connections);
+        thread::Builder::new()
+            .name("rtree-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &stop, &batcher, &connections, config);
+            })
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        batcher,
+        accept_thread: Mutex::new(Some(accept_thread)),
+        connections,
+    })
+}
+
+impl<E: QueryEngine> ServerHandle<E> {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been requested (by any path).
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The scheduler, for stats and test assertions.
+    pub fn batcher(&self) -> &MicroBatcher<E> {
+        &self.batcher
+    }
+
+    /// Assembles the wire-level stats snapshot served to clients.
+    pub fn stats(&self) -> StatsReply {
+        stats_reply(&self.batcher)
+    }
+
+    /// Stops accepting, waits for connections to finish their in-flight
+    /// frames, drains the scheduler queue, and joins every thread.
+    /// Idempotent; returns the final counters.
+    pub fn shutdown(&self) -> StatsReply {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = lock(&self.accept_thread).take() {
+            let _ = t.join();
+        }
+        loop {
+            let conns: Vec<_> = lock(&self.connections).drain(..).collect();
+            if conns.is_empty() {
+                break;
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        }
+        self.batcher.shutdown();
+        self.stats()
+    }
+}
+
+fn stats_reply<E: QueryEngine>(batcher: &MicroBatcher<E>) -> StatsReply {
+    let s = batcher.stats();
+    let io = batcher.engine().io_stats();
+    StatsReply {
+        queries: s.completed,
+        batches: s.batches,
+        max_batch: s.max_batch,
+        rejected: s.rejected,
+        demand_reads: io.demand_reads(),
+        prefetch_reads: io.prefetch_reads,
+        physical_reads: io.reads,
+    }
+}
+
+fn accept_loop<E: QueryEngine>(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    batcher: &Arc<MicroBatcher<E>>,
+    connections: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    config: ServerConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let stop = Arc::clone(stop);
+                let batcher = Arc::clone(batcher);
+                let handle = thread::Builder::new()
+                    .name("rtree-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &stop, &batcher, config);
+                    })
+                    .expect("spawn connection handler");
+                lock(connections).push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Reads one frame with the stop flag polled between frames: a read
+/// timeout with **zero** bytes consumed re-checks the flag; once any byte
+/// of a frame has arrived, the frame is finished regardless (a client
+/// that stalls mid-frame keeps its slot until it completes or drops).
+fn read_frame_polled(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match wire::decode_frame(&buf) {
+            Ok(Some((payload, _))) => return Ok(Some(payload)),
+            Ok(None) => {}
+            Err(e) => return Err(e.into()),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if buf.is_empty() && stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection<E: QueryEngine>(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    batcher: &MicroBatcher<E>,
+    config: ServerConfig,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let payload = match read_frame_polled(&mut stream, stop) {
+            Ok(Some(p)) => p,
+            // Clean close, stop requested, or client gone mid-frame.
+            Ok(None) | Err(_) => return Ok(()),
+        };
+        let response = match Request::decode(&payload) {
+            // A malformed *payload* in a well-formed frame is answered on
+            // a still-aligned stream; framing errors above tear down.
+            Err(e) => Response::Error(e.to_string()),
+            Ok(req) => dispatch(req, stop, batcher),
+        };
+        let shutting_down = response == Response::ShuttingDown;
+        wire::send_response(&mut stream, &response)?;
+        if shutting_down && stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch<E: QueryEngine>(
+    req: Request,
+    stop: &AtomicBool,
+    batcher: &MicroBatcher<E>,
+) -> Response {
+    let (rect, count_only) = match req {
+        Request::Stats => return Response::Stats(stats_reply(batcher)),
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            return Response::ShuttingDown;
+        }
+        Request::Query(r) => (r, false),
+        Request::Point(x, y) => (rtree_geom::Rect::new(x, y, x, y), false),
+        Request::Count(r) => (r, true),
+    };
+    match batcher.submit(rect, count_only) {
+        Err(SubmitError::Overloaded) => Response::Overloaded,
+        Err(SubmitError::ShuttingDown) => Response::ShuttingDown,
+        Ok(rx) => match rx.recv() {
+            Err(_) => Response::Error("scheduler dropped the job".into()),
+            Ok(Err(e)) => Response::Error(e.to_string()),
+            Ok(Ok(JobOutput::Matches(ids))) => Response::Matches(ids),
+            Ok(Ok(JobOutput::Count(n))) => Response::Count(n),
+        },
+    }
+}
+
+/// A minimal blocking client for tests, the load generator, and the CLI.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and blocks for its response. `Ok(None)` if the
+    /// server closed the connection.
+    pub fn call(&mut self, req: &Request) -> io::Result<Option<Response>> {
+        wire::send_request(&mut self.stream, req)?;
+        wire::recv_response(&mut self.stream)
+    }
+
+    /// Sends raw payload bytes in a frame (tests exercise malformed
+    /// payloads on an aligned stream).
+    pub fn call_raw(&mut self, payload: &[u8]) -> io::Result<Option<Response>> {
+        wire::write_frame(&mut self.stream, payload)?;
+        wire::recv_response(&mut self.stream)
+    }
+}

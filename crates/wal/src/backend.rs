@@ -7,7 +7,10 @@ use std::sync::{Arc, Mutex};
 
 /// Append-only byte log. The write path only ever appends and syncs; recovery
 /// reads the whole image back and re-frames it with [`crate::scan`].
-pub trait LogBackend {
+///
+/// `Send` is part of the contract so a WAL-attached tree can move across
+/// threads (the query server executes batches on worker threads).
+pub trait LogBackend: Send {
     /// Appends `bytes` at the end of the log.
     fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
     /// Durability barrier: everything appended so far survives a crash.

@@ -1,0 +1,34 @@
+//! Fuzz target: arbitrary bytes through the server's frame decoder.
+//!
+//! Invariant: `decode_frame` must return `Ok(Some(..))`, `Ok(None)` (more
+//! bytes needed) or `Err(FrameError)` on *any* input — never panic, never
+//! allocate from an unvalidated length (the payload cap is checked before
+//! the CRC is even computed), never consume bytes it did not parse. The
+//! payload decoders (`Request::decode`, `Response::decode`) must uphold the
+//! same contract on whatever survives the framing layer.
+//!
+//! The deterministic no-network equivalent with the committed regression
+//! corpus lives in `crates/server/tests/fuzz_frames.rs`.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use rtree_server::wire::{decode_frame, Request, Response};
+
+fuzz_target!(|data: &[u8]| {
+    // As-is: the streaming decoder must classify any prefix.
+    match decode_frame(data) {
+        Ok(Some((payload, used))) => {
+            assert!(used <= data.len());
+            // Whatever framed cleanly must decode or error, not panic.
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
+        }
+        Ok(None) | Err(_) => {}
+    }
+
+    // The raw bytes straight into the typed decoders: exercises tag and
+    // payload validation without requiring a valid CRC first.
+    let _ = Request::decode(data);
+    let _ = Response::decode(data);
+});
