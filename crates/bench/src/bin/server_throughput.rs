@@ -21,6 +21,16 @@
 //! demand reads/query: that inversion would mean the scheduler shreds
 //! locality instead of harvesting it.
 //!
+//! The second table prices the *write* side of the same harvesting
+//! argument: 8 closed-loop writer connections drive inserts through the
+//! latch-crabbing tree against a WAL whose sync costs a realistic
+//! ~200 µs (an in-memory log with a sleeping barrier — the fsync cost
+//! without the filesystem noise). With group commit the concurrent
+//! writers' commits coalesce behind one leader's sync; with per-op
+//! commit every insert pays its own. The run fails (exit 1) unless group
+//! commit cuts fsyncs/insert by at least 4x — the ISSUE's acceptance
+//! bar for the write path.
+//!
 //! `--json` / `--csv` write `results/server_throughput.*`; `--quick`
 //! shrinks the fleet for smoke runs.
 
@@ -28,9 +38,44 @@ use rtree_bench::{f, flag, Loader, Table};
 use rtree_buffer::LruPolicy;
 use rtree_core::Workload;
 use rtree_datagen::ClusteredPoints;
-use rtree_pager::{DiskRTree, MemStore};
-use rtree_server::{loadgen, serve, BatchPolicy, LoadConfig, SequentialEngine, ServerConfig};
+use rtree_pager::{ConcurrentDiskRTree, DiskRTree, MemStore, SharedMemStore};
+use rtree_server::{
+    loadgen, serve, BatchPolicy, LoadConfig, SequentialEngine, ServerConfig, WriterEngine,
+};
+use rtree_wal::{GroupWal, LogBackend, MemLog};
+use std::io;
 use std::time::Duration;
+
+/// An in-memory log whose durability barrier takes `delay` of wall time:
+/// the cost model of a real fsync (hundreds of microseconds) without disk
+/// noise, so the fsync-amortization ratio is the signal being measured.
+struct SlowLog {
+    inner: MemLog,
+    delay: Duration,
+}
+
+impl LogBackend for SlowLog {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        std::thread::sleep(self.delay);
+        self.inner.sync()
+    }
+
+    fn read_all(&self) -> io::Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+
+    fn truncate(&mut self) -> io::Result<()> {
+        self.inner.truncate()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
 
 fn main() {
     let cap = 50;
@@ -95,6 +140,7 @@ fn main() {
                 target_qps: 0.0,
                 workload: Workload::uniform_region(0.04, 0.04),
                 count_fraction: 0.0,
+                write_fraction: 0.0,
                 seed: 0x5EED,
                 shutdown_after: false,
             },
@@ -135,5 +181,114 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    // ---- Write side: group commit vs per-op commit under 8 writers ----
+    let writer_connections = 8;
+    let n_writes = if quick { 800 } else { 4_000 };
+    let fsync_delay = Duration::from_micros(200);
+
+    let mut wtable = Table::new(
+        format!(
+            "WAL group commit: {n_writes} inserts from {writer_connections} closed-loop \
+             writer connections into an empty crabbing tree (cap {cap}, ~200 µs per WAL \
+             sync, write window 64)"
+        ),
+        &[
+            "commit",
+            "inserts/s",
+            "fsyncs/insert",
+            "mean commit batch",
+            "write p50 ms",
+            "write p99 ms",
+        ],
+    );
+
+    // Row 0 is per-op commit (every insert syncs alone), row 1 group commit.
+    let mut fsyncs_per_insert = Vec::new();
+    for group in [false, true] {
+        let wal = GroupWal::open(SlowLog {
+            inner: MemLog::new(),
+            delay: fsync_delay,
+        })
+        .expect("open wal");
+        if group {
+            // Hold each batch open briefly so a whole burst of writers
+            // lands under one fsync (the commit_delay knob).
+            wal.set_commit_delay(Duration::from_micros(150));
+        }
+        let disk = ConcurrentDiskRTree::create_writable(
+            SharedMemStore::new(),
+            cap,
+            cap / 4,
+            buffer,
+            LruPolicy::new(),
+            wal,
+        )
+        .expect("create writable tree");
+        let handle = serve(
+            WriterEngine::new(disk, 2, writer_connections, group),
+            "127.0.0.1:0",
+            ServerConfig {
+                batch: BatchPolicy {
+                    max_batch: 64,
+                    max_wait: Duration::from_micros(700),
+                    ..BatchPolicy::default()
+                },
+                read_timeout: Duration::from_millis(20),
+            },
+        )
+        .expect("bind ephemeral port");
+
+        let report = loadgen::run(
+            handle.addr(),
+            &LoadConfig {
+                connections: writer_connections,
+                queries: n_writes,
+                target_qps: 0.0,
+                workload: Workload::uniform_region(0.01, 0.01),
+                count_fraction: 0.0,
+                write_fraction: 1.0,
+                seed: 0x5EED,
+                shutdown_after: false,
+            },
+        )
+        .expect("write load run");
+        let stats = handle.shutdown();
+        assert_eq!(report.writes_ok as usize, n_writes, "all inserts commit");
+        assert_eq!(stats.writes as usize, n_writes, "server saw every insert");
+
+        fsyncs_per_insert.push(report.fsyncs_per_write());
+        wtable.row(vec![
+            if group { "group" } else { "per-op" }.to_string(),
+            format!(
+                "{:.0}",
+                report.writes_ok as f64 / report.elapsed.as_secs_f64()
+            ),
+            f(report.fsyncs_per_write()),
+            format!(
+                "{:.1}",
+                stats.writes as f64 / stats.commit_batches.max(1) as f64
+            ),
+            format!("{:.3}", report.write_latency_ms(0.50)),
+            format!("{:.3}", report.write_latency_ms(0.99)),
+        ]);
+    }
+    wtable.emit("server_group_commit");
+    println!(
+        "Both rows commit the identical insert stream durably; only the commit protocol \
+         changes. Per-op commit pays one WAL sync per insert, group commit lets the \
+         concurrent writers ride one leader's sync — fsyncs/insert is the amortization."
+    );
+
+    // The write-side acceptance gate: group commit must amortize syncs at
+    // least 4x better than per-op commit under 8 concurrent writers.
+    let (per_op, grouped) = (fsyncs_per_insert[0], fsyncs_per_insert[1]);
+    if grouped * 4.0 > per_op {
+        eprintln!(
+            "FAIL: group commit fsyncs/insert {grouped:.4} is not >=4x below per-op \
+             {per_op:.4}"
+        );
+        std::process::exit(1);
     }
 }

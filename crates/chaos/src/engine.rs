@@ -2,12 +2,14 @@
 //! stack with faults armed, then checks the run against three oracles.
 //!
 //! * **Differential** — every query answered by the disk tree (before the
-//!   crash, after recovery, and from the concurrent reader) must equal the
-//!   answer of an in-memory reference tree that applied exactly the
-//!   committed operations.
+//!   crash, after recovery, from the concurrent reader, and after the
+//!   concurrent-mutator quiesce) must equal the answer of an in-memory
+//!   reference tree that applied exactly the committed operations.
 //! * **Durability** — after the simulated reboot, `recover` must restore
 //!   exactly the committed prefix: item counts and query results match the
-//!   reference, nothing more and nothing less.
+//!   reference, nothing more and nothing less. The mutator phase then
+//!   crashes a *writable* concurrent tree without a checkpoint and demands
+//!   that logical replay restores every group-committed mutation.
 //! * **Accounting** — the trace event stream must reconcile with the
 //!   counters the buffer manager keeps anyway (`IoStats`, `BufferStats`),
 //!   on both the sequential and the sharded concurrent path.
@@ -25,10 +27,10 @@ use rtree_geom::Rect;
 use rtree_index::{RTree, RTreeBuilder};
 use rtree_obs::{CountingSink, TraceSink};
 use rtree_pager::{
-    recover, ConcurrentDiskRTree, DiskRTree, FaultStore, MemStore, PageStore, StepSchedule,
-    StepStore, PAGE_SIZE,
+    recover, replay_committed, ConcurrentDiskRTree, DiskRTree, FaultStore, MemStore, PageStore,
+    SharedMemStore, StepSchedule, StepStore, PAGE_SIZE,
 };
-use rtree_wal::{CrashSwitch, FaultLog, LogBackend, MemLog, Wal};
+use rtree_wal::{CrashSwitch, FaultLog, GroupWal, LogBackend, MemLog, StagedLog, Wal};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -434,7 +436,10 @@ pub fn run_plan(plan: &ChaosPlan, plant: bool) -> ChaosReport {
     // ---- Phase 4: the network path against the same shadow oracle. ------
     run_server_phase(plan, &mut store, &reference, &mut report);
 
-    // ---- Phase 5: sequential accounting oracle (consumes the store). ----
+    // ---- Phase 5: concurrent mutators + group-commit durability. --------
+    run_mutator_phase(plan, &mut store, &reference, &mut report);
+
+    // ---- Phase 6: sequential accounting oracle (consumes the store). ----
     run_accounting_phase(plan, store, &mut report);
 
     report
@@ -558,6 +563,353 @@ fn run_server_phase(
                 stats.rejected
             ),
         });
+    }
+}
+
+/// One pre-generated step of a mutator thread's program.
+enum MutOp {
+    Insert(Rect, u64),
+    Delete(Rect, u64),
+}
+
+/// Opens the recovered image as a *writable* latch-crabbing tree over a
+/// [`StagedLog`]-backed group-commit WAL and runs `plan.threads` mutator
+/// threads (disjoint id spaces, delete-own-only) against `plan.threads`
+/// concurrent reader threads. Two oracles follow the quiesce:
+///
+/// * **Differential** — because ids are disjoint and every delete targets
+///   an id its own thread inserted earlier, the final item set is
+///   order-independent: exactly the recovered reference plus each thread's
+///   surviving inserts. Every probe query must agree with that set, from
+///   the live tree and again after recovery.
+/// * **Durability** — the tree is then dropped *without* a checkpoint (the
+///   crash), and [`replay_committed`] rebuilds it from the recovered image
+///   plus the bytes that reached the durable medium. Every mutation
+///   acknowledged before the crash rode a group-committed batch whose
+///   leader fsynced, so recovery must restore all of them.
+fn run_mutator_phase(
+    plan: &ChaosPlan,
+    store: &mut MemStore,
+    reference: &RTree,
+    report: &mut ChaosReport,
+) {
+    let fail = |report: &mut ChaosReport, oracle: Oracle, detail: String| {
+        report.failures.push(ChaosFailure { oracle, detail });
+    };
+
+    // The recovered image, byte for byte — both the mutation base and the
+    // post-crash replay base.
+    let mut image = Vec::new();
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for id in 0..store.page_count() {
+        if let Err(e) = store.read_page(PageId(id), &mut buf) {
+            fail(
+                report,
+                Oracle::Differential,
+                format!("imaging store for mutator phase failed: {e}"),
+            );
+            return;
+        }
+        image.extend_from_slice(&buf);
+    }
+
+    // Durable medium: bytes reach `durable` only on sync, exactly what a
+    // crashed machine's disk keeps.
+    let durable = MemLog::new();
+    let wal = match GroupWal::open(StagedLog::new(durable.clone())) {
+        Ok(w) => w,
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Durability,
+                format!("mutator-phase WAL open failed: {e}"),
+            );
+            return;
+        }
+    };
+    let capacity = plan.buffer_capacity.max(8);
+    let tree = match ConcurrentDiskRTree::open_writable(
+        SharedMemStore::from_bytes(image.clone()),
+        capacity,
+        plan.policy.build(),
+        wal.clone(),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Differential,
+                format!("opening writable tree for mutator phase failed: {e}"),
+            );
+            return;
+        }
+    };
+
+    // Pre-generate each thread's program. Id space: bit 41 set, thread in
+    // the next byte — disjoint from phase-1 ids and from each other.
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xC4AB_C0DE_5EED_D00Du64);
+    let ops_per_thread = rng.gen_range(12..=28usize);
+    let mut programs: Vec<Vec<MutOp>> = Vec::new();
+    for t in 0..plan.threads as u64 {
+        let mut program = Vec::new();
+        let mut own_live: Vec<(Rect, u64)> = Vec::new();
+        for i in 0..ops_per_thread as u64 {
+            let delete_own = !own_live.is_empty() && rng.gen_bool(0.35);
+            if delete_own {
+                let k = rng.gen_range(0..own_live.len());
+                let (r, id) = own_live.swap_remove(k);
+                program.push(MutOp::Delete(r, id));
+            } else {
+                let x = rng.gen_range(0.0..0.9);
+                let y = rng.gen_range(0.0..0.9);
+                let r = Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.001..0.08),
+                    y + rng.gen_range(0.001..0.08),
+                );
+                let id = (3u64 << 40) | (t << 32) | i;
+                own_live.push((r, id));
+                program.push(MutOp::Insert(r, id));
+            }
+        }
+        programs.push(program);
+    }
+    let survivors: Vec<(Rect, u64)> = programs
+        .iter()
+        .flat_map(|program| {
+            let mut live = std::collections::HashMap::new();
+            for op in program {
+                match op {
+                    MutOp::Insert(r, id) => {
+                        live.insert(*id, *r);
+                    }
+                    MutOp::Delete(_, id) => {
+                        live.remove(id);
+                    }
+                }
+            }
+            live.into_iter().map(|(id, r)| (r, id))
+        })
+        .collect();
+    let total_ops: usize = programs.iter().map(Vec::len).sum();
+
+    // Mutators and readers interleave freely; errors are oracle failures,
+    // reader *results* are unverifiable mid-mutation and only checked for
+    // successful delivery.
+    let probes = plan.query_rects();
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for program in &programs {
+            let tree = &tree;
+            let errors = &errors;
+            scope.spawn(move || {
+                for op in program {
+                    let r = match op {
+                        MutOp::Insert(rect, id) => tree.insert(rect, *id).map(|()| true),
+                        MutOp::Delete(rect, id) => tree.delete(rect, *id),
+                    };
+                    match r {
+                        Ok(true) => {}
+                        Ok(false) => errors
+                            .lock()
+                            .unwrap()
+                            .push("mutator delete missed its own insert".into()),
+                        Err(e) => errors
+                            .lock()
+                            .unwrap()
+                            .push(format!("mutator op failed: {e}")),
+                    }
+                }
+            });
+        }
+        for t in 0..plan.threads {
+            let tree = &tree;
+            let errors = &errors;
+            let probes = &probes;
+            scope.spawn(move || {
+                for q in probes.iter().skip(t % 2) {
+                    if let Err(e) = tree.query(q) {
+                        errors
+                            .lock()
+                            .unwrap()
+                            .push(format!("reader query {q} during mutation failed: {e}"));
+                    }
+                }
+            });
+        }
+    });
+    for detail in errors.into_inner().unwrap() {
+        fail(report, Oracle::Differential, detail);
+    }
+
+    // Quiesced: the final set is deterministic. Check the live tree...
+    let expected = |q: &Rect| -> Vec<u64> {
+        let mut want = reference.search(q);
+        want.extend(
+            survivors
+                .iter()
+                .filter(|(r, _)| r.intersects(q))
+                .map(|(_, id)| *id),
+        );
+        sorted(want)
+    };
+    let want_items = reference.len() as u64 + survivors.len() as u64;
+    if tree.live_items() != want_items {
+        fail(
+            report,
+            Oracle::Differential,
+            format!(
+                "mutated tree holds {} items, expected {}",
+                tree.live_items(),
+                want_items
+            ),
+        );
+    }
+    let everything = Rect::new(0.0, 0.0, 1.0, 1.0);
+    let mut check_rects = vec![everything];
+    check_rects.extend(probes.iter().copied());
+    for q in &check_rects {
+        report.queries_checked += 1;
+        match tree.query(q) {
+            Ok(got) => {
+                if sorted(got) != expected(q) {
+                    fail(
+                        report,
+                        Oracle::Differential,
+                        format!("post-mutation query {q} diverged from shadow oracle"),
+                    );
+                }
+            }
+            Err(e) => fail(
+                report,
+                Oracle::Differential,
+                format!("post-mutation query {q} failed: {e}"),
+            ),
+        }
+    }
+    // Group-commit accounting: every op durable, never more fsyncs than ops.
+    let gstats = tree.group_commit_stats().unwrap_or_default();
+    if gstats.committed_ops != total_ops as u64 {
+        fail(
+            report,
+            Oracle::Durability,
+            format!(
+                "group commit covered {} ops, mutators ran {}",
+                gstats.committed_ops, total_ops
+            ),
+        );
+    }
+    if gstats.fsyncs > total_ops as u64 {
+        fail(
+            report,
+            Oracle::Durability,
+            format!(
+                "{} fsyncs for {} ops — group commit amplified syncs",
+                gstats.fsyncs, total_ops
+            ),
+        );
+    }
+
+    // ...then crash without a checkpoint and replay the committed log onto
+    // the pre-mutation image.
+    drop(tree);
+    let survived = match durable.read_all() {
+        Ok(b) => b,
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Durability,
+                format!("reading surviving mutator log failed: {e}"),
+            );
+            return;
+        }
+    };
+    let recovered = match ConcurrentDiskRTree::open_writable(
+        SharedMemStore::from_bytes(image),
+        capacity,
+        plan.policy.build(),
+        match GroupWal::open(MemLog::new()) {
+            Ok(w) => w,
+            Err(e) => {
+                fail(
+                    report,
+                    Oracle::Durability,
+                    format!("post-crash WAL open failed: {e}"),
+                );
+                return;
+            }
+        },
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Durability,
+                format!("reopening crashed mutator store failed: {e}"),
+            );
+            return;
+        }
+    };
+    match replay_committed(&survived, &recovered) {
+        Ok(summary) => {
+            if !summary.clean_log {
+                fail(
+                    report,
+                    Oracle::Durability,
+                    "mutator log scan stopped at a torn frame despite clean shutdown".into(),
+                );
+            }
+            if summary.applied_inserts + summary.applied_deletes != total_ops as u64 {
+                fail(
+                    report,
+                    Oracle::Durability,
+                    format!(
+                        "replay applied {} of {} acknowledged mutations",
+                        summary.applied_inserts + summary.applied_deletes,
+                        total_ops
+                    ),
+                );
+            }
+        }
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Durability,
+                format!("replaying committed mutator ops failed: {e}"),
+            );
+            return;
+        }
+    }
+    if recovered.live_items() != want_items {
+        fail(
+            report,
+            Oracle::Durability,
+            format!(
+                "recovered mutated tree holds {} items, expected {}",
+                recovered.live_items(),
+                want_items
+            ),
+        );
+    }
+    for q in &check_rects {
+        report.queries_checked += 1;
+        match recovered.query(q) {
+            Ok(got) => {
+                if sorted(got) != expected(q) {
+                    fail(
+                        report,
+                        Oracle::Durability,
+                        format!("post-crash query {q} lost a group-committed mutation"),
+                    );
+                }
+            }
+            Err(e) => fail(
+                report,
+                Oracle::Durability,
+                format!("post-crash query {q} failed: {e}"),
+            ),
+        }
     }
 }
 

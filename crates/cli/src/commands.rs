@@ -939,6 +939,15 @@ fn run_server<E: rtree_server::QueryEngine>(
         bstats.queue_wait_us.quantile_bounds(0.50).1,
         bstats.queue_wait_us.quantile_bounds(0.99).1,
     );
+    if stats.writes > 0 {
+        let _ = writeln!(
+            out,
+            "writes: {} committed in {} wal batches ({:.4} fsyncs/write)",
+            stats.writes,
+            stats.commit_batches,
+            stats.wal_fsyncs as f64 / stats.writes as f64,
+        );
+    }
     if drained && ledger && traced {
         let _ = writeln!(out, "reconciled: yes");
         Ok(out)
@@ -953,8 +962,8 @@ fn run_server<E: rtree_server::QueryEngine>(
 
 fn serve(args: &Args) -> Result<String, CliError> {
     use rtree_obs::{CountingSink, TraceSink};
-    use rtree_pager::{ConcurrentDiskRTree, DiskRTree, MemStore};
-    use rtree_server::{SequentialEngine, ShardedEngine};
+    use rtree_pager::{ConcurrentDiskRTree, DiskRTree, MemStore, SharedMemStore};
+    use rtree_server::{SequentialEngine, ShardedEngine, WriterEngine};
     use std::sync::Arc;
 
     args.allow_flags(&[
@@ -973,6 +982,8 @@ fn serve(args: &Args) -> Result<String, CliError> {
         "queue",
         "workers",
         "window",
+        "writers",
+        "write-threads",
     ])?;
     let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
     if rects.is_empty() {
@@ -996,8 +1007,48 @@ fn serve(args: &Args) -> Result<String, CliError> {
     let config = parse_server_config(args)?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
     let port_file = args.flag("port-file");
-    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
     let sink = Arc::new(CountingSink::new());
+
+    if args.flag_bool("writers") {
+        // Writer mode: an empty writable tree seeded through the insert
+        // path itself (every seed is WAL-logged and group-committed),
+        // then served read-write through the latch-crabbing engine.
+        let write_threads: usize = args.flag_or("write-threads", 8usize)?;
+        if write_threads == 0 {
+            return Err(err("--write-threads must be at least 1"));
+        }
+        let min_fill = (cap / 4).max(1);
+        let wal = rtree_wal::GroupWal::open(rtree_wal::MemLog::new())
+            .map_err(|e| err(format!("opening wal: {e}")))?;
+        // Serving is batch-oriented anyway (the micro-batcher already
+        // trades a sub-millisecond wait for locality), so hold commit
+        // batches open briefly too: a burst of writers, one fsync.
+        wal.set_commit_delay(std::time::Duration::from_micros(150));
+        let mut disk = ConcurrentDiskRTree::create_writable(
+            SharedMemStore::new(),
+            cap,
+            min_fill,
+            buffer,
+            policy.build(),
+            wal,
+        )
+        .map_err(|e| err(format!("creating tree: {e}")))?;
+        disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+        for (i, r) in rects.iter().enumerate() {
+            disk.insert(r, i as u64)
+                .map_err(|e| err(format!("seeding item {i}: {e}")))?;
+        }
+        let workers = config.batch.workers;
+        let handle = rtree_server::serve(
+            WriterEngine::new(disk, workers, write_threads, true),
+            addr,
+            config,
+        )
+        .map_err(|e| err(format!("binding {addr}: {e}")))?;
+        return run_server(handle, duration, port_file, sink);
+    }
+
+    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
 
     match args.flag("engine").unwrap_or("seq") {
         "seq" => {
@@ -1036,6 +1087,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         "queries",
         "workload",
         "count-fraction",
+        "write-fraction",
         "seed",
         "shutdown",
         "quick",
@@ -1054,12 +1106,17 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&count_fraction) {
         return Err(err("--count-fraction must be in [0, 1]"));
     }
+    let write_fraction: f64 = args.flag_or("write-fraction", 0.0f64)?;
+    if !(0.0..=1.0).contains(&write_fraction) {
+        return Err(err("--write-fraction must be in [0, 1]"));
+    }
     let config = LoadConfig {
         connections,
         queries,
         target_qps: args.flag_or("qps", 0.0f64)?,
         workload: parse_workload(args.flag("workload").unwrap_or("region:0.03:0.03"))?,
         count_fraction,
+        write_fraction,
         seed: args.flag_or("seed", 42u64)?,
         shutdown_after: args.flag_bool("shutdown"),
     };
@@ -1080,6 +1137,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         &[
             "sent",
             "ok",
+            "writes_ok",
             "overloaded",
             "errors",
             "qps",
@@ -1087,12 +1145,15 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
             "p99_ms",
             "p999_ms",
             "mean_ms",
+            "write_p99_ms",
+            "fsyncs_per_write",
             "demand_reads_per_query",
         ],
     );
     table.row(vec![
         report.sent.to_string(),
         report.ok.to_string(),
+        report.writes_ok.to_string(),
         report.overloaded.to_string(),
         report.errors.to_string(),
         format!("{:.0}", report.achieved_qps()),
@@ -1100,6 +1161,8 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         format!("{:.3}", report.latency_ms(0.99)),
         format!("{:.3}", report.latency_ms(0.999)),
         format!("{:.3}", report.mean_latency_ms()),
+        format!("{:.3}", report.write_latency_ms(0.99)),
+        format!("{:.4}", report.fsyncs_per_write()),
         format!("{:.4}", report.demand_reads_per_query()),
     ]);
     if args.flag_bool("json") {
@@ -1452,6 +1515,43 @@ mod tests {
         // --shutdown stops the server; its summary must reconcile.
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("200 queries"), "got: {summary}");
+        assert!(summary.contains("reconciled: yes"), "got: {summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_writers_round_trip_with_mixed_load() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-wrsrv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let port = dir.join("port");
+        run(&args(&format!(
+            "generate region:800 --seed 4 --out {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let serve_args = args(&format!(
+            "serve {} --cap 16 --buffer 64 --writers --write-threads 4 --duration 30 \
+             --port-file {}",
+            data.display(),
+            port.display()
+        ));
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = wait_for_port(&port);
+
+        let out = run(&args(&format!(
+            "loadgen {addr} --quick --connections 4 --write-fraction 0.25 --seed 6 \
+             --workload region:0.04:0.04 --shutdown --json"
+        )))
+        .unwrap();
+        // 4 connections x 50 ops at write fraction 0.25: 12 writes each.
+        assert!(out.contains("\"writes_ok\": 48"), "got: {out}");
+        assert!(out.contains("\"ok\": 152"), "got: {out}");
+        assert!(out.contains("\"errors\": 0"), "got: {out}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("writes:"), "got: {summary}");
         assert!(summary.contains("reconciled: yes"), "got: {summary}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -27,6 +27,13 @@ pub enum EventKind {
     PeekRead,
     /// A page-image record appended to the write-ahead log.
     WalAppend,
+    /// A page-latch acquisition that had to wait for another holder
+    /// (concurrent writer mode). `page_id` is the latch key (0 = the meta
+    /// latch).
+    LatchWait,
+    /// A group-commit leader flushed the log: one fsync made every queued
+    /// operation durable. `page_id` carries the batch size.
+    GroupCommitFlush,
 }
 
 /// One traced event. `query_id` is 0 for work not attributable to a query
@@ -91,6 +98,10 @@ pub struct EventCounts {
     pub peek_reads: u64,
     /// `EventKind::WalAppend` events.
     pub wal_appends: u64,
+    /// `EventKind::LatchWait` events.
+    pub latch_waits: u64,
+    /// `EventKind::GroupCommitFlush` events.
+    pub group_commit_flushes: u64,
 }
 
 impl EventCounts {
@@ -113,6 +124,8 @@ impl EventCounts {
             + self.write_backs
             + self.peek_reads
             + self.wal_appends
+            + self.latch_waits
+            + self.group_commit_flushes
     }
 }
 
@@ -127,6 +140,8 @@ pub struct CountingSink {
     write_backs: AtomicU64,
     peek_reads: AtomicU64,
     wal_appends: AtomicU64,
+    latch_waits: AtomicU64,
+    group_commit_flushes: AtomicU64,
 }
 
 impl CountingSink {
@@ -144,6 +159,8 @@ impl CountingSink {
             write_backs: self.write_backs.load(Ordering::Relaxed),
             peek_reads: self.peek_reads.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            latch_waits: self.latch_waits.load(Ordering::Relaxed),
+            group_commit_flushes: self.group_commit_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -157,6 +174,8 @@ impl TraceSink for CountingSink {
             EventKind::WriteBack => &self.write_backs,
             EventKind::PeekRead => &self.peek_reads,
             EventKind::WalAppend => &self.wal_appends,
+            EventKind::LatchWait => &self.latch_waits,
+            EventKind::GroupCommitFlush => &self.group_commit_flushes,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -205,6 +224,8 @@ pub struct PerLevelSink {
     peek_reads: AtomicU64,
     write_backs: AtomicU64,
     wal_appends: AtomicU64,
+    latch_waits: AtomicU64,
+    group_commit_flushes: AtomicU64,
 }
 
 impl Default for PerLevelSink {
@@ -216,6 +237,8 @@ impl Default for PerLevelSink {
             peek_reads: AtomicU64::new(0),
             write_backs: AtomicU64::new(0),
             wal_appends: AtomicU64::new(0),
+            latch_waits: AtomicU64::new(0),
+            group_commit_flushes: AtomicU64::new(0),
         }
     }
 }
@@ -262,6 +285,8 @@ impl PerLevelSink {
             peek_reads: self.peek_reads.load(Ordering::Relaxed),
             write_backs: self.write_backs.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            latch_waits: self.latch_waits.load(Ordering::Relaxed),
+            group_commit_flushes: self.group_commit_flushes.load(Ordering::Relaxed),
             ..EventCounts::default()
         };
         for i in 0..=LEVEL_SLOTS {
@@ -294,6 +319,12 @@ impl TraceSink for PerLevelSink {
             EventKind::WalAppend => {
                 self.wal_appends.fetch_add(1, Ordering::Relaxed);
             }
+            EventKind::LatchWait => {
+                self.latch_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::GroupCommitFlush => {
+                self.group_commit_flushes.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -322,6 +353,8 @@ mod tests {
         sink.record(ev(EventKind::WriteBack, -1));
         sink.record(ev(EventKind::PeekRead, 2));
         sink.record(ev(EventKind::WalAppend, -1));
+        sink.record(ev(EventKind::LatchWait, -1));
+        sink.record(ev(EventKind::GroupCommitFlush, -1));
         let c = sink.counts();
         assert_eq!(
             c,
@@ -332,11 +365,13 @@ mod tests {
                 write_backs: 1,
                 peek_reads: 1,
                 wal_appends: 1,
+                latch_waits: 1,
+                group_commit_flushes: 1,
             }
         );
         assert_eq!(c.accesses(), 3, "prefetch is not a pool access");
         assert_eq!(c.reads(), 2, "demand miss + prefetch fill");
-        assert_eq!(c.total(), 7);
+        assert_eq!(c.total(), 9);
     }
 
     #[test]

@@ -474,18 +474,43 @@ impl<S: PageStore> BufferManager<S> {
 
     /// Replaces the buffer pool with a fresh one of `capacity` frames under
     /// `policy`. Every dirty page is flushed first (log-first, as always),
-    /// so no buffered state is lost; pinned pages become unpinned and the
-    /// pool's hit/miss statistics restart from zero, while the cumulative
-    /// [`IoStats`] and the attached WAL are preserved. Call only between
-    /// operations.
+    /// so no buffered state is lost; pinned pages *stay pinned* (their
+    /// frames carry over) and the pool's hit/miss statistics restart from
+    /// zero, while the cumulative [`IoStats`] and the attached WAL are
+    /// preserved. Call only between operations.
+    ///
+    /// # Errors
+    /// `InvalidInput` if `capacity` is smaller than the number of currently
+    /// pinned pages — shrinking must never evict a pinned page, so the
+    /// request is refused with the pool untouched.
     pub fn resize(
         &mut self,
         capacity: usize,
         policy: impl ReplacementPolicy + 'static,
     ) -> io::Result<()> {
+        let pinned: Vec<PageId> = self
+            .frames
+            .keys()
+            .copied()
+            .filter(|&id| self.pool.is_pinned(id))
+            .collect();
+        if capacity < pinned.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "cannot resize to {capacity} frames: {} pages are pinned",
+                    pinned.len()
+                ),
+            ));
+        }
         self.flush_all()?;
-        self.pool = BufferPool::new(capacity, policy);
-        self.frames.clear();
+        let mut pool = BufferPool::new(capacity, policy);
+        for &id in &pinned {
+            pool.admit_pinned(id)
+                .expect("capacity was checked against the pinned count");
+        }
+        self.pool = pool;
+        self.frames.retain(|id, _| pinned.contains(id));
         Ok(())
     }
 }
@@ -724,5 +749,32 @@ mod tests {
         let mut raw = vec![0u8; PAGE_SIZE];
         m.store_mut().read_page(PageId(2), &mut raw).unwrap();
         assert_eq!(raw[0], 0x77);
+    }
+
+    #[test]
+    fn resize_preserves_pins_and_refuses_to_shrink_below_them() {
+        let mut m = make(8, 4);
+        m.pin(PageId(0)).unwrap();
+        m.pin(PageId(1)).unwrap();
+        m.write_buffered(PageId(1), &page(0xC3)).unwrap();
+
+        // Shrinking below the pinned count is refused, pool untouched.
+        let err = m.resize(1, LruPolicy::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(m.pool.pinned_count(), 2, "failed resize changed nothing");
+        assert!(m.pool.is_pinned(PageId(0)));
+
+        // A legal resize keeps the pinned pages resident and pinned, with
+        // their (flushed) frames intact — no re-read needed.
+        m.resize(2, LruPolicy::new()).unwrap();
+        assert_eq!(m.pool.pinned_count(), 2);
+        assert_eq!(m.frames.len(), 2);
+        let before = m.physical_reads();
+        assert_eq!(m.fetch(PageId(1)).unwrap()[0], 0xC3);
+        assert_eq!(m.physical_reads(), before, "pinned frame carried over");
+        // The dirty pin was flushed (log-first) before the swap.
+        let mut raw = vec![0u8; PAGE_SIZE];
+        m.store_mut().read_page(PageId(1), &mut raw).unwrap();
+        assert_eq!(raw[0], 0xC3);
     }
 }

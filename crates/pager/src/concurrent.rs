@@ -31,9 +31,11 @@
 //!   read counts reproduce the paper's numbers bit for bit.
 
 use crate::disk_tree::materialize;
-use crate::store::SharedPageStore;
-use crate::{IoStats, NodePage, PageMeta, PAGE_SIZE};
-use parking_lot::Mutex;
+use crate::latch::{LatchSet, LatchTable, META_LATCH};
+use crate::mutate::{choose_subtree, mbr, quadratic_split};
+use crate::store::{ConcurrentPageStore, SharedPageStore};
+use crate::{IoStats, NodePage, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+use parking_lot::{Mutex, RwLock};
 use rtree_buffer::{
     AccessOutcome, AtomicBufferStats, BufferPool, BufferStats, PageId, ReplacementPolicy,
 };
@@ -41,6 +43,7 @@ use rtree_geom::{Rect, RectSoA};
 use rtree_index::RTree;
 #[cfg(feature = "trace")]
 use rtree_obs::{EventKind, IoEvent, TraceSink};
+use rtree_wal::{GroupCommitStats, GroupWal, Lsn};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,6 +85,63 @@ impl Shard {
             }),
             reads: AtomicU64::new(0),
             stats: AtomicBufferStats::new(),
+        }
+    }
+}
+
+/// Mutable-tree state attached by the writable constructors: everything a
+/// latch-crabbing writer needs beyond the read path's shard pools.
+///
+/// The write path is **no-steal**: a dirty page lives in `overlay` (shadowing
+/// both the shard pools and the store) and reaches the store only at a
+/// [`ConcurrentDiskRTree::checkpoint`], by which point its operations are
+/// group-committed in the WAL. Recovery is therefore logical redo only —
+/// replay committed [`rtree_wal::WalRecord::OpInsert`]/`OpDelete` records on
+/// top of the last checkpoint image (see [`crate::replay_committed`]).
+struct WriterState {
+    /// Per-page latches; see [`crate::latch`] for the deadlock-freedom
+    /// argument (strict top-down acquisition).
+    latches: LatchTable,
+    /// Operation gate: crabbing inserts/deletes and queries hold it shared;
+    /// checkpoints and the exclusive delete fallback hold it exclusively.
+    op_gate: RwLock<()>,
+    /// Live metadata (root, height, counters). The open-time snapshot in
+    /// `ConcurrentDiskRTree::meta` is *not* updated by writes.
+    meta: Mutex<PageMeta>,
+    /// Dirty-page overlay: page id → latest image. Checked before the shard
+    /// pools on every writer-mode load.
+    overlay: RwLock<HashMap<u64, Arc<[u8]>>>,
+    /// Session-local free list of dissolved pages (not persisted: a
+    /// checkpointed meta page stores `free_head = 0`, so pages freed since
+    /// the last checkpoint leak on reopen — a documented trade for keeping
+    /// the on-disk free list out of the latch protocol).
+    free: Mutex<Vec<u64>>,
+    /// Group-commit write-ahead log (logical redo records).
+    wal: GroupWal,
+    max_entries: usize,
+    min_entries: usize,
+    /// Latch acquisitions that had to wait (contention signal).
+    latch_waits: AtomicU64,
+    /// Physical page writes (checkpoint flushes).
+    page_writes: AtomicU64,
+    /// Applied logical operations (inserts + deletes that found their entry).
+    logical_writes: AtomicU64,
+}
+
+impl WriterState {
+    fn new(meta: PageMeta, wal: GroupWal) -> Self {
+        WriterState {
+            latches: LatchTable::new(),
+            op_gate: RwLock::new(()),
+            max_entries: meta.max_entries as usize,
+            min_entries: meta.min_entries as usize,
+            meta: Mutex::new(meta),
+            overlay: RwLock::new(HashMap::new()),
+            free: Mutex::new(Vec::new()),
+            wal,
+            latch_waits: AtomicU64::new(0),
+            page_writes: AtomicU64::new(0),
+            logical_writes: AtomicU64::new(0),
         }
     }
 }
@@ -133,6 +193,8 @@ pub struct ConcurrentDiskRTree<S> {
     /// Per-query latency / reads / pins distributions (trace builds only).
     #[cfg(feature = "trace")]
     metrics: rtree_obs::QueryMetrics,
+    /// Present iff the tree was opened writable.
+    writer: Option<WriterState>,
 }
 
 impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
@@ -239,6 +301,7 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             query_ids: AtomicU64::new(0),
             #[cfg(feature = "trace")]
             metrics: rtree_obs::QueryMetrics::new(),
+            writer: None,
         }
     }
 
@@ -298,7 +361,10 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
     pub fn io_stats(&self) -> IoStats {
         IoStats {
             reads: self.physical_reads(),
-            writes: 0,
+            writes: self
+                .writer
+                .as_ref()
+                .map_or(0, |w| w.page_writes.load(Ordering::Relaxed)),
             peek_reads: self.peek_reads.load(Ordering::Relaxed),
             prefetch_reads: 0,
         }
@@ -437,8 +503,13 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         Ok((Arc::clone(self.root_frame.get_or_init(|| frame)), true))
     }
 
-    /// Executes a region query; safe to call from many threads.
+    /// Executes a region query; safe to call from many threads. On a
+    /// writable tree the traversal runs under the reader latch protocol
+    /// (breadth-first shared-latch coupling against the live root).
     pub fn query(&self, query: &Rect) -> io::Result<Vec<u64>> {
+        if let Some(w) = &self.writer {
+            return self.query_writer(w, query);
+        }
         #[cfg(feature = "trace")]
         {
             let mut span = QuerySpan {
@@ -539,6 +610,11 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
     {
         if queries.is_empty() {
             return Ok(Vec::new());
+        }
+        if let Some(w) = &self.writer {
+            // Writer mode: the bulk-load layout (and its level-synchronous
+            // dedup walk) is gone; run each query under the latch protocol.
+            return queries.iter().map(|q| self.query_writer(w, q)).collect();
         }
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -670,6 +746,743 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             }
         }
         Ok(results)
+    }
+}
+
+/// Flattens a rectangle into the WAL's logical-record payload layout.
+fn rect_key(r: &Rect) -> [f64; 4] {
+    [r.lo.x, r.lo.y, r.hi.x, r.hi.y]
+}
+
+/// Outcome of one optimistic (latched fast-path) delete attempt.
+enum FastDelete {
+    /// Entry found and removed; carries the LSN awaiting group commit.
+    Deleted(Lsn),
+    /// The entry is provably absent (every candidate leaf was scanned
+    /// while shared-latched, so nothing could slip past the traversal).
+    Absent,
+    /// Lost the latch-trade race or the leaf would underflow: retry, then
+    /// escalate to the exclusive path.
+    Contended,
+}
+
+impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
+    /// True when the tree was opened through a writable constructor.
+    pub fn is_writable(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// The underlying page store (chaos and recovery tests snapshot it;
+    /// remember that dirty writer pages live in the overlay, not here,
+    /// until a checkpoint).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Live item count: the writer's metadata when writable (updated by
+    /// every insert/delete), the open-time snapshot otherwise.
+    pub fn live_items(&self) -> u64 {
+        self.writer
+            .as_ref()
+            .map_or(self.meta.items, |w| w.meta.lock().items)
+    }
+
+    /// Group-commit counters of the attached WAL (writable trees only).
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        self.writer.as_ref().map(|w| w.wal.stats())
+    }
+
+    /// Latch acquisitions that had to block (contention signal).
+    pub fn latch_waits(&self) -> u64 {
+        self.writer
+            .as_ref()
+            .map_or(0, |w| w.latch_waits.load(Ordering::Relaxed))
+    }
+
+    /// Applied logical operations: inserts plus deletes that found their
+    /// entry.
+    pub fn logical_writes(&self) -> u64 {
+        self.writer
+            .as_ref()
+            .map_or(0, |w| w.logical_writes.load(Ordering::Relaxed))
+    }
+
+    /// Acquires a latch into `set`, counting (and tracing) blocked
+    /// acquisitions.
+    fn latch_acquire(&self, w: &WriterState, set: &mut LatchSet<'_>, id: u64, exclusive: bool) {
+        if set.acquire(id, exclusive) {
+            w.latch_waits.fetch_add(1, Ordering::Relaxed);
+            #[cfg(feature = "trace")]
+            self.emit(0, PageId(id), -1, EventKind::LatchWait);
+        }
+    }
+
+    /// Loads a node in writer mode: the dirty overlay shadows both the
+    /// shard pools and the store (no-steal — the store never holds a page
+    /// newer than the overlay).
+    fn load_w(&self, w: &WriterState, id: u64) -> io::Result<NodePage> {
+        if let Some(frame) = w.overlay.read().get(&id) {
+            return Ok(NodePage::decode(frame)?);
+        }
+        let (frame, missed) = self.fetch(PageId(id))?;
+        // Buffer traffic from the write path shows up in the trace stream
+        // like any query's, so the miss ledger stays reconcilable with the
+        // physical-read counters even on a read-write server.
+        #[cfg(feature = "trace")]
+        {
+            let kind = if missed {
+                EventKind::Miss
+            } else {
+                EventKind::Hit
+            };
+            self.emit(0, PageId(id), -1, kind);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = missed;
+        Ok(NodePage::decode(&frame)?)
+    }
+
+    /// Region query under the reader latch protocol: breadth-first
+    /// shared-latch *coupling* — every relevant child of a level is
+    /// latched before the level above is released — so a concurrent split
+    /// can never move an entry past the traversal. Depth-first coupling
+    /// would re-acquire upward while backtracking and deadlock; BFS keeps
+    /// every wait edge pointing down the tree.
+    fn query_writer(&self, w: &WriterState, query: &Rect) -> io::Result<Vec<u64>> {
+        let _gate = w.op_gate.read();
+        let mut set = LatchSet::new(&w.latches);
+        self.latch_acquire(w, &mut set, META_LATCH, false);
+        let root = w.meta.lock().root;
+        self.latch_acquire(w, &mut set, root, false);
+        set.release_all_but_last(1);
+        let mut results = Vec::new();
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &pid in &frontier {
+                let node = self.load_w(w, pid)?;
+                for (r, ptr) in &node.entries {
+                    if r.intersects(query) {
+                        if node.level == 0 {
+                            results.push(*ptr);
+                        } else {
+                            next.push(*ptr);
+                        }
+                    }
+                }
+            }
+            for &pid in &next {
+                self.latch_acquire(w, &mut set, pid, false);
+            }
+            set.release_all_but_last(next.len());
+            frontier = next;
+        }
+        Ok(results)
+    }
+}
+
+impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
+    /// Creates an empty writable tree: a meta page, an empty root leaf,
+    /// and an attached group-commit WAL. Writes go through per-page latch
+    /// crabbing; dirty pages stay in a private overlay until
+    /// [`ConcurrentDiskRTree::checkpoint`] (no-steal), so recovery is
+    /// logical redo of committed WAL records over the last checkpoint
+    /// image (see [`crate::replay_committed`]).
+    ///
+    /// # Panics
+    /// Panics if the capacities are out of range (Guttman's
+    /// `1 <= m <= M/2`).
+    pub fn create_writable(
+        store: S,
+        max_entries: usize,
+        min_entries: usize,
+        buffer_capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+        wal: GroupWal,
+    ) -> io::Result<Self> {
+        assert!(
+            (2..=MAX_ENTRIES_PER_PAGE).contains(&max_entries),
+            "node capacity {max_entries} out of range 2..={MAX_ENTRIES_PER_PAGE}"
+        );
+        assert!(
+            min_entries >= 1 && 2 * min_entries <= max_entries,
+            "min fill {min_entries} must satisfy 1 <= m <= M/2"
+        );
+        let meta_page = store.allocate_shared()?;
+        debug_assert_eq!(meta_page, PageId(0));
+        let meta = PageMeta {
+            root: 1,
+            height: 1,
+            max_entries: max_entries as u32,
+            min_entries: min_entries as u32,
+            items: 0,
+            nodes: 1,
+            free_head: 0,
+            // In-place updates invalidate the bulk-load layout immediately.
+            level_starts: Vec::new(),
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        store.write_page_shared(meta_page, &buf)?;
+        let root = store.allocate_shared()?;
+        NodePage {
+            level: 0,
+            entries: Vec::new(),
+        }
+        .encode(&mut buf);
+        store.write_page_shared(root, &buf)?;
+        let mut policy = Some(Box::new(policy) as Box<dyn ReplacementPolicy>);
+        let mut tree = Self::assemble(store, meta.clone(), buffer_capacity, 1, move || {
+            policy.take().expect("single shard uses the policy once")
+        });
+        tree.writer = Some(WriterState::new(meta, wal));
+        Ok(tree)
+    }
+
+    /// Opens a previously checkpointed tree for writing. The caller is
+    /// responsible for replaying any committed WAL records that postdate
+    /// the image (see [`crate::replay_committed`]).
+    pub fn open_writable(
+        mut store: S,
+        buffer_capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+        wal: GroupWal,
+    ) -> io::Result<Self> {
+        let meta = Self::read_meta(&mut store)?;
+        let mut live = meta.clone();
+        live.level_starts.clear();
+        let mut policy = Some(Box::new(policy) as Box<dyn ReplacementPolicy>);
+        let mut tree = Self::assemble(store, meta, buffer_capacity, 1, move || {
+            policy.take().expect("single shard uses the policy once")
+        });
+        tree.writer = Some(WriterState::new(live, wal));
+        Ok(tree)
+    }
+
+    /// The writer state, or `PermissionDenied` on a read-only tree.
+    fn writer_state(&self) -> io::Result<&WriterState> {
+        self.writer.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "tree was opened read-only; use a writable constructor",
+            )
+        })
+    }
+
+    /// Encodes a node into the dirty overlay (never straight to the
+    /// store: no-steal).
+    fn store_w(&self, w: &WriterState, id: u64, node: &NodePage) {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        w.overlay
+            .write()
+            .insert(id, Arc::from(buf.into_boxed_slice()));
+    }
+
+    /// Allocates a page: the session free list first, then the store.
+    fn alloc_w(&self, w: &WriterState) -> io::Result<u64> {
+        if let Some(id) = w.free.lock().pop() {
+            return Ok(id);
+        }
+        Ok(self.store.allocate_shared()?.0)
+    }
+
+    /// Returns a dissolved page to the session free list. Only the
+    /// exclusive delete path frees pages, so latched operations never
+    /// race a page recycling.
+    fn free_w(&self, w: &WriterState, id: u64) {
+        w.overlay.write().remove(&id);
+        w.free.lock().push(id);
+    }
+
+    /// Makes `lsn` durable through the group-commit protocol; when this
+    /// thread led the batch, a flush event carries the batch size.
+    fn group_commit(&self, w: &WriterState, lsn: Lsn) -> io::Result<()> {
+        #[cfg(feature = "trace")]
+        {
+            let before = w.wal.stats().committed_ops;
+            if w.wal.commit(lsn)? {
+                let batch = w.wal.stats().committed_ops.saturating_sub(before);
+                self.emit(0, PageId(batch), -1, EventKind::GroupCommitFlush);
+            }
+            Ok(())
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            w.wal.commit(lsn)?;
+            Ok(())
+        }
+    }
+
+    /// Inserts an item. Thread-safe: the structure change runs under
+    /// latch crabbing, durability under group commit (the WAL record is
+    /// appended before the change and fsynced — possibly by another
+    /// thread's batch leader — after it).
+    pub fn insert(&self, rect: &Rect, item: u64) -> io::Result<()> {
+        debug_assert!(rect.is_valid(), "inserting an invalid rectangle");
+        let w = self.writer_state()?;
+        let gate = w.op_gate.read();
+        let lsn = w.wal.log_insert(rect_key(rect), item)?;
+        self.insert_latched(w, rect, item)?;
+        w.logical_writes.fetch_add(1, Ordering::Relaxed);
+        drop(gate);
+        self.group_commit(w, lsn)
+    }
+
+    /// Latch-crabbing insert descent. Exclusive latches crab down one
+    /// root-to-leaf path: the moment a just-latched child proves
+    /// *split-safe* (non-full — an insert below it cannot propagate a
+    /// split into its ancestors), every ancestor latch is released.
+    /// Parent slot rectangles are pre-grown on the way down, so no upward
+    /// MBR pass is needed; if a split does occur it propagates only
+    /// through pages whose latches the descent retained.
+    fn insert_latched(&self, w: &WriterState, rect: &Rect, item: u64) -> io::Result<()> {
+        let mut set = LatchSet::new(&w.latches);
+        self.latch_acquire(w, &mut set, META_LATCH, true);
+        let mut cur = w.meta.lock().root;
+        self.latch_acquire(w, &mut set, cur, true);
+        let mut node = self.load_w(w, cur)?;
+        // Ancestors still latched because a split could reach them, as
+        // `(page, child slot)` pairs. Empty at the leaf means the whole
+        // retained prefix is the meta latch (root split pending).
+        let mut path: Vec<(u64, usize)> = Vec::new();
+        if node.entries.len() < w.max_entries {
+            // The root cannot split, so the root id cannot change: the
+            // meta latch is not needed past this point.
+            set.release_all_but_last(1);
+        }
+        while node.level > 0 {
+            let slot = choose_subtree(&node.entries, rect);
+            let grown = node.entries[slot].0.union(rect);
+            if grown != node.entries[slot].0 {
+                node.entries[slot].0 = grown;
+                self.store_w(w, cur, &node);
+            }
+            let child = node.entries[slot].1;
+            self.latch_acquire(w, &mut set, child, true);
+            let child_node = self.load_w(w, child)?;
+            if child_node.entries.len() < w.max_entries {
+                set.release_all_but_last(1);
+                path.clear();
+            } else {
+                path.push((cur, slot));
+            }
+            cur = child;
+            node = child_node;
+        }
+        node.entries.push((*rect, item));
+        if node.entries.len() <= w.max_entries {
+            self.store_w(w, cur, &node);
+        } else {
+            self.split_latched(w, &mut path, cur, node)?;
+        }
+        w.meta.lock().items += 1;
+        Ok(())
+    }
+
+    /// Splits an overfull node and propagates upward strictly through
+    /// pages whose exclusive latches the descent retained (`path`). An
+    /// exhausted path means the overfull node is the root: the meta latch
+    /// is still held, and the tree grows one level.
+    fn split_latched(
+        &self,
+        w: &WriterState,
+        path: &mut Vec<(u64, usize)>,
+        page: u64,
+        node: NodePage,
+    ) -> io::Result<()> {
+        let mut child_id = page;
+        let mut level = node.level;
+        let mut entries = node.entries;
+        loop {
+            let (a, b) = quadratic_split(entries, w.min_entries);
+            let a_mbr = mbr(&a);
+            let b_mbr = mbr(&b);
+            self.store_w(w, child_id, &NodePage { level, entries: a });
+            let sib = self.alloc_w(w)?;
+            self.store_w(w, sib, &NodePage { level, entries: b });
+            w.meta.lock().nodes += 1;
+            match path.pop() {
+                Some((parent_id, slot)) => {
+                    let mut parent = self.load_w(w, parent_id)?;
+                    debug_assert_eq!(parent.entries[slot].1, child_id);
+                    parent.entries[slot] = (a_mbr, child_id);
+                    parent.entries.push((b_mbr, sib));
+                    if parent.entries.len() <= w.max_entries {
+                        self.store_w(w, parent_id, &parent);
+                        return Ok(());
+                    }
+                    child_id = parent_id;
+                    level = parent.level;
+                    entries = parent.entries;
+                }
+                None => {
+                    let new_root = self.alloc_w(w)?;
+                    self.store_w(
+                        w,
+                        new_root,
+                        &NodePage {
+                            level: level + 1,
+                            entries: vec![(a_mbr, child_id), (b_mbr, sib)],
+                        },
+                    );
+                    let mut m = w.meta.lock();
+                    m.root = new_root;
+                    m.height += 1;
+                    m.nodes += 1;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Deletes one `(rect, item)` entry; returns whether it was found.
+    ///
+    /// Fast path: a shared-latch BFS locates the leaf, then an exclusive
+    /// leaf latch removes the entry in place — valid only while the leaf
+    /// stays at or above minimum fill, because that path frees no page
+    /// and tightens no ancestor rectangle (loose MBRs are correct, merely
+    /// less selective). Underflow — or losing the shared→exclusive
+    /// latch trade to a concurrent split — escalates to a full retry
+    /// under the exclusive side of the operation gate, where Guttman's
+    /// CondenseTree runs exactly as on the sequential tree.
+    pub fn delete(&self, rect: &Rect, item: u64) -> io::Result<bool> {
+        let w = self.writer_state()?;
+        for _ in 0..3 {
+            let gate = w.op_gate.read();
+            let outcome = self.delete_fast(w, rect, item)?;
+            drop(gate);
+            match outcome {
+                FastDelete::Deleted(lsn) => {
+                    self.group_commit(w, lsn)?;
+                    return Ok(true);
+                }
+                FastDelete::Absent => return Ok(false),
+                FastDelete::Contended => {}
+            }
+        }
+        self.delete_exclusive(w, rect, item)
+    }
+
+    /// One optimistic delete attempt (see [`ConcurrentDiskRTree::delete`]).
+    fn delete_fast(&self, w: &WriterState, rect: &Rect, item: u64) -> io::Result<FastDelete> {
+        let mut set = LatchSet::new(&w.latches);
+        self.latch_acquire(w, &mut set, META_LATCH, false);
+        let root = w.meta.lock().root;
+        self.latch_acquire(w, &mut set, root, false);
+        set.release_all_but_last(1);
+        let mut frontier = vec![root];
+        let leaf = loop {
+            let mut next = Vec::new();
+            let mut found = None;
+            let mut at_leaves = false;
+            for &pid in &frontier {
+                let node = self.load_w(w, pid)?;
+                if node.level == 0 {
+                    at_leaves = true;
+                    if node.entries.iter().any(|(r, p)| *p == item && r == rect) {
+                        found = Some(pid);
+                        break;
+                    }
+                } else {
+                    for (r, ptr) in &node.entries {
+                        if r.contains_rect(rect) {
+                            next.push(*ptr);
+                        }
+                    }
+                }
+            }
+            if at_leaves {
+                match found {
+                    Some(pid) => break pid,
+                    None => return Ok(FastDelete::Absent),
+                }
+            }
+            if next.is_empty() {
+                return Ok(FastDelete::Absent);
+            }
+            for &pid in &next {
+                self.latch_acquire(w, &mut set, pid, false);
+            }
+            set.release_all_but_last(next.len());
+            frontier = next;
+        };
+        // No shared→exclusive upgrade exists (two upgraders would
+        // deadlock): drop every shared latch, re-latch the leaf
+        // exclusively, and re-verify. The page cannot have been freed in
+        // the gap — frees need the exclusive gate, and we hold its read
+        // side — but a concurrent split may have moved the entry.
+        drop(set);
+        let mut xset = LatchSet::new(&w.latches);
+        self.latch_acquire(w, &mut xset, leaf, true);
+        let mut node = self.load_w(w, leaf)?;
+        let pos = if node.level == 0 {
+            node.entries
+                .iter()
+                .position(|(r, p)| *p == item && r == rect)
+        } else {
+            None
+        };
+        let Some(pos) = pos else {
+            return Ok(FastDelete::Contended);
+        };
+        // A root leaf may legally underflow; anything else escalates.
+        let is_root = w.meta.lock().root == leaf;
+        if node.entries.len() <= w.min_entries && !is_root {
+            return Ok(FastDelete::Contended);
+        }
+        // Logged only now, with the entry verified present under the
+        // exclusive latch: a delete record in the WAL always replays.
+        let lsn = w.wal.log_delete(rect_key(rect), item)?;
+        node.entries.remove(pos);
+        self.store_w(w, leaf, &node);
+        w.meta.lock().items -= 1;
+        w.logical_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(FastDelete::Deleted(lsn))
+    }
+
+    /// Exclusive-path delete: quiesces every other operation through the
+    /// write side of the operation gate, then runs FindLeaf/CondenseTree
+    /// exactly as the sequential tree does — dissolving underfull nodes,
+    /// reinserting orphans at their original level, shrinking the root.
+    /// Holding the gate for the whole operation keeps orphaned entries
+    /// invisible to nobody: no reader or writer can observe the window
+    /// where they are detached from the tree.
+    fn delete_exclusive(&self, w: &WriterState, rect: &Rect, item: u64) -> io::Result<bool> {
+        let gate = w.op_gate.write();
+        let root = w.meta.lock().root;
+        let mut path = Vec::new();
+        let Some(leaf_id) = self.find_leaf_x(w, root, rect, item, &mut path)? else {
+            return Ok(false);
+        };
+        let mut cur = self.load_w(w, leaf_id)?;
+        let pos = cur
+            .entries
+            .iter()
+            .position(|(r, p)| *p == item && r == rect)
+            .expect("find_leaf_x verified the entry");
+        let lsn = w.wal.log_delete(rect_key(rect), item)?;
+        cur.entries.remove(pos);
+
+        let mut orphans: Vec<(u16, Vec<(Rect, u64)>)> = Vec::new();
+        let mut cur_id = leaf_id;
+        while let Some((parent_id, slot)) = path.pop() {
+            let mut parent = self.load_w(w, parent_id)?;
+            debug_assert_eq!(parent.entries[slot].1, cur_id);
+            if cur.entries.len() < w.min_entries {
+                orphans.push((cur.level, std::mem::take(&mut cur.entries)));
+                self.free_w(w, cur_id);
+                w.meta.lock().nodes -= 1;
+                parent.entries.remove(slot);
+            } else {
+                self.store_w(w, cur_id, &cur);
+                parent.entries[slot].0 = mbr(&cur.entries);
+            }
+            cur_id = parent_id;
+            cur = parent;
+        }
+        // `cur` is the root; it may legally underflow (or empty out when
+        // it is a leaf).
+        self.store_w(w, cur_id, &cur);
+
+        // Reinsert orphans highest level first, so subtrees land before
+        // entries that would go under them.
+        orphans.sort_by_key(|o| std::cmp::Reverse(o.0));
+        for (level, entries) in orphans {
+            for entry in entries {
+                self.insert_entry_exclusive(w, entry, level)?;
+            }
+        }
+
+        // ShrinkTree: while the root is internal with a single child, the
+        // child becomes the root.
+        loop {
+            let root_id = w.meta.lock().root;
+            let root = self.load_w(w, root_id)?;
+            if root.level > 0 && root.entries.len() == 1 {
+                {
+                    let mut m = w.meta.lock();
+                    m.root = root.entries[0].1;
+                    m.height -= 1;
+                    m.nodes -= 1;
+                }
+                self.free_w(w, root_id);
+            } else {
+                break;
+            }
+        }
+
+        w.meta.lock().items -= 1;
+        w.logical_writes.fetch_add(1, Ordering::Relaxed);
+        drop(gate);
+        self.group_commit(w, lsn)?;
+        Ok(true)
+    }
+
+    /// Finds the leaf holding the exact `(rect, item)` entry, filling
+    /// `path` with `(page, slot)` pairs from the root down. Exclusive
+    /// gate held by the caller: no latches.
+    fn find_leaf_x(
+        &self,
+        w: &WriterState,
+        pid: u64,
+        rect: &Rect,
+        item: u64,
+        path: &mut Vec<(u64, usize)>,
+    ) -> io::Result<Option<u64>> {
+        let node = self.load_w(w, pid)?;
+        if node.level == 0 {
+            if node.entries.iter().any(|(r, p)| *p == item && r == rect) {
+                return Ok(Some(pid));
+            }
+            return Ok(None);
+        }
+        for (slot, (r, child)) in node.entries.iter().enumerate() {
+            if r.contains_rect(rect) {
+                path.push((pid, slot));
+                if let Some(leaf) = self.find_leaf_x(w, *child, rect, item, path)? {
+                    return Ok(Some(leaf));
+                }
+                path.pop();
+            }
+        }
+        Ok(None)
+    }
+
+    /// Orphan reinsertion under the exclusive gate: AdjustTree at an
+    /// arbitrary target level, latch-free (the gate already excludes
+    /// every other operation — calling the public `insert` here would
+    /// deadlock on the gate's read side).
+    fn insert_entry_exclusive(
+        &self,
+        w: &WriterState,
+        entry: (Rect, u64),
+        target_level: u16,
+    ) -> io::Result<()> {
+        let mut path: Vec<(u64, usize)> = Vec::new();
+        let mut cur_id = w.meta.lock().root;
+        let mut node = self.load_w(w, cur_id)?;
+        while node.level > target_level {
+            let slot = choose_subtree(&node.entries, &entry.0);
+            path.push((cur_id, slot));
+            cur_id = node.entries[slot].1;
+            node = self.load_w(w, cur_id)?;
+        }
+        debug_assert_eq!(node.level, target_level, "target level must exist");
+        node.entries.push(entry);
+
+        let mut level = node.level;
+        let mut split: Option<(Rect, u64)> = None;
+        let mut child_mbr;
+        if node.entries.len() > w.max_entries {
+            let (a, b) = quadratic_split(std::mem::take(&mut node.entries), w.min_entries);
+            child_mbr = mbr(&a);
+            node.entries = a;
+            self.store_w(w, cur_id, &node);
+            split = Some(self.store_sibling_w(w, level, b)?);
+        } else {
+            child_mbr = mbr(&node.entries);
+            self.store_w(w, cur_id, &node);
+        }
+        let mut child_id = cur_id;
+
+        while let Some((pid, slot)) = path.pop() {
+            let mut parent = self.load_w(w, pid)?;
+            debug_assert_eq!(parent.entries[slot].1, child_id);
+            parent.entries[slot].0 = child_mbr;
+            if let Some(s) = split.take() {
+                parent.entries.push(s);
+            }
+            level = parent.level;
+            if parent.entries.len() > w.max_entries {
+                let (a, b) = quadratic_split(std::mem::take(&mut parent.entries), w.min_entries);
+                child_mbr = mbr(&a);
+                parent.entries = a;
+                self.store_w(w, pid, &parent);
+                split = Some(self.store_sibling_w(w, level, b)?);
+            } else {
+                child_mbr = mbr(&parent.entries);
+                self.store_w(w, pid, &parent);
+            }
+            child_id = pid;
+        }
+
+        if let Some(sibling) = split {
+            let new_root_id = self.alloc_w(w)?;
+            self.store_w(
+                w,
+                new_root_id,
+                &NodePage {
+                    level: level + 1,
+                    entries: vec![(child_mbr, child_id), sibling],
+                },
+            );
+            let mut m = w.meta.lock();
+            m.root = new_root_id;
+            m.height += 1;
+            m.nodes += 1;
+        }
+        Ok(())
+    }
+
+    /// Writes a freshly split-off sibling node and returns its parent
+    /// entry (exclusive-gate path only).
+    fn store_sibling_w(
+        &self,
+        w: &WriterState,
+        level: u16,
+        entries: Vec<(Rect, u64)>,
+    ) -> io::Result<(Rect, u64)> {
+        let rect = mbr(&entries);
+        let id = self.alloc_w(w)?;
+        self.store_w(w, id, &NodePage { level, entries });
+        w.meta.lock().nodes += 1;
+        Ok((rect, id))
+    }
+
+    /// Flushes every dirty page and the metadata to the store, fsyncs,
+    /// checkpoints (and truncates) the WAL, and clears the overlay —
+    /// under the exclusive gate, so the image is an exact snapshot of all
+    /// committed operations. Resident shard frames are refreshed in
+    /// place so read caching stays coherent after the overlay empties.
+    ///
+    /// A crash *during* the page flush can tear the image; recovering
+    /// from that needs the physical WAL ([`crate::recover`]) and is out
+    /// of scope for the logical writer — the WAL is truncated only after
+    /// a successful flush, so a crash before the truncate replays the
+    /// full window over the previous image instead.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let w = self.writer_state()?;
+        let _gate = w.op_gate.write();
+        let overlay: Vec<(u64, Arc<[u8]>)> = w
+            .overlay
+            .read()
+            .iter()
+            .map(|(id, f)| (*id, Arc::clone(f)))
+            .collect();
+        for (id, frame) in &overlay {
+            self.store.write_page_shared(PageId(*id), frame)?;
+            w.page_writes.fetch_add(1, Ordering::Relaxed);
+            let shard = self.shard(PageId(*id));
+            let mut s = shard.state.lock();
+            if s.pool.contains(PageId(*id)) {
+                s.frames.insert(PageId(*id), Arc::clone(frame));
+            }
+        }
+        let mut meta = w.meta.lock().clone();
+        // The session free list is not persisted: pages freed since the
+        // last checkpoint leak on reopen (documented trade — the on-disk
+        // free list stays out of the latch protocol).
+        meta.free_head = 0;
+        meta.level_starts = Vec::new();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        self.store.write_page_shared(PageId(0), &buf)?;
+        w.page_writes.fetch_add(1, Ordering::Relaxed);
+        self.store.flush_shared()?;
+        w.wal.checkpoint()?;
+        w.overlay.write().clear();
+        Ok(())
     }
 }
 
@@ -1093,5 +1906,303 @@ mod tests {
         disk.reset_counters();
         assert_eq!(disk.io_stats(), IoStats::default());
         assert_eq!(disk.buffer_stats(), BufferStats::default());
+    }
+
+    fn writer_wal() -> GroupWal {
+        GroupWal::open(rtree_wal::MemLog::new()).expect("open wal")
+    }
+
+    /// Deterministic small rectangle for writer tests, keyed by item id.
+    fn item_rect(id: u64) -> Rect {
+        let x = ((id.wrapping_mul(2_654_435_761) % 9_973) as f64) / 9_973.0;
+        let y = ((id.wrapping_mul(1_327_217_885) % 9_931) as f64) / 9_931.0;
+        Rect::new(x, y, x + 0.004, y + 0.004)
+    }
+
+    fn probe_queries() -> Vec<Rect> {
+        (0..24)
+            .map(|i| {
+                let x = (i as f64 * 0.207) % 0.85;
+                let y = (i as f64 * 0.313) % 0.85;
+                Rect::new(x, y, x + 0.15, y + 0.15)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn writable_tree_inserts_deletes_and_queries() {
+        let tree = ConcurrentDiskRTree::create_writable(
+            crate::SharedMemStore::new(),
+            8,
+            3,
+            16,
+            LruPolicy::new(),
+            writer_wal(),
+        )
+        .unwrap();
+        let n = 300u64;
+        for id in 0..n {
+            tree.insert(&item_rect(id), id).unwrap();
+        }
+        assert_eq!(tree.live_items(), n);
+        // Single-threaded: every op leads its own commit batch.
+        let stats = tree.group_commit_stats().unwrap();
+        assert_eq!(stats.committed_ops, n);
+        assert_eq!(stats.fsyncs, n);
+
+        // Delete every third item; the rest must stay queryable.
+        for id in (0..n).step_by(3) {
+            assert!(tree.delete(&item_rect(id), id).unwrap(), "item {id}");
+        }
+        assert!(!tree.delete(&item_rect(0), 0).unwrap(), "already gone");
+        let expected: Vec<u64> = (0..n).filter(|id| id % 3 != 0).collect();
+        assert_eq!(tree.live_items(), expected.len() as u64);
+        let mut all = tree.query(&Rect::new(0.0, 0.0, 2.0, 2.0)).unwrap();
+        all.sort_unstable();
+        assert_eq!(all, expected);
+        assert!(tree.logical_writes() > n, "deletes counted too");
+        assert!(tree.is_writable());
+    }
+
+    #[test]
+    fn deep_deletes_condense_and_shrink_the_tree() {
+        // Tiny fanout forces a tall tree, underflows, orphan reinsertion
+        // and root shrinking through the exclusive fallback path.
+        let tree = ConcurrentDiskRTree::create_writable(
+            crate::SharedMemStore::new(),
+            4,
+            2,
+            8,
+            LruPolicy::new(),
+            writer_wal(),
+        )
+        .unwrap();
+        for id in 0..120u64 {
+            tree.insert(&item_rect(id), id).unwrap();
+        }
+        let grown_height = {
+            let w = tree.writer.as_ref().unwrap();
+            let m = w.meta.lock();
+            assert!(m.height > 2, "tree should be tall (got {})", m.height);
+            m.height
+        };
+        for id in 0..110u64 {
+            assert!(tree.delete(&item_rect(id), id).unwrap(), "item {id}");
+        }
+        {
+            let w = tree.writer.as_ref().unwrap();
+            let m = w.meta.lock();
+            assert!(
+                m.height < grown_height,
+                "condense should shrink the root ({} -> {})",
+                grown_height,
+                m.height
+            );
+        }
+        let mut rest = tree.query(&Rect::new(0.0, 0.0, 2.0, 2.0)).unwrap();
+        rest.sort_unstable();
+        assert_eq!(rest, (110..120).collect::<Vec<u64>>());
+        // Dissolved pages are recycled by later growth.
+        let freed = tree.writer.as_ref().unwrap().free.lock().len();
+        assert!(freed > 0, "condense should have freed pages");
+        for id in 200..260u64 {
+            tree.insert(&item_rect(id), id).unwrap();
+        }
+        assert!(
+            tree.writer.as_ref().unwrap().free.lock().len() < freed,
+            "growth reuses the session free list"
+        );
+    }
+
+    #[test]
+    fn read_only_tree_rejects_writes() {
+        let rects = sample_rects(100);
+        let bulk = BulkLoader::hilbert(16).load(&rects);
+        let tree =
+            ConcurrentDiskRTree::create(crate::SharedMemStore::new(), &bulk, 16, LruPolicy::new())
+                .unwrap();
+        let err = tree.insert(&item_rect(1), 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let err = tree.delete(&item_rect(1), 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let err = tree.checkpoint().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn checkpoint_persists_an_openable_image() {
+        let store = crate::SharedMemStore::new();
+        let tree =
+            ConcurrentDiskRTree::create_writable(store, 8, 3, 16, LruPolicy::new(), writer_wal())
+                .unwrap();
+        for id in 0..250u64 {
+            tree.insert(&item_rect(id), id).unwrap();
+        }
+        for id in (0..250u64).step_by(5) {
+            tree.delete(&item_rect(id), id).unwrap();
+        }
+        tree.checkpoint().unwrap();
+        assert!(
+            tree.group_commit_stats().unwrap().committed_ops > 0,
+            "ops were committed before the checkpoint truncated the log"
+        );
+        let wal_len = tree.writer.as_ref().unwrap().wal.len();
+        assert_eq!(wal_len, 0, "checkpoint truncates the WAL");
+        let image = tree.store.snapshot();
+
+        // The image opens both concurrently (read-only) and sequentially,
+        // and agrees with the live writable tree on every probe.
+        let reopened = ConcurrentDiskRTree::open(
+            crate::SharedMemStore::from_bytes(image.clone()),
+            16,
+            LruPolicy::new(),
+        )
+        .unwrap();
+        let mut seq = crate::DiskRTree::open(
+            crate::SharedMemStore::from_bytes(image),
+            16,
+            LruPolicy::new(),
+        )
+        .unwrap();
+        for q in probe_queries() {
+            let mut live = tree.query(&q).unwrap();
+            let mut ro = reopened.query(&q).unwrap();
+            let mut sq = seq.query(&q).unwrap();
+            live.sort_unstable();
+            ro.sort_unstable();
+            sq.sort_unstable();
+            assert_eq!(live, ro);
+            assert_eq!(live, sq);
+        }
+        assert_eq!(reopened.meta().items, tree.live_items());
+    }
+
+    /// Satellite: N concurrent writers + a reader match the sequential
+    /// tree across all five replacement policies. Threads insert disjoint
+    /// id ranges and delete only their own items, so the final contents
+    /// are deterministic regardless of interleaving.
+    #[test]
+    fn concurrent_writers_match_sequential_across_policies() {
+        let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn ReplacementPolicy>>)> = vec![
+            ("lru", Box::new(|| Box::new(rtree_buffer::LruPolicy::new()))),
+            (
+                "lru2",
+                Box::new(|| Box::new(rtree_buffer::LruKPolicy::new(2))),
+            ),
+            (
+                "fifo",
+                Box::new(|| Box::new(rtree_buffer::FifoPolicy::new())),
+            ),
+            (
+                "clock",
+                Box::new(|| Box::new(rtree_buffer::ClockPolicy::new())),
+            ),
+            (
+                "random",
+                Box::new(|| Box::new(rtree_buffer::RandomPolicy::new(42))),
+            ),
+        ];
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 120;
+        let id_of = |t: u64, i: u64| (t << 40) | i;
+
+        // Sequential oracle: same ops, one thread, the paper's tree.
+        let mut oracle =
+            crate::DiskRTree::create_empty(crate::MemStore::new(), 6, 2, 16, LruPolicy::new())
+                .unwrap();
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let id = id_of(t, i);
+                oracle.insert(item_rect(id), id).unwrap();
+            }
+        }
+        for t in 0..THREADS {
+            for i in (0..PER_THREAD).step_by(3) {
+                let id = id_of(t, i);
+                assert!(oracle.delete(&item_rect(id), id).unwrap());
+            }
+        }
+
+        for (name, make_policy) in policies {
+            let tree = ConcurrentDiskRTree::create_writable(
+                crate::SharedMemStore::new(),
+                6,
+                2,
+                16,
+                BoxedPolicy(make_policy()),
+                writer_wal(),
+            )
+            .unwrap();
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let tree = &tree;
+                    scope.spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let id = id_of(t, i);
+                            tree.insert(&item_rect(id), id).unwrap();
+                            if i % 3 == 0 {
+                                assert!(
+                                    tree.delete(&item_rect(id), id).unwrap(),
+                                    "own item {id} must be present"
+                                );
+                            }
+                        }
+                    });
+                }
+                // A reader hammering queries concurrently must never
+                // deadlock or observe a torn page.
+                let tree = &tree;
+                scope.spawn(move || {
+                    for q in probe_queries().iter().cycle().take(200) {
+                        tree.query(q).unwrap();
+                    }
+                });
+            });
+            assert_eq!(
+                tree.live_items(),
+                THREADS * (PER_THREAD - PER_THREAD.div_ceil(3)),
+                "policy {name}"
+            );
+            for q in probe_queries() {
+                let mut got = tree.query(&q).unwrap();
+                let mut want = oracle.query(&q).unwrap();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "policy {name}, query {q:?}");
+            }
+            let stats = tree.group_commit_stats().unwrap();
+            assert!(
+                stats.committed_ops >= THREADS * PER_THREAD,
+                "policy {name}: every op commits"
+            );
+        }
+    }
+
+    /// Adapter: the writable constructor takes `impl ReplacementPolicy`,
+    /// the policy table produces boxed ones.
+    struct BoxedPolicy(Box<dyn ReplacementPolicy>);
+
+    impl ReplacementPolicy for BoxedPolicy {
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn on_hit(&mut self, page: PageId) {
+            self.0.on_hit(page);
+        }
+        fn on_insert(&mut self, page: PageId) {
+            self.0.on_insert(page);
+        }
+        fn evict(&mut self) -> PageId {
+            self.0.evict()
+        }
+        fn remove(&mut self, page: PageId) {
+            self.0.remove(page);
+        }
+        fn on_unpin(&mut self, page: PageId) {
+            self.0.on_unpin(page);
+        }
     }
 }

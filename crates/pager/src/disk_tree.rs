@@ -189,9 +189,11 @@ impl<S: PageStore> DiskRTree<S> {
 
     /// Replaces the buffer pool with `capacity` frames under `policy`,
     /// flushing all dirty pages first so no buffered state is lost. The
-    /// cache starts cold: pinned pages are unpinned and the pool statistics
-    /// restart, while the cumulative [`crate::IoStats`] and any attached
-    /// WAL survive. Call only between operations.
+    /// cache starts cold except for pinned pages, which stay pinned with
+    /// their frames; the pool statistics restart, while the cumulative
+    /// [`crate::IoStats`] and any attached WAL survive. Call only between
+    /// operations. Refuses (`InvalidInput`) a capacity smaller than the
+    /// pinned page count rather than evicting a pinned page.
     pub fn resize_buffer(
         &mut self,
         capacity: usize,

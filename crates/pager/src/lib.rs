@@ -26,6 +26,7 @@ mod bufmgr;
 mod concurrent;
 mod disk_tree;
 mod fault;
+mod latch;
 mod mutate;
 mod page;
 mod recovery;
@@ -37,6 +38,8 @@ pub use concurrent::ConcurrentDiskRTree;
 pub use disk_tree::DiskRTree;
 pub use fault::FaultStore;
 pub use page::{NodePage, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
-pub use recovery::{recover, RecoveryReport};
+pub use recovery::{recover, replay_committed, RecoveryReport, ReplaySummary};
 pub use sched::{StepSchedule, StepStore};
-pub use store::{FileStore, MemStore, PageStore, SharedPageStore};
+pub use store::{
+    ConcurrentPageStore, FileStore, MemStore, PageStore, SharedMemStore, SharedPageStore,
+};

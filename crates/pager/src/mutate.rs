@@ -25,7 +25,7 @@ const FREE_MAGIC: &[u8; 4] = b"FREE";
 /// Byte offset of the next-free-page pointer inside a free page.
 const FREE_NEXT_OFFSET: usize = 8;
 
-fn mbr(entries: &[(Rect, u64)]) -> Rect {
+pub(crate) fn mbr(entries: &[(Rect, u64)]) -> Rect {
     entries
         .iter()
         .skip(1)
@@ -34,7 +34,7 @@ fn mbr(entries: &[(Rect, u64)]) -> Rect {
 
 /// Guttman's ChooseLeaf criterion: least enlargement, ties broken by
 /// smaller area, then lower slot.
-fn choose_subtree(entries: &[(Rect, u64)], rect: &Rect) -> usize {
+pub(crate) fn choose_subtree(entries: &[(Rect, u64)], rect: &Rect) -> usize {
     let mut best = 0;
     let mut best_enlargement = f64::INFINITY;
     let mut best_area = f64::INFINITY;
@@ -51,10 +51,13 @@ fn choose_subtree(entries: &[(Rect, u64)], rect: &Rect) -> usize {
 }
 
 /// A raw page entry: rectangle plus child page id (internal) or item id (leaf).
-type PageEntry = (Rect, u64);
+pub(crate) type PageEntry = (Rect, u64);
 
 /// Guttman's quadratic split over raw page entries.
-fn quadratic_split(mut entries: Vec<PageEntry>, min: usize) -> (Vec<PageEntry>, Vec<PageEntry>) {
+pub(crate) fn quadratic_split(
+    mut entries: Vec<PageEntry>,
+    min: usize,
+) -> (Vec<PageEntry>, Vec<PageEntry>) {
     debug_assert!(entries.len() >= 2 && entries.len() >= 2 * min);
 
     // PickSeeds: the pair wasting the most area if grouped together.

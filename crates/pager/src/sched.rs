@@ -19,7 +19,7 @@
 //! because the invariants checked — result sets, counter reconciliation —
 //! are interleaving-insensitive by design.
 
-use crate::store::SharedPageStore;
+use crate::store::{ConcurrentPageStore, SharedPageStore};
 use crate::PageStore;
 use rtree_buffer::PageId;
 use std::io;
@@ -138,6 +138,26 @@ impl<S: SharedPageStore> SharedPageStore for StepStore<S> {
         let step = self.steps.fetch_add(1, Ordering::Relaxed);
         self.schedule.perturb(step);
         self.inner.read_page_shared(id, buf)
+    }
+}
+
+impl<S: ConcurrentPageStore> ConcurrentPageStore for StepStore<S> {
+    /// Shared writes are perturbed too: a writer stalled here holds its page
+    /// latches open, which is exactly the window the mutator phase wants
+    /// other writers and readers to pile into. Still bounded delays only —
+    /// the schedule can stretch an interleaving but never deadlock one.
+    fn write_page_shared(&self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        let step = self.steps.fetch_add(1, Ordering::Relaxed);
+        self.schedule.perturb(step);
+        self.inner.write_page_shared(id, buf)
+    }
+
+    fn allocate_shared(&self) -> io::Result<PageId> {
+        self.inner.allocate_shared()
+    }
+
+    fn flush_shared(&self) -> io::Result<()> {
+        self.inner.flush_shared()
     }
 }
 

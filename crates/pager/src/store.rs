@@ -5,6 +5,8 @@ use rtree_buffer::PageId;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
 
 /// Backing storage addressed in whole pages.
 pub trait PageStore {
@@ -38,6 +40,21 @@ impl<S: SharedPageStore + ?Sized> SharedPageStore for &mut S {
     fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
         (**self).read_page_shared(id, buf)
     }
+}
+
+/// Page stores that additionally accept *writes and allocations* from many
+/// threads at once (`&self`) — the substrate the concurrent tree's writer
+/// mode needs. Callers serialize conflicting writes to the *same* page
+/// themselves (the tree does so with per-page latches); the store only has
+/// to keep distinct pages independent and each page write atomic with
+/// respect to shared reads of that page.
+pub trait ConcurrentPageStore: SharedPageStore + Sync {
+    /// Writes page `id` from `buf` without exclusive access to the store.
+    fn write_page_shared(&self, id: PageId, buf: &[u8]) -> io::Result<()>;
+    /// Appends a zeroed page and returns its id, without exclusive access.
+    fn allocate_shared(&self) -> io::Result<PageId>;
+    /// Durability barrier without exclusive access.
+    fn flush_shared(&self) -> io::Result<()>;
 }
 
 impl<S: PageStore + ?Sized> PageStore for &mut S {
@@ -122,10 +139,115 @@ impl SharedPageStore for MemStore {
     }
 }
 
-/// File-backed page store.
+/// In-memory page store behind a reader-writer lock: the same byte image as
+/// [`MemStore`], but with the shared read *and write* paths the concurrent
+/// tree's writer mode needs. Distinct pages proceed in parallel up to the
+/// lock's reader-side concurrency; a page write takes the write lock, so a
+/// shared read always sees a whole page image.
+#[derive(Default)]
+pub struct SharedMemStore {
+    data: RwLock<Vec<u8>>,
+}
+
+impl SharedMemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SharedMemStore::default()
+    }
+
+    /// Rebuilds a store from a byte image previously taken with
+    /// [`SharedMemStore::snapshot`] (chaos durability oracles replay
+    /// recovery against such base images).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        SharedMemStore {
+            data: RwLock::new(bytes),
+        }
+    }
+
+    /// A byte-for-byte copy of the current image.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.read().clone()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<u8>> {
+        self.data.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Vec<u8>> {
+        self.data.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn offset(data: &[u8], id: PageId) -> io::Result<usize> {
+        let off = (id.0 as usize) * PAGE_SIZE;
+        if off + PAGE_SIZE > data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("page {} out of bounds", id.0),
+            ));
+        }
+        Ok(off)
+    }
+}
+
+impl PageStore for SharedMemStore {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        self.read_page_shared(id, buf)
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        self.write_page_shared(id, buf)
+    }
+
+    fn allocate(&mut self) -> io::Result<PageId> {
+        self.allocate_shared()
+    }
+
+    fn page_count(&self) -> u64 {
+        (self.read().len() / PAGE_SIZE) as u64
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedPageStore for SharedMemStore {
+    fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let data = self.read();
+        let off = Self::offset(&data, id)?;
+        buf.copy_from_slice(&data[off..off + PAGE_SIZE]);
+        Ok(())
+    }
+}
+
+impl ConcurrentPageStore for SharedMemStore {
+    fn write_page_shared(&self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let mut data = self.write();
+        let off = Self::offset(&data, id)?;
+        data[off..off + PAGE_SIZE].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate_shared(&self) -> io::Result<PageId> {
+        let mut data = self.write();
+        let id = PageId((data.len() / PAGE_SIZE) as u64);
+        let new_len = data.len() + PAGE_SIZE;
+        data.resize(new_len, 0);
+        Ok(id)
+    }
+
+    fn flush_shared(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed page store. The page count is atomic so allocation and
+/// bounds checks work from the shared (`&self`) paths too.
 pub struct FileStore {
     file: File,
-    pages: u64,
+    pages: AtomicU64,
 }
 
 impl FileStore {
@@ -137,7 +259,10 @@ impl FileStore {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(FileStore { file, pages: 0 })
+        Ok(FileStore {
+            file,
+            pages: AtomicU64::new(0),
+        })
     }
 
     /// Opens an existing page file.
@@ -152,20 +277,54 @@ impl FileStore {
         }
         Ok(FileStore {
             file,
-            pages: len / PAGE_SIZE as u64,
+            pages: AtomicU64::new(len / PAGE_SIZE as u64),
         })
     }
 
-    fn seek_to(&mut self, id: PageId) -> io::Result<()> {
-        if id.0 >= self.pages {
+    fn check(&self, id: PageId) -> io::Result<u64> {
+        if id.0 >= self.pages.load(Ordering::Acquire) {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 format!("page {} out of bounds", id.0),
             ));
         }
-        self.file
-            .seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))
-            .map(|_| ())
+        Ok(id.0 * PAGE_SIZE as u64)
+    }
+
+    fn seek_to(&mut self, id: PageId) -> io::Result<()> {
+        let off = self.check(id)?;
+        self.file.seek(SeekFrom::Start(off)).map(|_| ())
+    }
+
+    /// Positional write (`pwrite`/`seek_write`): shares the file without
+    /// touching the descriptor's seek cursor.
+    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, off)
+        }
+        #[cfg(windows)]
+        {
+            use std::os::windows::fs::FileExt;
+            let mut done = 0usize;
+            while done < buf.len() {
+                let n = self.file.seek_write(&buf[done..], off + done as u64)?;
+                if n == 0 {
+                    return Err(io::ErrorKind::WriteZero.into());
+                }
+                done += n;
+            }
+            Ok(())
+        }
+        #[cfg(not(any(unix, windows)))]
+        {
+            let _ = (buf, off);
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no positional write primitive on this platform",
+            ))
+        }
     }
 }
 
@@ -183,19 +342,34 @@ impl PageStore for FileStore {
     }
 
     fn allocate(&mut self) -> io::Result<PageId> {
-        let id = PageId(self.pages);
-        self.file
-            .seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
-        self.file.write_all(&[0u8; PAGE_SIZE])?;
-        self.pages += 1;
-        Ok(id)
+        self.allocate_shared()
     }
 
     fn page_count(&self) -> u64 {
-        self.pages
+        self.pages.load(Ordering::Acquire)
     }
 
     fn flush(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl ConcurrentPageStore for FileStore {
+    fn write_page_shared(&self, id: PageId, buf: &[u8]) -> io::Result<()> {
+        assert_eq!(buf.len(), PAGE_SIZE);
+        let off = self.check(id)?;
+        self.write_at(buf, off)
+    }
+
+    fn allocate_shared(&self) -> io::Result<PageId> {
+        // Reserve the slot first so concurrent allocations never collide,
+        // then extend the file by writing the zero page at its offset.
+        let id = self.pages.fetch_add(1, Ordering::AcqRel);
+        self.write_at(&[0u8; PAGE_SIZE], id * PAGE_SIZE as u64)?;
+        Ok(PageId(id))
+    }
+
+    fn flush_shared(&self) -> io::Result<()> {
         self.file.sync_data()
     }
 }
@@ -206,13 +380,7 @@ impl SharedPageStore for FileStore {
     /// read in parallel.
     fn read_page_shared(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
         assert_eq!(buf.len(), PAGE_SIZE);
-        if id.0 >= self.pages {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("page {} out of bounds", id.0),
-            ));
-        }
-        let off = id.0 * PAGE_SIZE as u64;
+        let off = self.check(id)?;
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
@@ -325,6 +493,73 @@ mod tests {
         let path = dir.join("ragged.pages");
         std::fs::write(&path, [0u8; 100]).unwrap();
         assert!(FileStore::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_mem_store_round_trip_and_snapshot() {
+        let mut store = SharedMemStore::new();
+        exercise(&mut store);
+        assert_eq!(store.page_count(), 2);
+
+        // Shared writes are visible to shared reads.
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[7] = 0x5A;
+        store.write_page_shared(PageId(0), &page).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        store.read_page_shared(PageId(0), &mut out).unwrap();
+        assert_eq!(out[7], 0x5A);
+        assert!(store.write_page_shared(PageId(9), &page).is_err());
+
+        // A snapshot rebuilds an identical store.
+        let copy = SharedMemStore::from_bytes(store.snapshot());
+        copy.read_page_shared(PageId(0), &mut out).unwrap();
+        assert_eq!(out[7], 0x5A);
+        assert_eq!(copy.page_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_shared_allocations_get_unique_pages() {
+        let dir = std::env::temp_dir().join(format!("rtree-pager-calloc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.pages");
+        let file = FileStore::create(&path).unwrap();
+        let mem = SharedMemStore::new();
+
+        for store in [&file as &(dyn ConcurrentPageStore + Send + Sync), &mem] {
+            let ids: Vec<u64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let mut mine = Vec::new();
+                            for _ in 0..8 {
+                                let id = store.allocate_shared().unwrap();
+                                let mut page = vec![0u8; PAGE_SIZE];
+                                page[0] = t as u8 + 1;
+                                store.write_page_shared(id, &page).unwrap();
+                                mine.push(id.0);
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 32, "allocations must not collide");
+            assert_eq!(store.page_count(), 32);
+            // Every page carries exactly the byte its writer put there.
+            let mut buf = vec![0u8; PAGE_SIZE];
+            for id in ids {
+                store.read_page_shared(PageId(id), &mut buf).unwrap();
+                assert!((1..=4).contains(&buf[0]));
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

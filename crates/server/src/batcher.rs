@@ -23,7 +23,7 @@
 //! [`SubmitError::ShuttingDown`] while already-queued jobs are drained to
 //! completion — no accepted query is ever dropped.
 
-use crate::engine::QueryEngine;
+use crate::engine::{QueryEngine, WriteOp};
 use rtree_geom::Rect;
 use rtree_obs::{AtomicHistogram, Histogram};
 use std::collections::VecDeque;
@@ -76,11 +76,17 @@ pub enum JobOutput {
     Matches(Vec<u64>),
     /// Match count only, for count queries.
     Count(u64),
+    /// A durably committed write (`false`: a delete found no entry).
+    Written(bool),
+}
+
+enum JobKind {
+    Query { rect: Rect, count_only: bool },
+    Write(WriteOp),
 }
 
 struct Job {
-    rect: Rect,
-    count_only: bool,
+    kind: JobKind,
     enqueued: Instant,
     done: mpsc::Sender<io::Result<JobOutput>>,
 }
@@ -202,6 +208,24 @@ impl<E: QueryEngine> MicroBatcher<E> {
         rect: Rect,
         count_only: bool,
     ) -> Result<mpsc::Receiver<io::Result<JobOutput>>, SubmitError> {
+        self.submit_job(JobKind::Query { rect, count_only })
+    }
+
+    /// Submits one mutation. Writes share the queue, the batch window,
+    /// and the overload bound with queries; a batch's writes fan out on
+    /// the engine so their WAL commits coalesce (see
+    /// [`crate::engine::QueryEngine::execute_writes`]).
+    pub fn submit_write(
+        &self,
+        op: WriteOp,
+    ) -> Result<mpsc::Receiver<io::Result<JobOutput>>, SubmitError> {
+        self.submit_job(JobKind::Write(op))
+    }
+
+    fn submit_job(
+        &self,
+        kind: JobKind,
+    ) -> Result<mpsc::Receiver<io::Result<JobOutput>>, SubmitError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut q = lock(&self.shared.queue);
@@ -213,8 +237,7 @@ impl<E: QueryEngine> MicroBatcher<E> {
                 return Err(SubmitError::Overloaded);
             }
             q.jobs.push_back(Job {
-                rect,
-                count_only,
+                kind,
                 enqueued: Instant::now(),
                 done: tx,
             });
@@ -330,7 +353,9 @@ fn worker_loop<E: QueryEngine>(shared: &Shared<E>) {
             continue;
         }
 
-        // Phase 4: execute and demux.
+        // Phase 4: execute and demux. A window can mix queries and
+        // writes; they split into one engine call each, and every job is
+        // answered through its own channel by position.
         let closed = Instant::now();
         for job in &batch {
             shared
@@ -342,27 +367,58 @@ fn worker_loop<E: QueryEngine>(shared: &Shared<E>) {
         shared.max_batch_seen.fetch_max(n, Ordering::Relaxed);
         shared.batch_sizes.record(n);
 
-        let rects: Vec<Rect> = batch.iter().map(|j| j.rect).collect();
-        match shared.engine.execute(&rects) {
-            Ok(results) => {
-                debug_assert_eq!(results.len(), batch.len(), "engine demux contract");
-                for (job, ids) in batch.into_iter().zip(results) {
-                    let out = if job.count_only {
-                        JobOutput::Count(ids.len() as u64)
-                    } else {
-                        JobOutput::Matches(ids)
-                    };
-                    // A receiver that hung up (client vanished) is fine.
-                    let _ = job.done.send(Ok(out));
-                    shared.completed.fetch_add(1, Ordering::Relaxed);
+        let mut rects: Vec<Rect> = Vec::new();
+        let mut query_jobs = Vec::new();
+        let mut ops: Vec<WriteOp> = Vec::new();
+        let mut write_jobs = Vec::new();
+        for job in batch {
+            match job.kind {
+                JobKind::Query { rect, count_only } => {
+                    rects.push(rect);
+                    query_jobs.push((count_only, job.done));
+                }
+                JobKind::Write(op) => {
+                    ops.push(op);
+                    write_jobs.push(job.done);
                 }
             }
-            Err(e) => {
-                // io::Error is not Clone: recreate it per job.
-                for job in batch {
-                    let _ = job.done.send(Err(io::Error::new(e.kind(), e.to_string())));
-                    shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if !rects.is_empty() {
+            match shared.engine.execute(&rects) {
+                Ok(results) => {
+                    debug_assert_eq!(results.len(), query_jobs.len(), "engine demux contract");
+                    for ((count_only, done), ids) in query_jobs.into_iter().zip(results) {
+                        let out = if count_only {
+                            JobOutput::Count(ids.len() as u64)
+                        } else {
+                            JobOutput::Matches(ids)
+                        };
+                        // A receiver that hung up (client vanished) is fine.
+                        let _ = done.send(Ok(out));
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                Err(e) => {
+                    // io::Error is not Clone: recreate it per job.
+                    for (_, done) in query_jobs {
+                        let _ = done.send(Err(io::Error::new(e.kind(), e.to_string())));
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        if !ops.is_empty() {
+            let results = shared.engine.execute_writes(&ops);
+            debug_assert_eq!(
+                results.len(),
+                write_jobs.len(),
+                "engine write demux contract"
+            );
+            for (done, result) in write_jobs.into_iter().zip(results) {
+                let _ = done.send(result.map(JobOutput::Written));
+                shared.completed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -508,6 +564,71 @@ mod tests {
             JobOutput::Count(1) => {}
             other => panic!("expected Count(1), got {other:?}"),
         }
+        b.shutdown();
+    }
+
+    /// Engine double that also accepts writes: inserts succeed, deletes
+    /// report "found" only for even ids.
+    struct WritableEcho {
+        inner: Echo,
+        ops: Mutex<Vec<WriteOp>>,
+    }
+
+    impl QueryEngine for WritableEcho {
+        fn execute(&self, queries: &[Rect]) -> io::Result<Vec<Vec<u64>>> {
+            self.inner.execute(queries)
+        }
+
+        fn io_stats(&self) -> IoStats {
+            self.inner.io_stats()
+        }
+
+        fn execute_writes(&self, ops: &[WriteOp]) -> Vec<io::Result<bool>> {
+            lock(&self.ops).extend_from_slice(ops);
+            ops.iter()
+                .map(|op| match op {
+                    WriteOp::Insert(..) => Ok(true),
+                    WriteOp::Delete(_, id) => Ok(id % 2 == 0),
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn mixed_batches_demux_writes_and_queries_by_position() {
+        let b = MicroBatcher::new_paused(
+            WritableEcho {
+                inner: Echo::new(Duration::ZERO),
+                ops: Mutex::new(Vec::new()),
+            },
+            BatchPolicy {
+                max_batch: 6,
+                workers: 1,
+                ..BatchPolicy::default()
+            },
+        );
+        let q1 = b.submit(rect(1), false).unwrap();
+        let w1 = b.submit_write(WriteOp::Insert(rect(10), 100)).unwrap();
+        let q2 = b.submit(rect(2), true).unwrap();
+        let w2 = b.submit_write(WriteOp::Delete(rect(11), 101)).unwrap();
+        let w3 = b.submit_write(WriteOp::Delete(rect(12), 102)).unwrap();
+        b.start();
+        assert_eq!(q1.recv().unwrap().unwrap(), JobOutput::Matches(vec![1]));
+        assert_eq!(w1.recv().unwrap().unwrap(), JobOutput::Written(true));
+        assert_eq!(q2.recv().unwrap().unwrap(), JobOutput::Count(1));
+        assert_eq!(w2.recv().unwrap().unwrap(), JobOutput::Written(false));
+        assert_eq!(w3.recv().unwrap().unwrap(), JobOutput::Written(true));
+        assert_eq!(lock(&b.engine().ops).len(), 3, "all ops reached the engine");
+        assert_eq!(b.stats().completed, 5);
+        b.shutdown();
+    }
+
+    #[test]
+    fn read_only_engines_answer_writes_with_typed_errors() {
+        let b = MicroBatcher::new(Echo::new(Duration::ZERO), BatchPolicy::default());
+        let rx = b.submit_write(WriteOp::Insert(rect(1), 1)).unwrap();
+        let err = rx.recv().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
         b.shutdown();
     }
 

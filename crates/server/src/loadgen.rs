@@ -39,6 +39,10 @@ pub struct LoadConfig {
     pub workload: Workload,
     /// Fraction of queries sent as count-only requests.
     pub count_fraction: f64,
+    /// Fraction of operations sent as inserts (spread evenly through
+    /// each connection's schedule). Item ids are `(conn << 40) | i`, so
+    /// connections never collide. Requires a write-capable server.
+    pub write_fraction: f64,
     /// Base RNG seed; connection c uses `seed + c`.
     pub seed: u64,
     /// Send a shutdown request after the run completes.
@@ -53,6 +57,7 @@ impl Default for LoadConfig {
             target_qps: 0.0,
             workload: Workload::uniform_region(0.01, 0.01),
             count_fraction: 0.0,
+            write_fraction: 0.0,
             seed: 42,
             shutdown_after: false,
         }
@@ -66,6 +71,8 @@ pub struct LoadReport {
     pub sent: u64,
     /// Queries answered with matches or a count.
     pub ok: u64,
+    /// Writes acknowledged as durably committed.
+    pub writes_ok: u64,
     /// Queries refused with `Overloaded`.
     pub overloaded: u64,
     /// Queries answered with an error or lost to a closed connection.
@@ -74,6 +81,8 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Per-query latency in nanoseconds (scheduled-send to receive).
     pub latency_ns: Histogram,
+    /// Per-write latency in nanoseconds (scheduled-send to durable ack).
+    pub write_latency_ns: Histogram,
     /// Server counters when the run started.
     pub stats_before: StatsReply,
     /// Server counters when the run ended.
@@ -114,13 +123,60 @@ impl LoadReport {
     pub fn mean_latency_ms(&self) -> f64 {
         self.latency_ns.mean() / 1e6
     }
+
+    /// Write-latency quantile in milliseconds.
+    pub fn write_latency_ms(&self, q: f64) -> f64 {
+        self.write_latency_ns.quantile(q) as f64 / 1e6
+    }
+
+    /// Server-side WAL fsyncs per acknowledged write over the run window
+    /// — the number group commit exists to shrink below 1.
+    pub fn fsyncs_per_write(&self) -> f64 {
+        let writes = self
+            .stats_after
+            .writes
+            .saturating_sub(self.stats_before.writes);
+        if writes == 0 {
+            return 0.0;
+        }
+        let fsyncs = self
+            .stats_after
+            .wal_fsyncs
+            .saturating_sub(self.stats_before.wal_fsyncs);
+        fsyncs as f64 / writes as f64
+    }
 }
 
 struct Tally {
     ok: u64,
+    writes_ok: u64,
     overloaded: u64,
     errors: u64,
     latency: Histogram,
+    write_latency: Histogram,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Tally {
+            ok: 0,
+            writes_ok: 0,
+            overloaded: 0,
+            errors: 0,
+            latency: Histogram::new(),
+            write_latency: Histogram::new(),
+        }
+    }
+}
+
+/// True when operation `i` of `n` should be a write so that writes land
+/// evenly through the schedule (every `1/fraction`-th op), not bunched
+/// at the front.
+fn is_write_slot(i: usize, fraction: f64) -> bool {
+    if fraction <= 0.0 {
+        return false;
+    }
+    ((i + 1) as f64 * fraction).floor() > (i as f64 * fraction).floor()
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -145,12 +201,7 @@ pub fn run(
     };
 
     let stats_before = fetch_stats(addr.clone())?;
-    let tally = Mutex::new(Tally {
-        ok: 0,
-        overloaded: 0,
-        errors: 0,
-        latency: Histogram::new(),
-    });
+    let tally = Mutex::new(Tally::new());
     let start = Instant::now();
 
     thread::scope(|scope| -> io::Result<()> {
@@ -164,15 +215,11 @@ pub fn run(
             let tally = &tally;
             let workload = &config.workload;
             let (seed, count_fraction) = (config.seed, config.count_fraction);
+            let write_fraction = config.write_fraction;
             handles.push(scope.spawn(move || -> io::Result<()> {
                 let mut client = Client::connect(addr)?;
                 let mut sampler = QuerySampler::new(workload, seed.wrapping_add(c as u64));
-                let mut local = Tally {
-                    ok: 0,
-                    overloaded: 0,
-                    errors: 0,
-                    latency: Histogram::new(),
-                };
+                let mut local = Tally::new();
                 for i in 0..n {
                     // Open loop: wait for the scheduled send time, then
                     // charge latency from it. Closed loop: now is the
@@ -188,8 +235,11 @@ pub fn run(
                         None => Instant::now(),
                     };
                     let rect = sampler.sample();
-                    let count_only = count_fraction > 0.0 && (i as f64 / n as f64) < count_fraction;
-                    let req = if count_only {
+                    let req = if is_write_slot(i, write_fraction) {
+                        // Disjoint id spaces per connection: 24 bits of
+                        // connection, 40 bits of sequence.
+                        Request::Insert(rect, ((c as u64) << 40) | i as u64)
+                    } else if count_fraction > 0.0 && (i as f64 / n as f64) < count_fraction {
                         Request::Count(rect)
                     } else {
                         Request::Query(rect)
@@ -198,6 +248,12 @@ pub fn run(
                         Some(Response::Matches(_)) | Some(Response::Count(_)) => {
                             local.ok += 1;
                             local.latency.record(scheduled.elapsed().as_nanos() as u64);
+                        }
+                        Some(Response::Written(_)) => {
+                            local.writes_ok += 1;
+                            local
+                                .write_latency
+                                .record(scheduled.elapsed().as_nanos() as u64);
                         }
                         Some(Response::Overloaded) => local.overloaded += 1,
                         Some(Response::ShuttingDown) | None => {
@@ -209,9 +265,11 @@ pub fn run(
                 }
                 let mut t = lock(tally);
                 t.ok += local.ok;
+                t.writes_ok += local.writes_ok;
                 t.overloaded += local.overloaded;
                 t.errors += local.errors;
                 t.latency.merge(&local.latency);
+                t.write_latency.merge(&local.write_latency);
                 Ok(())
             }));
         }
@@ -237,10 +295,12 @@ pub fn run(
     Ok(LoadReport {
         sent: config.queries as u64,
         ok: t.ok,
+        writes_ok: t.writes_ok,
         overloaded: t.overloaded,
         errors: t.errors,
         elapsed,
         latency_ns: t.latency,
+        write_latency_ns: t.write_latency,
         stats_before,
         stats_after,
     })

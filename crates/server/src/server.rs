@@ -16,7 +16,7 @@
 //! stream never desyncs.
 
 use crate::batcher::{BatchPolicy, JobOutput, MicroBatcher, SubmitError};
-use crate::engine::QueryEngine;
+use crate::engine::{QueryEngine, WriteOp};
 use crate::wire::{self, Request, Response, StatsReply};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -57,12 +57,38 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// How the server creates its threads. Injectable (see
+/// [`serve_with_spawner`]) so tests can simulate thread-resource
+/// exhaustion without actually exhausting anything.
+pub type Spawner =
+    Arc<dyn Fn(&str, Box<dyn FnOnce() + Send>) -> io::Result<thread::JoinHandle<()>> + Send + Sync>;
+
+fn os_spawner() -> Spawner {
+    Arc::new(|name, f| thread::Builder::new().name(name.to_string()).spawn(f))
+}
+
 /// Binds `addr` (port 0 picks an ephemeral port) and serves `engine`
 /// until shutdown.
+///
+/// Failing to spawn the accept loop (thread exhaustion) is a startup
+/// error returned from here — never a panic. A later failure to spawn a
+/// *connection* handler sheds that one connection with
+/// [`Response::Overloaded`] and keeps serving.
 pub fn serve<E: QueryEngine>(
     engine: E,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
+) -> io::Result<ServerHandle<E>> {
+    serve_with_spawner(engine, addr, config, os_spawner())
+}
+
+/// [`serve`] with an explicit thread [`Spawner`] — the seam the
+/// spawn-failure regression tests inject through.
+pub fn serve_with_spawner<E: QueryEngine>(
+    engine: E,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    spawner: Spawner,
 ) -> io::Result<ServerHandle<E>> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
@@ -75,12 +101,21 @@ pub fn serve<E: QueryEngine>(
         let stop = Arc::clone(&stop);
         let batcher = Arc::clone(&batcher);
         let connections = Arc::clone(&connections);
-        thread::Builder::new()
-            .name("rtree-accept".into())
-            .spawn(move || {
-                accept_loop(&listener, &stop, &batcher, &connections, config);
-            })
-            .expect("spawn accept loop")
+        let loop_spawner = Arc::clone(&spawner);
+        spawner(
+            "rtree-accept",
+            Box::new(move || {
+                accept_loop(
+                    &listener,
+                    &stop,
+                    &batcher,
+                    &connections,
+                    config,
+                    &loop_spawner,
+                );
+            }),
+        )
+        .map_err(|e| io::Error::new(e.kind(), format!("cannot spawn the accept loop: {e}")))?
     };
 
     Ok(ServerHandle {
@@ -138,6 +173,7 @@ impl<E: QueryEngine> ServerHandle<E> {
 fn stats_reply<E: QueryEngine>(batcher: &MicroBatcher<E>) -> StatsReply {
     let s = batcher.stats();
     let io = batcher.engine().io_stats();
+    let w = batcher.engine().write_stats();
     StatsReply {
         queries: s.completed,
         batches: s.batches,
@@ -146,6 +182,9 @@ fn stats_reply<E: QueryEngine>(batcher: &MicroBatcher<E>) -> StatsReply {
         demand_reads: io.demand_reads(),
         prefetch_reads: io.prefetch_reads,
         physical_reads: io.reads,
+        writes: w.writes,
+        wal_fsyncs: w.wal_fsyncs,
+        commit_batches: w.commit_batches,
     }
 }
 
@@ -155,19 +194,33 @@ fn accept_loop<E: QueryEngine>(
     batcher: &Arc<MicroBatcher<E>>,
     connections: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     config: ServerConfig,
+    spawner: &Spawner,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let stop = Arc::clone(stop);
                 let batcher = Arc::clone(batcher);
-                let handle = thread::Builder::new()
-                    .name("rtree-conn".into())
-                    .spawn(move || {
+                // A handle to answer on if the handler thread cannot be
+                // spawned; the moved-in stream is gone by then.
+                let mut shed_handle = stream.try_clone().ok();
+                let spawned = spawner(
+                    "rtree-conn",
+                    Box::new(move || {
                         let _ = handle_connection(stream, &stop, &batcher, config);
-                    })
-                    .expect("spawn connection handler");
-                lock(connections).push(handle);
+                    }),
+                );
+                match spawned {
+                    Ok(handle) => lock(connections).push(handle),
+                    Err(_) => {
+                        // Thread exhaustion: shed exactly this connection
+                        // — best-effort typed refusal, then close — and
+                        // keep accepting. The accept loop must survive.
+                        if let Some(s) = shed_handle.as_mut() {
+                            let _ = wire::send_response(s, &Response::Overloaded);
+                        }
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(1));
@@ -245,17 +298,19 @@ fn dispatch<E: QueryEngine>(
     stop: &AtomicBool,
     batcher: &MicroBatcher<E>,
 ) -> Response {
-    let (rect, count_only) = match req {
+    let submitted = match req {
         Request::Stats => return Response::Stats(stats_reply(batcher)),
         Request::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             return Response::ShuttingDown;
         }
-        Request::Query(r) => (r, false),
-        Request::Point(x, y) => (rtree_geom::Rect::new(x, y, x, y), false),
-        Request::Count(r) => (r, true),
+        Request::Query(r) => batcher.submit(r, false),
+        Request::Point(x, y) => batcher.submit(rtree_geom::Rect::new(x, y, x, y), false),
+        Request::Count(r) => batcher.submit(r, true),
+        Request::Insert(r, item) => batcher.submit_write(WriteOp::Insert(r, item)),
+        Request::Delete(r, item) => batcher.submit_write(WriteOp::Delete(r, item)),
     };
-    match batcher.submit(rect, count_only) {
+    match submitted {
         Err(SubmitError::Overloaded) => Response::Overloaded,
         Err(SubmitError::ShuttingDown) => Response::ShuttingDown,
         Ok(rx) => match rx.recv() {
@@ -263,6 +318,7 @@ fn dispatch<E: QueryEngine>(
             Ok(Err(e)) => Response::Error(e.to_string()),
             Ok(Ok(JobOutput::Matches(ids))) => Response::Matches(ids),
             Ok(Ok(JobOutput::Count(n))) => Response::Count(n),
+            Ok(Ok(JobOutput::Written(found))) => Response::Written(found),
         },
     }
 }
@@ -292,5 +348,82 @@ impl Client {
     pub fn call_raw(&mut self, payload: &[u8]) -> io::Result<Option<Response>> {
         wire::write_frame(&mut self.stream, payload)?;
         wire::recv_response(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Rect;
+    use rtree_pager::IoStats;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Echo;
+
+    impl QueryEngine for Echo {
+        fn execute(&self, queries: &[Rect]) -> io::Result<Vec<Vec<u64>>> {
+            Ok(queries.iter().map(|_| vec![1]).collect())
+        }
+
+        fn io_stats(&self) -> IoStats {
+            IoStats::default()
+        }
+    }
+
+    /// A spawner that refuses the first `fail` spawns whose thread name
+    /// matches `pattern`, then behaves normally.
+    fn failing_spawner(pattern: &'static str, fail: usize) -> (Spawner, Arc<AtomicUsize>) {
+        let failures = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&failures);
+        let spawner: Spawner = Arc::new(move |name, f| {
+            if name.contains(pattern) && counter.fetch_add(1, Ordering::SeqCst) < fail {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "simulated thread exhaustion",
+                ));
+            }
+            thread::Builder::new().name(name.to_string()).spawn(f)
+        });
+        (spawner, failures)
+    }
+
+    #[test]
+    fn accept_loop_spawn_failure_is_a_typed_serve_error() {
+        let (spawner, _) = failing_spawner("rtree-accept", 1);
+        let err = serve_with_spawner(Echo, "127.0.0.1:0", ServerConfig::default(), spawner)
+            .err()
+            .expect("serve must fail when the accept loop cannot start");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(
+            err.to_string().contains("accept loop"),
+            "error names the failed component: {err}"
+        );
+    }
+
+    #[test]
+    fn connection_spawn_failure_sheds_one_connection_and_keeps_serving() {
+        let (spawner, _) = failing_spawner("rtree-conn", 1);
+        let handle =
+            serve_with_spawner(Echo, "127.0.0.1:0", ServerConfig::default(), spawner).unwrap();
+
+        // First connection: its handler thread fails to spawn; the server
+        // refuses it with Overloaded (sent unprompted) and closes.
+        let mut shed = Client::connect(handle.addr()).unwrap();
+        match wire::recv_response(&mut shed.stream).unwrap() {
+            Some(Response::Overloaded) => {}
+            other => panic!("shed connection expected Overloaded, got {other:?}"),
+        }
+        drop(shed);
+
+        // The accept loop survived: the next connection is served.
+        let mut ok = Client::connect(handle.addr()).unwrap();
+        match ok
+            .call(&Request::Query(Rect::new(0.0, 0.0, 1.0, 1.0)))
+            .unwrap()
+        {
+            Some(Response::Matches(ids)) => assert_eq!(ids, vec![1]),
+            other => panic!("expected matches, got {other:?}"),
+        }
+        handle.shutdown();
     }
 }

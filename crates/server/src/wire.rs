@@ -191,6 +191,12 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: stop accepting, drain in-flight batches, exit.
     Shutdown,
+    /// Insert an item (rectangle plus id). Requires a write-capable
+    /// engine; read-only servers answer with [`Response::Error`].
+    Insert(Rect, u64),
+    /// Delete an item previously inserted with exactly this rectangle and
+    /// id. The reply says whether the entry existed.
+    Delete(Rect, u64),
 }
 
 const TAG_QUERY: u8 = 1;
@@ -198,6 +204,8 @@ const TAG_POINT: u8 = 2;
 const TAG_COUNT: u8 = 3;
 const TAG_STATS: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
+const TAG_INSERT: u8 = 6;
+const TAG_DELETE: u8 = 7;
 
 const TAG_MATCHES: u8 = 1;
 const TAG_COUNT_REPLY: u8 = 2;
@@ -205,6 +213,7 @@ const TAG_STATS_REPLY: u8 = 3;
 const TAG_OVERLOADED: u8 = 4;
 const TAG_ERROR: u8 = 5;
 const TAG_SHUTTING_DOWN: u8 = 6;
+const TAG_WRITTEN: u8 = 7;
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -279,6 +288,16 @@ impl Request {
             }
             Request::Stats => out.push(TAG_STATS),
             Request::Shutdown => out.push(TAG_SHUTDOWN),
+            Request::Insert(r, item) => {
+                out.push(TAG_INSERT);
+                put_rect(&mut out, r);
+                put_u64(&mut out, *item);
+            }
+            Request::Delete(r, item) => {
+                out.push(TAG_DELETE);
+                put_rect(&mut out, r);
+                put_u64(&mut out, *item);
+            }
         }
         out
     }
@@ -311,6 +330,14 @@ impl Request {
                 expect_len(b, 1, "shutdown takes no body")?;
                 Ok(Request::Shutdown)
             }
+            TAG_INSERT => {
+                expect_len(b, 41, "insert is tag + rectangle + id")?;
+                Ok(Request::Insert(get_rect(b, 1)?, get_u64(b, 33)))
+            }
+            TAG_DELETE => {
+                expect_len(b, 41, "delete is tag + rectangle + id")?;
+                Ok(Request::Delete(get_rect(b, 1)?, get_u64(b, 33)))
+            }
             t => Err(FrameError::UnknownTag(t)),
         }
     }
@@ -334,6 +361,14 @@ pub struct StatsReply {
     pub prefetch_reads: u64,
     /// All physical page reads (`demand + prefetch`).
     pub physical_reads: u64,
+    /// Write operations applied (inserts plus deletes that found their
+    /// entry). Zero on a read-only engine.
+    pub writes: u64,
+    /// WAL fsyncs issued by group commit. The ratio `writes / wal_fsyncs`
+    /// is the durability amortization the server achieves.
+    pub wal_fsyncs: u64,
+    /// Commit batches flushed (each covers one or more logged operations).
+    pub commit_batches: u64,
 }
 
 /// A reply from server to client.
@@ -353,6 +388,9 @@ pub enum Response {
     /// Acknowledges [`Request::Shutdown`]; also answers queries submitted
     /// after draining began.
     ShuttingDown,
+    /// Acknowledges a durably committed [`Request::Insert`] /
+    /// [`Request::Delete`]; `false` means a delete found no such entry.
+    Written(bool),
 }
 
 /// Ids a `Matches` payload can carry without busting [`MAX_PAYLOAD`].
@@ -389,6 +427,9 @@ impl Response {
                     s.demand_reads,
                     s.prefetch_reads,
                     s.physical_reads,
+                    s.writes,
+                    s.wal_fsyncs,
+                    s.commit_batches,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -402,6 +443,10 @@ impl Response {
                 out.extend_from_slice(&bytes[..n]);
             }
             Response::ShuttingDown => out.push(TAG_SHUTTING_DOWN),
+            Response::Written(found) => {
+                out.push(TAG_WRITTEN);
+                out.push(u8::from(*found));
+            }
         }
         out
     }
@@ -428,7 +473,7 @@ impl Response {
                 Ok(Response::Count(get_u64(b, 1)))
             }
             TAG_STATS_REPLY => {
-                expect_len(b, 57, "stats reply is tag + seven u64")?;
+                expect_len(b, 81, "stats reply is tag + ten u64")?;
                 Ok(Response::Stats(StatsReply {
                     queries: get_u64(b, 1),
                     batches: get_u64(b, 9),
@@ -437,6 +482,9 @@ impl Response {
                     demand_reads: get_u64(b, 33),
                     prefetch_reads: get_u64(b, 41),
                     physical_reads: get_u64(b, 49),
+                    writes: get_u64(b, 57),
+                    wal_fsyncs: get_u64(b, 65),
+                    commit_batches: get_u64(b, 73),
                 }))
             }
             TAG_OVERLOADED => {
@@ -457,6 +505,14 @@ impl Response {
             TAG_SHUTTING_DOWN => {
                 expect_len(b, 1, "shutting-down takes no body")?;
                 Ok(Response::ShuttingDown)
+            }
+            TAG_WRITTEN => {
+                expect_len(b, 2, "written is tag + bool")?;
+                match b[1] {
+                    0 => Ok(Response::Written(false)),
+                    1 => Ok(Response::Written(true)),
+                    _ => Err(FrameError::BadPayload("written flag is not 0/1")),
+                }
             }
             t => Err(FrameError::UnknownTag(t)),
         }
@@ -498,6 +554,8 @@ mod tests {
             Request::Count(rect()),
             Request::Stats,
             Request::Shutdown,
+            Request::Insert(rect(), 7),
+            Request::Delete(rect(), u64::MAX),
         ] {
             let frame = encode_frame(&req.encode());
             let (payload, used) = decode_frame(&frame).unwrap().unwrap();
@@ -520,10 +578,15 @@ mod tests {
                 demand_reads: 5,
                 prefetch_reads: 6,
                 physical_reads: 11,
+                writes: 12,
+                wal_fsyncs: 3,
+                commit_batches: 3,
             }),
             Response::Overloaded,
             Response::Error("nope".into()),
             Response::ShuttingDown,
+            Response::Written(true),
+            Response::Written(false),
         ] {
             let payload = resp.encode();
             assert_eq!(Response::decode(&payload).unwrap(), resp);
@@ -591,6 +654,31 @@ mod tests {
         }
         assert!(matches!(
             Request::decode(&p),
+            Err(FrameError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_write_payloads_are_rejected() {
+        // Inverted corners in an insert.
+        let mut p = vec![6u8];
+        for v in [0.9f64, 0.9, 0.1, 0.1] {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        p.extend_from_slice(&5u64.to_le_bytes());
+        assert!(matches!(
+            Request::decode(&p),
+            Err(FrameError::BadPayload(_))
+        ));
+        // Truncated delete (missing the id).
+        let short = &Request::Delete(rect(), 1).encode()[..33];
+        assert!(matches!(
+            Request::decode(short),
+            Err(FrameError::BadPayload(_))
+        ));
+        // A written flag outside 0/1 is not silently truthy.
+        assert!(matches!(
+            Response::decode(&[7u8, 2]),
             Err(FrameError::BadPayload(_))
         ));
     }

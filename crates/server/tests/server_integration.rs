@@ -207,6 +207,7 @@ fn loadgen_reports_reconciled_stats() {
             target_qps: 0.0,
             workload: Workload::uniform_region(0.03, 0.03),
             count_fraction: 0.25,
+            write_fraction: 0.0,
             seed: 11,
             shutdown_after: false,
         },
@@ -246,6 +247,7 @@ fn loadgen_open_loop_paces_and_shutdown_after_stops_server() {
             target_qps: 2_000.0,
             workload: Workload::uniform_point(),
             count_fraction: 0.0,
+            write_fraction: 0.0,
             seed: 3,
             shutdown_after: true,
         },
@@ -308,6 +310,106 @@ fn replay_partitions_across_connections_in_order() {
         want.sort_unstable();
         ids.sort_unstable();
         assert_eq!(ids, want);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn writer_server_serves_reads_its_own_writes_durably() {
+    use rtree_pager::SharedMemStore;
+    use rtree_server::WriterEngine;
+    use rtree_wal::{GroupWal, MemLog};
+
+    let wal = GroupWal::open(MemLog::new()).expect("wal");
+    let tree = ConcurrentDiskRTree::create_writable(
+        SharedMemStore::new(),
+        16,
+        4,
+        128,
+        LruPolicy::new(),
+        wal,
+    )
+    .expect("writable tree");
+    let handle = serve(
+        WriterEngine::new(tree, 2, 4, true),
+        "127.0.0.1:0",
+        ServerConfig {
+            batch: BatchPolicy::default(),
+            read_timeout: Duration::from_millis(10),
+        },
+    )
+    .expect("bind ephemeral port");
+
+    // Read-your-writes over the wire: insert, query, delete, re-delete.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let r = Rect::new(0.40, 0.40, 0.41, 0.41);
+    match client.call(&Request::Insert(r, 777)).expect("call") {
+        Some(Response::Written(true)) => {}
+        other => panic!("expected Written(true), got {other:?}"),
+    }
+    match client.call(&Request::Query(r)).expect("call") {
+        Some(Response::Matches(ids)) => assert!(ids.contains(&777), "insert is visible"),
+        other => panic!("expected matches, got {other:?}"),
+    }
+    match client.call(&Request::Delete(r, 777)).expect("call") {
+        Some(Response::Written(true)) => {}
+        other => panic!("expected Written(true), got {other:?}"),
+    }
+    match client.call(&Request::Delete(r, 777)).expect("call") {
+        Some(Response::Written(false)) => {}
+        other => panic!("expected Written(false) for a gone entry, got {other:?}"),
+    }
+
+    // Mixed closed-loop load: every op answered, write counters reconcile.
+    let report = loadgen::run(
+        handle.addr(),
+        &LoadConfig {
+            connections: 4,
+            queries: 200,
+            target_qps: 0.0,
+            workload: Workload::uniform_region(0.02, 0.02),
+            count_fraction: 0.0,
+            write_fraction: 0.3,
+            seed: 9,
+            shutdown_after: false,
+        },
+    )
+    .expect("load run");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.overloaded, 0);
+    assert_eq!(report.ok + report.writes_ok, 200, "every op answered");
+    assert!(
+        (55..=65).contains(&(report.writes_ok as i64)),
+        "~30% of 200 ops are writes, got {}",
+        report.writes_ok
+    );
+    let wrote = report.stats_after.writes - report.stats_before.writes;
+    assert_eq!(wrote, report.writes_ok, "server write counter reconciles");
+    assert!(report.stats_after.wal_fsyncs > 0, "writes hit the WAL");
+    assert!(report.stats_after.commit_batches > 0);
+    assert!(report.write_latency_ns.count() == report.writes_ok);
+
+    let stats = handle.shutdown();
+    assert_eq!(
+        stats.writes, report.stats_after.writes,
+        "no writes after the run"
+    );
+}
+
+#[test]
+fn read_only_server_answers_writes_with_a_typed_error() {
+    let tree = build_tree(200);
+    let handle = start_server(&tree, BatchPolicy::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let r = Rect::new(0.1, 0.1, 0.2, 0.2);
+    match client.call(&Request::Insert(r, 1)).expect("call") {
+        Some(Response::Error(msg)) => assert!(msg.contains("read-only"), "got: {msg}"),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // The stream stays aligned: a query still works.
+    match client.call(&Request::Query(r)).expect("call") {
+        Some(Response::Matches(_)) => {}
+        other => panic!("expected matches, got {other:?}"),
     }
     handle.shutdown();
 }

@@ -25,6 +25,16 @@ pub trait LogBackend: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Appends several byte slices as one batch. The default loops over
+    /// [`LogBackend::append`]; backends with a cheaper bulk path (one
+    /// syscall, one staging move) override it. Group commit uses this seam
+    /// so a leader can land a whole batch before its single sync.
+    fn append_batch(&mut self, parts: &[&[u8]]) -> io::Result<()> {
+        for part in parts {
+            self.append(part)?;
+        }
+        Ok(())
+    }
 }
 
 /// Shared crash flag: once tripped, every participating component (log
@@ -250,6 +260,85 @@ impl<B: LogBackend> LogBackend for FaultLog<B> {
     }
 }
 
+/// A backend that models the volatile OS write cache explicitly: appends land
+/// in a *staging* buffer and become part of the real log only on
+/// [`LogBackend::sync`], which moves the staged bytes into the inner backend
+/// and syncs it. [`StagedLog::crash`] discards everything staged — exactly
+/// what power loss does to appended-but-unsynced data — so a test can prove
+/// that recovery sees *none* of an unsynced batch and *all* of a synced one.
+pub struct StagedLog<B: LogBackend> {
+    inner: B,
+    staged: Vec<u8>,
+    /// Syncs performed (the fsync count group commit amortizes).
+    syncs: u64,
+}
+
+impl<B: LogBackend> StagedLog<B> {
+    /// Wraps `inner` with an empty staging buffer.
+    pub fn new(inner: B) -> Self {
+        StagedLog {
+            inner,
+            staged: Vec::new(),
+            syncs: 0,
+        }
+    }
+
+    /// Discards the staged (appended-but-unsynced) bytes, simulating a crash
+    /// before the durability barrier.
+    pub fn crash(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Bytes currently staged but not yet durable.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Number of syncs performed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The wrapped backend (e.g. to read the durable bytes post-crash).
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: LogBackend> LogBackend for StagedLog<B> {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.staged.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if !self.staged.is_empty() {
+            let staged = std::mem::take(&mut self.staged);
+            self.inner.append(&staged)?;
+        }
+        self.syncs += 1;
+        self.inner.sync()
+    }
+
+    fn read_all(&self) -> io::Result<Vec<u8>> {
+        // The durable image plus the staged tail: what a reader of the live
+        // log would see pre-crash. Recovery after [`StagedLog::crash`] sees
+        // only the inner bytes.
+        let mut out = self.inner.read_all()?;
+        out.extend_from_slice(&self.staged);
+        Ok(out)
+    }
+
+    fn truncate(&mut self) -> io::Result<()> {
+        self.staged.clear();
+        self.inner.truncate()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len() + self.staged.len() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +403,28 @@ mod tests {
         assert!(log.append(b"dddd").is_err());
         assert!(log.sync().is_err());
         assert!(log.truncate().is_err());
+    }
+
+    #[test]
+    fn append_batch_default_appends_in_order() {
+        let mut log = MemLog::new();
+        log.append_batch(&[b"one", b"-", b"two"]).unwrap();
+        assert_eq!(log.read_all().unwrap(), b"one-two");
+    }
+
+    #[test]
+    fn staged_log_publishes_on_sync_and_discards_on_crash() {
+        let mut log = StagedLog::new(MemLog::new());
+        log.append(b"batch-a").unwrap();
+        assert_eq!(log.staged_len(), 7);
+        assert_eq!(log.read_all().unwrap(), b"batch-a", "live view sees staged");
+        log.sync().unwrap();
+        assert_eq!(log.staged_len(), 0);
+        assert_eq!(log.syncs(), 1);
+        log.append(b"batch-b").unwrap();
+        log.crash();
+        // The unsynced batch vanished entirely; the synced one survived.
+        assert_eq!(log.into_inner().read_all().unwrap(), b"batch-a");
     }
 
     #[test]

@@ -20,9 +20,11 @@
 pub mod crc32;
 
 mod backend;
+mod group;
 mod record;
 
-pub use backend::{CrashSwitch, FaultLog, FileLog, LogBackend, MemLog};
+pub use backend::{CrashSwitch, FaultLog, FileLog, LogBackend, MemLog, StagedLog};
+pub use group::{GroupCommitStats, GroupWal};
 pub use record::{scan, Lsn, ScanResult, WalRecord};
 
 use std::io;

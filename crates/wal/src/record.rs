@@ -19,7 +19,14 @@
 //! kind 1 (PageImage):  1B kind | 8B lsn | 8B page_id | 4B data_len | before | after
 //! kind 2 (Commit):     1B kind | 8B lsn
 //! kind 3 (Checkpoint): 1B kind | 8B lsn
+//! kind 4 (OpInsert):   1B kind | 8B lsn | 4×8B rect (lo.x lo.y hi.x hi.y) | 8B item
+//! kind 5 (OpDelete):   1B kind | 8B lsn | 4×8B rect (lo.x lo.y hi.x hi.y) | 8B item
 //! ```
+//!
+//! Kinds 1–3 are the physical protocol of the sequential tree's WAL; kinds
+//! 4–5 are *logical* redo records used by the concurrent tree's group-commit
+//! log, where dirty pages never reach the store before a checkpoint and
+//! recovery re-applies committed operations instead of page images.
 
 use crate::crc32;
 
@@ -29,9 +36,11 @@ pub type Lsn = u64;
 const KIND_PAGE_IMAGE: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 const KIND_CHECKPOINT: u8 = 3;
+const KIND_OP_INSERT: u8 = 4;
+const KIND_OP_DELETE: u8 = 5;
 
 /// One decoded log record.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// Physical page update: full before- and after-images.
     PageImage {
@@ -55,6 +64,24 @@ pub enum WalRecord {
         /// Sequence number of this record.
         lsn: Lsn,
     },
+    /// Logical redo: insert `(rect, item)` into the index.
+    OpInsert {
+        /// Sequence number of this record.
+        lsn: Lsn,
+        /// Rectangle as `[lo.x, lo.y, hi.x, hi.y]`.
+        rect: [f64; 4],
+        /// The item id inserted.
+        item: u64,
+    },
+    /// Logical redo: delete `(rect, item)` from the index.
+    OpDelete {
+        /// Sequence number of this record.
+        lsn: Lsn,
+        /// Rectangle as `[lo.x, lo.y, hi.x, hi.y]`.
+        rect: [f64; 4],
+        /// The item id deleted.
+        item: u64,
+    },
 }
 
 impl WalRecord {
@@ -63,7 +90,9 @@ impl WalRecord {
         match *self {
             WalRecord::PageImage { lsn, .. }
             | WalRecord::Commit { lsn }
-            | WalRecord::Checkpoint { lsn } => lsn,
+            | WalRecord::Checkpoint { lsn }
+            | WalRecord::OpInsert { lsn, .. }
+            | WalRecord::OpDelete { lsn, .. } => lsn,
         }
     }
 
@@ -111,6 +140,8 @@ impl WalRecord {
                 p.extend_from_slice(&lsn.to_le_bytes());
                 p
             }
+            WalRecord::OpInsert { lsn, rect, item } => encode_op(KIND_OP_INSERT, *lsn, rect, *item),
+            WalRecord::OpDelete { lsn, rect, item } => encode_op(KIND_OP_DELETE, *lsn, rect, *item),
         }
     }
 
@@ -135,13 +166,45 @@ impl WalRecord {
             }
             KIND_COMMIT if rest.is_empty() => Some(WalRecord::Commit { lsn }),
             KIND_CHECKPOINT if rest.is_empty() => Some(WalRecord::Checkpoint { lsn }),
+            KIND_OP_INSERT => {
+                let (rect, item) = decode_op(rest)?;
+                Some(WalRecord::OpInsert { lsn, rect, item })
+            }
+            KIND_OP_DELETE => {
+                let (rect, item) = decode_op(rest)?;
+                Some(WalRecord::OpDelete { lsn, rect, item })
+            }
             _ => None,
         }
     }
 }
 
+fn encode_op(kind: u8, lsn: Lsn, rect: &[f64; 4], item: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(49);
+    p.push(kind);
+    p.extend_from_slice(&lsn.to_le_bytes());
+    for c in rect {
+        p.extend_from_slice(&c.to_le_bytes());
+    }
+    p.extend_from_slice(&item.to_le_bytes());
+    p
+}
+
+/// Decodes the post-LSN tail of an op record: 4 coordinates + item id.
+fn decode_op(rest: &[u8]) -> Option<([f64; 4], u64)> {
+    if rest.len() != 40 {
+        return None;
+    }
+    let mut rect = [0.0f64; 4];
+    for (i, c) in rect.iter_mut().enumerate() {
+        *c = f64::from_le_bytes(rest[i * 8..i * 8 + 8].try_into().ok()?);
+    }
+    let item = u64::from_le_bytes(rest[32..40].try_into().ok()?);
+    Some((rect, item))
+}
+
 /// Result of scanning a log image.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanResult {
     /// Records decoded in log order.
     pub records: Vec<WalRecord>,
@@ -201,6 +264,16 @@ mod tests {
             },
             WalRecord::Commit { lsn: 2 },
             WalRecord::Checkpoint { lsn: 3 },
+            WalRecord::OpInsert {
+                lsn: 4,
+                rect: [0.25, 0.5, 0.75, 1.0],
+                item: 0xDEAD_BEEF,
+            },
+            WalRecord::OpDelete {
+                lsn: 5,
+                rect: [-1.5, 0.0, 2.5, 3.25],
+                item: 7,
+            },
         ]
     }
 
@@ -244,12 +317,12 @@ mod tests {
     fn valid_prefix_survives_corrupt_suffix() {
         let records = sample();
         let mut bytes = encode_all(&records);
-        let last_len = records[2].encode().len();
+        let last_len = records[records.len() - 1].encode().len();
         let tail = bytes.len() - last_len + 9;
         bytes[tail] ^= 0x01;
         let result = scan(&bytes);
         assert!(!result.clean);
-        assert_eq!(result.records, records[..2]);
+        assert_eq!(result.records, records[..records.len() - 1]);
     }
 
     #[test]
