@@ -2,9 +2,11 @@
 //! stack with faults armed, then checks the run against three oracles.
 //!
 //! * **Differential** — every query answered by the disk tree (before the
-//!   crash, after recovery, from the concurrent reader, and after the
-//!   concurrent-mutator quiesce) must equal the answer of an in-memory
-//!   reference tree that applied exactly the committed operations.
+//!   crash, after recovery, from the concurrent reader, after the
+//!   concurrent-mutator quiesce, and while the self-tuning controller
+//!   resizes and re-pins the pool underneath) must equal the answer of an
+//!   in-memory reference tree that applied exactly the committed
+//!   operations.
 //! * **Durability** — after the simulated reboot, `recover` must restore
 //!   exactly the committed prefix: item counts and query results match the
 //!   reference, nothing more and nothing less. The mutator phase then
@@ -22,14 +24,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtree_buffer::LruPolicy;
 use rtree_buffer::PageId;
+use rtree_core::TreeDescription;
 use rtree_exec::{BatchConfig, BatchExecutor};
 use rtree_geom::Rect;
 use rtree_index::{RTree, RTreeBuilder};
-use rtree_obs::{CountingSink, TraceSink};
+use rtree_obs::{CountingSink, TraceSink, TuneObserver};
 use rtree_pager::{
     recover, replay_committed, ConcurrentDiskRTree, DiskRTree, FaultStore, MemStore, PageStore,
     SharedMemStore, StepSchedule, StepStore, PAGE_SIZE,
 };
+use rtree_tune::{Actuator, Controller, ControllerConfig, DiskActuator, Setting};
 use rtree_wal::{CrashSwitch, FaultLog, GroupWal, LogBackend, MemLog, StagedLog, Wal};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -439,7 +443,10 @@ pub fn run_plan(plan: &ChaosPlan, plant: bool) -> ChaosReport {
     // ---- Phase 5: concurrent mutators + group-commit durability. --------
     run_mutator_phase(plan, &mut store, &reference, &mut report);
 
-    // ---- Phase 6: sequential accounting oracle (consumes the store). ----
+    // ---- Phase 6: the self-tuning controller under the same oracles. ----
+    run_adaptive_phase(plan, &mut store, &reference, &mut report);
+
+    // ---- Phase 7: sequential accounting oracle (consumes the store). ----
     run_accounting_phase(plan, store, &mut report);
 
     report
@@ -1067,6 +1074,179 @@ fn run_concurrent_phase(
                 oracle: Oracle::Accounting,
                 detail: format!("{what}: trace {lhs} != stats {rhs}"),
             });
+        }
+    }
+}
+
+/// Opens a copy of the recovered store under the `rtree-tune` controller
+/// and interleaves controller ticks — estimate, refit, actuate — with the
+/// plan's query stream (three passes, ticking every `4 + seed % 5`
+/// queries, so seeds sweep both the before-first-decision and the
+/// post-actuation regimes). Two oracles:
+///
+/// * **Differential** — actuation only moves caching state (pool size,
+///   pins), never tree contents, so every query answered while the
+///   controller resizes and re-pins underneath must still equal the
+///   reference.
+/// * **Accounting** — the cumulative `IoStats` and the trace sink survive
+///   every resize (only the pool's access/hit counters restart with the
+///   fresh frames), so the counters defined *across* actuations must
+///   reconcile: traced misses equal physical reads (read-only, no
+///   prefetch), peek reads agree, and nothing is ever written back.
+///   Afterwards the controller's belief must match the tree it steered.
+fn run_adaptive_phase(
+    plan: &ChaosPlan,
+    store: &mut MemStore,
+    reference: &RTree,
+    report: &mut ChaosReport,
+) {
+    let queries = plan.query_rects();
+    if queries.is_empty() || reference.len() == 0 {
+        return;
+    }
+    let fail = |report: &mut ChaosReport, oracle: Oracle, detail: String| {
+        report.failures.push(ChaosFailure { oracle, detail });
+    };
+    let copy = match copy_store(store) {
+        Ok(c) => c,
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Differential,
+                format!("copying store for adaptive phase failed: {e}"),
+            );
+            return;
+        }
+    };
+    // The controller's budget: the plan's capacity, floored so even the
+    // tiniest seeds leave the planner a few frames to move between.
+    let budget = plan.buffer_capacity.max(4);
+    let mut disk = match DiskRTree::open(copy, budget, LruPolicy::new()) {
+        Ok(d) => d,
+        Err(e) => {
+            fail(
+                report,
+                Oracle::Differential,
+                format!("opening tree for adaptive phase failed: {e}"),
+            );
+            return;
+        }
+    };
+    let sink = Arc::new(CountingSink::new());
+    disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
+
+    // The controller plans against the reference's shape (built by the
+    // same insert sequence); the actuator clamps pinning to whatever the
+    // recovered meta actually describes.
+    let desc = TreeDescription::from_tree(reference);
+    let cfg = ControllerConfig {
+        min_samples: 16,
+        min_interval: 1,
+        window: 256,
+        ..ControllerConfig::new(budget)
+    };
+    let controller = Controller::new(
+        desc,
+        Setting {
+            buffer: budget,
+            pin_levels: 0,
+        },
+        cfg,
+    );
+
+    let tick_every = 4 + (plan.seed % 5) as usize;
+    let mut since_tick = 0usize;
+    for round in 0..3 {
+        for q in &queries {
+            controller.observe_query(q.lo.x, q.lo.y, q.hi.x, q.hi.y);
+            report.queries_checked += 1;
+            match disk.query(q) {
+                Ok(got) => {
+                    if sorted(got) != sorted(reference.search(q)) {
+                        fail(
+                            report,
+                            Oracle::Differential,
+                            format!(
+                                "adaptive-phase query {q} (round {round}) diverged from \
+                                 reference"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => fail(
+                    report,
+                    Oracle::Differential,
+                    format!("adaptive-phase query {q} (round {round}) failed: {e}"),
+                ),
+            }
+            since_tick += 1;
+            if since_tick == tick_every {
+                since_tick = 0;
+                if let Err(e) = controller.tick_with(|s| DiskActuator::new(&mut disk).apply(s)) {
+                    fail(
+                        report,
+                        Oracle::Differential,
+                        format!("adaptive-phase actuation failed: {e}"),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    // The tick ledger: one tick per `tick_every` queries, exactly.
+    let want_ticks = (3 * queries.len() / tick_every) as u64;
+    if controller.ticks() != want_ticks {
+        fail(
+            report,
+            Oracle::Accounting,
+            format!(
+                "controller counted {} ticks, schedule ran {want_ticks}",
+                controller.ticks()
+            ),
+        );
+    }
+    // The controller's belief must match the tree it steered.
+    let believed = controller.current();
+    if disk.buffer_capacity() != believed.buffer {
+        fail(
+            report,
+            Oracle::Accounting,
+            format!(
+                "controller believes {} frames, pool holds {}",
+                believed.buffer,
+                disk.buffer_capacity()
+            ),
+        );
+    }
+    let applied_pin = believed.pin_levels.min(disk.meta().level_starts.len());
+    if (disk.pinned_pages() > 0) != (applied_pin > 0) {
+        fail(
+            report,
+            Oracle::Accounting,
+            format!(
+                "controller believes pin {} ({} levels applicable), tree pins {} pages",
+                believed.pin_levels,
+                applied_pin,
+                disk.pinned_pages()
+            ),
+        );
+    }
+    // Counters that are defined across resizes must still reconcile.
+    let io = disk.io_stats();
+    let c = sink.counts();
+    let checks: [(&str, u64, u64); 3] = [
+        ("adaptive misses vs physical reads", c.misses, io.reads),
+        ("adaptive peek reads", c.peek_reads, io.peek_reads),
+        ("adaptive write backs (read-only run)", c.write_backs, 0),
+    ];
+    for (what, lhs, rhs) in checks {
+        if lhs != rhs {
+            fail(
+                report,
+                Oracle::Accounting,
+                format!("{what}: trace {lhs} != stats {rhs}"),
+            );
         }
     }
 }

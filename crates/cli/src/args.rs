@@ -33,7 +33,9 @@ pub(crate) fn err(msg: impl Into<String>) -> CliError {
 
 /// Flags that are presence toggles and take no value. Everything else uses
 /// the uniform `--key value` form.
-const BOOL_FLAGS: &[&str] = &["json", "prom", "plant", "shutdown", "quick", "writers"];
+const BOOL_FLAGS: &[&str] = &[
+    "json", "prom", "plant", "shutdown", "quick", "writers", "adaptive",
+];
 
 /// Subcommands that are fully seed-driven and take no input argument.
 const NO_POSITIONAL: &[&str] = &["chaos"];

@@ -20,6 +20,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "generate" => generate(args),
         "build" => build(args),
         "model" => model(args),
+        "tune" => tune(args),
         "simulate" => simulate(args),
         "update" => update(args),
         "batch" => batch(args),
@@ -154,8 +155,19 @@ fn model(args: &Args) -> Result<String, CliError> {
         desc.nodes_per_level(),
         model.expected_node_accesses()
     );
-    let _ = writeln!(out, "{:>10}  {:>22}", "buffer", "disk accesses/query");
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>34}  {:>22}",
+        "buffer", "warm-up N*", "disk accesses/query"
+    );
     for b in buffers {
+        // The warm-up column is typed: a buffer too large for the reachable
+        // working set reports *why* there is no N* instead of a blank.
+        let warm = if pin == 0 {
+            model.warmup(b).to_string()
+        } else {
+            "-".to_string()
+        };
         let ed = if pin == 0 {
             Ok(model.expected_disk_accesses(b))
         } else {
@@ -165,10 +177,10 @@ fn model(args: &Args) -> Result<String, CliError> {
         };
         match ed {
             Ok(v) => {
-                let _ = writeln!(out, "{b:>10}  {v:>22.4}");
+                let _ = writeln!(out, "{b:>10}  {warm:>34}  {v:>22.4}");
             }
             Err(e) => {
-                let _ = writeln!(out, "{b:>10}  {e:>22}");
+                let _ = writeln!(out, "{b:>10}  {warm:>34}  {e:>22}");
             }
         }
     }
@@ -179,6 +191,98 @@ fn model(args: &Args) -> Result<String, CliError> {
             model.pinned_pages(pin)
         );
     }
+    Ok(out)
+}
+
+fn tune(args: &Args) -> Result<String, CliError> {
+    use rtree_tune::{Controller, ControllerConfig, Setting};
+
+    args.allow_flags(&["workload", "buffers", "queries", "budget", "seed"])?;
+    let desc = TreeDescription::from_text(&read_file(&args.positional)?)
+        .map_err(|e| err(format!("parsing description: {e}")))?;
+    let workload = parse_workload(args.flag("workload").unwrap_or("point"))?;
+    let buffers = args.flag_list("buffers", &[10, 50, 100, 200, 400])?;
+    let queries: usize = args.flag_or("queries", 50_000usize)?;
+    let seed: u64 = args.flag_or("seed", 0xC11u64)?;
+    if queries == 0 {
+        return Err(err("--queries must be at least 1"));
+    }
+    if buffers.iter().any(|&b| b == 0) {
+        return Err(err("buffer sizes must be positive"));
+    }
+    let budget: usize = args.flag_or("budget", buffers.iter().copied().max().unwrap_or(100))?;
+    if budget == 0 {
+        return Err(err("--budget must be positive"));
+    }
+
+    let model = BufferModel::new(&desc, &workload);
+    let mbrs: Vec<Rect> = desc.iter().map(|(_, r)| *r).collect();
+
+    let mut out = format!(
+        "tree: {} nodes {:?}; workload {}\n",
+        desc.total_nodes(),
+        desc.nodes_per_level(),
+        args.flag("workload").unwrap_or("point"),
+    );
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>34}  {:>10}  {:>10}  {:>8}",
+        "buffer", "warm-up N*", "predicted", "measured", "error"
+    );
+    for &b in &buffers {
+        // Measure: the paper's flat LRU simulation over the description,
+        // warmed past the model's own N* (bounded for huge predictions).
+        let warm_for = match model.warmup(b).queries() {
+            Some(n) => ((n as usize).saturating_mul(4)).clamp(queries / 4, 4 * queries),
+            None => queries / 4,
+        };
+        let mut pool = BufferPool::new(b, Box::new(LruPolicy::new()) as Box<dyn ReplacementPolicy>);
+        let mut sampler = QuerySampler::new(&workload, seed);
+        for _ in 0..warm_for.max(1) {
+            let q = sampler.sample();
+            for page in flat_trace(&mbrs, &q) {
+                pool.access(page);
+            }
+        }
+        pool.reset_stats();
+        let mut misses = 0u64;
+        for _ in 0..queries {
+            let q = sampler.sample();
+            for page in flat_trace(&mbrs, &q) {
+                if pool.access(page).is_miss() {
+                    misses += 1;
+                }
+            }
+        }
+        let measured = misses as f64 / queries as f64;
+        let predicted = model.expected_disk_accesses(b);
+        let error = if measured > 0.0 {
+            format!("{:>+7.1}%", (predicted - measured) / measured * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{b:>10}  {:>34}  {predicted:>10.4}  {measured:>10.4}  {error:>8}",
+            model.warmup(b).to_string(),
+        );
+    }
+
+    // What the online controller would do with this workload: its knee
+    // plan within the frame budget.
+    let controller = Controller::new(
+        desc,
+        Setting {
+            buffer: budget,
+            pin_levels: 0,
+        },
+        ControllerConfig::new(budget),
+    );
+    let (plan, ed) = controller.plan(&model);
+    let _ = writeln!(
+        out,
+        "controller plan within budget {budget}: {plan} (predicted {ed:.4} disk accesses/query)"
+    );
     Ok(out)
 }
 
@@ -960,6 +1064,152 @@ fn run_server<E: rtree_server::QueryEngine>(
     }
 }
 
+/// A serving engine the self-tuning controller can actuate on: applies a
+/// [`rtree_tune::Setting`] (unpin → resize → re-pin) to the live tree.
+trait Tunable: rtree_server::QueryEngine {
+    fn actuate(&self, setting: rtree_tune::Setting) -> std::io::Result<()>;
+}
+
+impl Tunable for rtree_server::SequentialEngine<rtree_pager::MemStore> {
+    fn actuate(&self, setting: rtree_tune::Setting) -> std::io::Result<()> {
+        use rtree_tune::Actuator;
+        self.with_tree(|tree| rtree_tune::DiskActuator::new(tree).apply(setting))
+    }
+}
+
+impl Tunable for rtree_server::ShardedEngine<rtree_pager::MemStore> {
+    fn actuate(&self, setting: rtree_tune::Setting) -> std::io::Result<()> {
+        use rtree_tune::Actuator;
+        rtree_tune::ConcurrentActuator::new(self.tree()).apply(setting)
+    }
+}
+
+/// Wraps a [`Tunable`] engine with the online controller: every served
+/// query feeds the workload window, and when the background timer marks a
+/// tick due the controller runs its estimate → refit → actuate loop on
+/// the serving path (so actuation is always between batches, never racing
+/// one). Actuation errors are swallowed — a failed resize must not fail
+/// the client batch; the controller retries at the next tick.
+struct AdaptiveEngine<E: Tunable> {
+    inner: E,
+    controller: std::sync::Arc<rtree_tune::Controller>,
+    tick_due: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<E: Tunable> rtree_server::QueryEngine for AdaptiveEngine<E> {
+    fn execute(&self, queries: &[Rect]) -> std::io::Result<Vec<Vec<u64>>> {
+        use rtree_obs::TuneObserver;
+        for q in queries {
+            self.controller
+                .observe_query(q.lo.x, q.lo.y, q.hi.x, q.hi.y);
+        }
+        if self
+            .tick_due
+            .swap(false, std::sync::atomic::Ordering::Relaxed)
+        {
+            let _ = self.controller.tick_with(|s| self.inner.actuate(s));
+        }
+        self.inner.execute(queries)
+    }
+
+    fn io_stats(&self) -> rtree_pager::IoStats {
+        self.inner.io_stats()
+    }
+
+    fn execute_writes(&self, ops: &[rtree_server::WriteOp]) -> Vec<std::io::Result<bool>> {
+        use rtree_obs::TuneObserver;
+        for _ in ops {
+            self.controller.observe_write();
+        }
+        self.inner.execute_writes(ops)
+    }
+
+    fn write_stats(&self) -> rtree_server::WriteStats {
+        self.inner.write_stats()
+    }
+}
+
+/// `serve --adaptive`: wraps `inner` in the controller, runs the server
+/// with a background thread marking a tuning tick due every
+/// `tune_interval_ms`, and appends the controller's decision log to the
+/// exit summary (on both the success and the reconciliation-failure path).
+#[allow(clippy::too_many_arguments)]
+fn serve_adaptive<E: Tunable>(
+    inner: E,
+    desc: TreeDescription,
+    buffer: usize,
+    budget: usize,
+    tune_interval_ms: u64,
+    addr: &str,
+    config: rtree_server::ServerConfig,
+    duration: f64,
+    port_file: Option<&str>,
+    sink: std::sync::Arc<rtree_obs::CountingSink>,
+) -> Result<String, CliError> {
+    use rtree_tune::{Controller, ControllerConfig, Setting};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let controller = Arc::new(Controller::new(
+        desc,
+        Setting {
+            buffer,
+            pin_levels: 0,
+        },
+        ControllerConfig::new(budget),
+    ));
+    let tick_due = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let tick_due = Arc::clone(&tick_due);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let interval = Duration::from_millis(tune_interval_ms);
+            let mut next = Instant::now() + interval;
+            while !stop.load(Ordering::Relaxed) {
+                // Sleep in short slices so shutdown never waits out a
+                // long interval.
+                std::thread::sleep(Duration::from_millis(25).min(interval));
+                if Instant::now() >= next {
+                    tick_due.store(true, Ordering::Relaxed);
+                    next += interval;
+                }
+            }
+        })
+    };
+    let engine = AdaptiveEngine {
+        inner,
+        controller: Arc::clone(&controller),
+        tick_due,
+    };
+    let handle = rtree_server::serve(engine, addr, config)
+        .map_err(|e| err(format!("binding {addr}: {e}")))?;
+    let result = run_server(handle, duration, port_file, sink);
+    stop.store(true, Ordering::Relaxed);
+    let _ = ticker.join();
+
+    let mut tail = format!(
+        "tuning: {} ticks, {} decisions, final {}\n",
+        controller.ticks(),
+        controller.decisions().len(),
+        controller.current(),
+    );
+    for d in controller.decisions() {
+        let _ = writeln!(tail, "  {d}");
+    }
+    match result {
+        Ok(mut out) => {
+            out.push_str(&tail);
+            Ok(out)
+        }
+        Err(CliError(mut out)) => {
+            out.push_str(&tail);
+            Err(CliError(out))
+        }
+    }
+}
+
 fn serve(args: &Args) -> Result<String, CliError> {
     use rtree_obs::{CountingSink, TraceSink};
     use rtree_pager::{ConcurrentDiskRTree, DiskRTree, MemStore, SharedMemStore};
@@ -984,6 +1234,9 @@ fn serve(args: &Args) -> Result<String, CliError> {
         "window",
         "writers",
         "write-threads",
+        "adaptive",
+        "tune-interval",
+        "budget",
     ])?;
     let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
     if rects.is_empty() {
@@ -1008,8 +1261,23 @@ fn serve(args: &Args) -> Result<String, CliError> {
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
     let port_file = args.flag("port-file");
     let sink = Arc::new(CountingSink::new());
+    let adaptive = args.flag_bool("adaptive");
+    let tune_interval: u64 = args.flag_or("tune-interval", 250u64)?;
+    if tune_interval == 0 {
+        return Err(err("--tune-interval must be at least 1 ms"));
+    }
+    let budget: usize = args.flag_or("budget", buffer)?;
+    if budget == 0 {
+        return Err(err("--budget must be positive"));
+    }
 
     if args.flag_bool("writers") {
+        if adaptive {
+            // The writer engine's tree mutates away from the bulk-load
+            // layout the analytic model describes, so there is nothing
+            // sound to refit against.
+            return Err(err("--adaptive is not supported with --writers"));
+        }
         // Writer mode: an empty writable tree seeded through the insert
         // path itself (every seed is WAL-logged and group-committed),
         // then served read-write through the latch-crabbing engine.
@@ -1055,9 +1323,26 @@ fn serve(args: &Args) -> Result<String, CliError> {
             let mut disk = DiskRTree::create(MemStore::new(), &tree, buffer, policy.build())
                 .map_err(|e| err(format!("creating tree: {e}")))?;
             disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
-            let handle = rtree_server::serve(SequentialEngine::new(disk, window), addr, config)
-                .map_err(|e| err(format!("binding {addr}: {e}")))?;
-            run_server(handle, duration, port_file, sink)
+            let engine = SequentialEngine::new(disk, window);
+            if adaptive {
+                let desc = TreeDescription::from_tree(&tree);
+                serve_adaptive(
+                    engine,
+                    desc,
+                    buffer,
+                    budget,
+                    tune_interval,
+                    addr,
+                    config,
+                    duration,
+                    port_file,
+                    sink,
+                )
+            } else {
+                let handle = rtree_server::serve(engine, addr, config)
+                    .map_err(|e| err(format!("binding {addr}: {e}")))?;
+                run_server(handle, duration, port_file, sink)
+            }
         }
         "sharded" => {
             let shards: usize = args.flag_or("shards", 1usize)?;
@@ -1069,9 +1354,26 @@ fn serve(args: &Args) -> Result<String, CliError> {
                 })
                 .map_err(|e| err(format!("creating tree: {e}")))?;
             disk.set_trace_sink(Some(Arc::clone(&sink) as Arc<dyn TraceSink>));
-            let handle = rtree_server::serve(ShardedEngine::new(disk, workers), addr, config)
-                .map_err(|e| err(format!("binding {addr}: {e}")))?;
-            run_server(handle, duration, port_file, sink)
+            let engine = ShardedEngine::new(disk, workers);
+            if adaptive {
+                let desc = TreeDescription::from_tree(&tree);
+                serve_adaptive(
+                    engine,
+                    desc,
+                    buffer,
+                    budget,
+                    tune_interval,
+                    addr,
+                    config,
+                    duration,
+                    port_file,
+                    sink,
+                )
+            } else {
+                let handle = rtree_server::serve(engine, addr, config)
+                    .map_err(|e| err(format!("binding {addr}: {e}")))?;
+                run_server(handle, duration, port_file, sink)
+            }
         }
         other => Err(err(format!("unknown engine {other:?} (seq | sharded)"))),
     }
@@ -1086,6 +1388,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         "qps",
         "queries",
         "workload",
+        "zipf",
         "count-fraction",
         "write-fraction",
         "seed",
@@ -1110,14 +1413,38 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&write_fraction) {
         return Err(err("--write-fraction must be in [0, 1]"));
     }
+    let seed: u64 = args.flag_or("seed", 42u64)?;
+    let mut workload = parse_workload(args.flag("workload").unwrap_or("region:0.03:0.03"))?;
+    let zipf: f64 = args.flag_or("zipf", 0.0f64)?;
+    if zipf < 0.0 {
+        return Err(err("--zipf must be non-negative"));
+    }
+    if zipf > 0.0 {
+        // Zipf-by-rank as a center multiset: rank k gets copies in
+        // proportion to 1/k^theta, so a uniform draw over the reweighted
+        // centers reproduces the skew — same trick the analytic model's
+        // data-driven workload uses, so the server-side controller can
+        // still refit against what this generator sends.
+        let Some(centers) = workload.centers().map(<[_]>::to_vec) else {
+            return Err(err(
+                "--zipf needs a data-driven workload (data:<QX>:<QY>:<DATA.csv>)",
+            ));
+        };
+        let total = (centers.len() * 4).max(1024);
+        workload = Workload::data_driven(
+            workload.qx(),
+            workload.qy(),
+            rtree_datagen::zipf_center_multiset(&centers, zipf, total, seed),
+        );
+    }
     let config = LoadConfig {
         connections,
         queries,
         target_qps: args.flag_or("qps", 0.0f64)?,
-        workload: parse_workload(args.flag("workload").unwrap_or("region:0.03:0.03"))?,
+        workload,
         count_fraction,
         write_fraction,
-        seed: args.flag_or("seed", 42u64)?,
+        seed,
         shutdown_after: args.flag_bool("shutdown"),
     };
     let addr = args.positional.as_str();
@@ -1588,6 +1915,106 @@ mod tests {
     }
 
     #[test]
+    fn tune_prints_predicted_vs_measured_and_plan() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-tune-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.csv");
+        let desc = dir.join("t.desc");
+        run(&args(&format!(
+            "generate region:2000 --seed 5 --out {}",
+            data.display()
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "build {} --cap 25 --out {}",
+            data.display(),
+            desc.display()
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "tune {} --workload region:0.05:0.05 --buffers 10,80 --queries 3000 --seed 2",
+            desc.display()
+        )))
+        .unwrap();
+        assert!(out.contains("warm-up N*"), "got: {out}");
+        assert!(out.contains("measured"), "got: {out}");
+        // The warm-up column is typed: a huge buffer prints the explicit
+        // "never fills" note instead of dropping the row.
+        let rows: Vec<&str> = out
+            .lines()
+            .filter(|l| {
+                let first = l.split_whitespace().next().unwrap_or("");
+                first == "10" || first == "80"
+            })
+            .collect();
+        assert_eq!(rows.len(), 2, "got: {out}");
+        assert!(
+            out.contains("controller plan within budget 80"),
+            "got: {out}"
+        );
+        let big = run(&args(&format!(
+            "tune {} --buffers 100000 --queries 500",
+            desc.display()
+        )))
+        .unwrap();
+        assert!(big.contains("never fills"), "got: {big}");
+        assert!(run(&args(&format!("tune {} --queries 0", desc.display()))).is_err());
+        assert!(run(&args(&format!("tune {} --buffers 0,5", desc.display()))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_adaptive_round_trip_with_zipf_load() {
+        let dir = std::env::temp_dir().join(format!("rtrees-cli-adsrv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let port = dir.join("port");
+        run(&args(&format!(
+            "generate clustered:2500:10:0.03 --seed 5 --out {}",
+            data.display()
+        )))
+        .unwrap();
+
+        let serve_args = args(&format!(
+            "serve {} --cap 10 --buffer 64 --adaptive --tune-interval 20 --budget 64 \
+             --duration 30 --port-file {}",
+            data.display(),
+            port.display()
+        ));
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = wait_for_port(&port);
+
+        // Rate-limit the load so the run spans several controller ticks,
+        // and skew it so the estimator sees a non-uniform stream.
+        let out = run(&args(&format!(
+            "loadgen {addr} --queries 240 --qps 800 --connections 4 --seed 3 \
+             --workload data:0.04:0.04:{} --zipf 0.9 --shutdown --json",
+            data.display()
+        )))
+        .unwrap();
+        assert!(out.contains("\"ok\": 240"), "got: {out}");
+        assert!(out.contains("\"errors\": 0"), "got: {out}");
+
+        // The summary must reconcile even across live resizes/re-pins,
+        // and it must carry the tuning report.
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("reconciled: yes"), "got: {summary}");
+        assert!(summary.contains("tuning:"), "got: {summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loadgen_zipf_needs_data_driven_workload() {
+        // Rejected while building the config, before any connection.
+        let e = run(&args(
+            "loadgen 127.0.0.1:1 --zipf 0.8 --workload region:0.04:0.04",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("data-driven"), "got: {e}");
+        assert!(run(&args("loadgen 127.0.0.1:1 --zipf -0.5")).is_err());
+    }
+
+    #[test]
     fn serve_rejects_bad_flags() {
         let dir = std::env::temp_dir().join(format!("rtrees-cli-srvbad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1603,6 +2030,9 @@ mod tests {
             format!("serve {} --workers 0", data.display()),
             format!("serve {} --engine warp", data.display()),
             format!("serve {} --buffer 0", data.display()),
+            format!("serve {} --adaptive --writers", data.display()),
+            format!("serve {} --adaptive --tune-interval 0", data.display()),
+            format!("serve {} --adaptive --budget 0", data.display()),
         ] {
             assert!(run(&args(&bad)).is_err(), "accepted: {bad}");
         }

@@ -40,6 +40,15 @@ USAGE:
                   [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
       Runs the paper's flat LRU simulation over the description.
 
+  rtrees tune <TREE.desc> [--workload W] [--buffers B1,B2,...] [--queries N]
+              [--budget B] [--seed N]
+      Predicted-vs-measured curves: for each buffer size, the model's
+      warm-up point N* (or a typed \"never fills\" note), predicted disk
+      accesses/query (eq. 6), the measured steady-state rate from the
+      flat LRU simulation, and their relative error — then the knee-point
+      plan the online controller would pick within --budget (default: the
+      largest buffer listed).
+
   rtrees update <DATA.csv> [--cap N] [--buffer B] [--policy LRU|LRU2|FIFO|CLOCK|RANDOM]
                 [--deletes F] [--checkpoint N] [--seed N]
       Replays the data set as a write workload (inserts, then deletes a
@@ -86,6 +95,7 @@ USAGE:
                [--engine seq|sharded] [--shards S] [--loader L] [--cap N]
                [--buffer B] [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]
                [--batch N] [--wait-us U] [--queue N] [--workers N] [--window W]
+               [--adaptive] [--tune-interval MS] [--budget B]
       Builds the tree and serves it over framed TCP (default 127.0.0.1:0 =
       ephemeral; --port-file publishes the bound address). Queries funnel
       into the micro-batching scheduler: a batch closes at N queries
@@ -94,17 +104,24 @@ USAGE:
       Runs until a Shutdown frame arrives (or --duration seconds), drains,
       and prints queries/batches, reads per query, queue-wait quantiles,
       and whether the batcher, I/O ledger and trace counters reconcile.
+      --adaptive runs the self-tuning controller (engines seq|sharded): a
+      background tick every MS milliseconds (default 250) re-estimates the
+      workload from served queries, refits the buffer model, and resizes /
+      re-pins the pool within --budget frames (default --buffer); the
+      tuning decisions are listed in the exit summary.
 
   rtrees loadgen <HOST:PORT> [--connections C] [--queries N] [--qps Q]
-                 [--workload W] [--count-fraction F] [--seed N]
+                 [--workload W] [--zipf THETA] [--count-fraction F] [--seed N]
                  [--shutdown] [--quick] [--json]
       Open-loop load generator: C connections offer N queries total at a
       target aggregate rate Q (0 = closed loop), a fraction F as count
       queries. Latency is charged from each query's scheduled send time,
       so coordinated omission is not hidden. Reports sent/ok/overloaded/
       errors, p50/p99/p999/mean latency, and server demand reads per query
-      (from the server's stats delta). --shutdown stops the server after
-      the run; --quick is a 200-query smoke preset.
+      (from the server's stats delta). --zipf skews a data-driven workload
+      by rank (Zipf exponent THETA: hot centers draw most queries).
+      --shutdown stops the server after the run; --quick is a 200-query
+      smoke preset.
 
 Common: --help prints this text.
 ";

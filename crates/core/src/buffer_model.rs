@@ -122,8 +122,27 @@ impl BufferModel {
     /// the expected number of distinct nodes touched reaches the buffer
     /// size `B`. `None` if the buffer can hold every node the workload ever
     /// touches (the steady state then needs no disk reads at all).
+    ///
+    /// Prefer [`BufferModel::warmup`] in reporting paths: it distinguishes
+    /// *why* there is no finite `N*`, so a `None` cannot silently disappear
+    /// from a table.
     pub fn warmup_queries(&self, buffer: usize) -> Option<u64> {
         self.warmup_queries_skipped(buffer, 0)
+    }
+
+    /// The warm-up search as a typed outcome. Unlike
+    /// [`BufferModel::warmup_queries`], a buffer that never fills is an
+    /// explicit, printable case rather than a bare `None` — callers
+    /// building reports must show *something* for every buffer size
+    /// instead of skipping the row.
+    pub fn warmup(&self, buffer: usize) -> WarmupOutcome {
+        match self.warmup_queries_skipped(buffer, 0) {
+            Some(n) => WarmupOutcome::FillsAfter(n),
+            None => WarmupOutcome::NeverFills {
+                reachable: self.probs(0).filter(|&p| p > 0.0).count(),
+                buffer,
+            },
+        }
     }
 
     fn warmup_queries_skipped(&self, buffer: usize, skip_levels: usize) -> Option<u64> {
@@ -242,6 +261,54 @@ impl BufferModel {
             }
         }
         self.nodes_per_level.len()
+    }
+}
+
+/// Typed outcome of the warm-up search (see [`BufferModel::warmup`]).
+///
+/// `warmup_queries` collapses the "buffer never fills" case into `None`,
+/// which report-building call sites historically dropped on the floor —
+/// the row for a buffer big enough to hold the working set simply went
+/// missing. This enum keeps the case explicit and printable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmupOutcome {
+    /// The buffer fills after this many queries (`N*` of eq. 5/6).
+    FillsAfter(u64),
+    /// The buffer never fills: it can hold every node the workload ever
+    /// touches (`reachable <= buffer`, or the residual fill probability is
+    /// below f64 resolution). Steady state then needs no disk reads.
+    NeverFills {
+        /// Nodes with a nonzero access probability.
+        reachable: usize,
+        /// The buffer size the search ran with.
+        buffer: usize,
+    },
+}
+
+impl WarmupOutcome {
+    /// The finite warm-up length, if there is one (mirrors the legacy
+    /// `Option` shape).
+    pub fn queries(&self) -> Option<u64> {
+        match self {
+            WarmupOutcome::FillsAfter(n) => Some(*n),
+            WarmupOutcome::NeverFills { .. } => None,
+        }
+    }
+
+    /// True when the buffer holds the entire reachable working set.
+    pub fn never_fills(&self) -> bool {
+        matches!(self, WarmupOutcome::NeverFills { .. })
+    }
+}
+
+impl fmt::Display for WarmupOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmupOutcome::FillsAfter(n) => write!(f, "{n}"),
+            WarmupOutcome::NeverFills { reachable, buffer } => {
+                write!(f, "never fills ({reachable} reachable, {buffer} frames)")
+            }
+        }
     }
 }
 
@@ -418,6 +485,38 @@ mod tests {
         assert_eq!(m.pinned_pages(1), 1);
         assert_eq!(m.pinned_pages(2), 4);
         assert_eq!(m.pinned_pages(3), 24);
+    }
+
+    #[test]
+    fn warmup_outcome_matches_option_shape() {
+        let m = toy();
+        assert_eq!(m.warmup(1), WarmupOutcome::FillsAfter(1));
+        assert_eq!(m.warmup(1).queries(), m.warmup_queries(1));
+        let w = m.warmup(3);
+        assert!(w.never_fills());
+        assert_eq!(w.queries(), None);
+        assert_eq!(
+            w,
+            WarmupOutcome::NeverFills {
+                reachable: 3,
+                buffer: 3
+            }
+        );
+        // The typed outcome always renders to something printable.
+        assert_eq!(m.warmup(1).to_string(), "1");
+        assert!(w.to_string().contains("never fills"));
+    }
+
+    #[test]
+    fn warmup_outcome_excludes_unreachable_nodes() {
+        let m = BufferModel::from_probabilities(vec![vec![1.0], vec![0.0; 10]]);
+        assert_eq!(
+            m.warmup(2),
+            WarmupOutcome::NeverFills {
+                reachable: 1,
+                buffer: 2
+            }
+        );
     }
 
     #[test]

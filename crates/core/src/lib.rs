@@ -30,7 +30,7 @@ mod node_model;
 mod tree_desc;
 mod workload;
 
-pub use buffer_model::{BufferModel, PinningError};
+pub use buffer_model::{BufferModel, PinningError, WarmupOutcome};
 pub use estimate::{QueryCost, QueryCostEstimator};
 pub use mixed::MixedWorkload;
 pub use node_model::NodeAccessModel;

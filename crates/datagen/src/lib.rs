@@ -25,11 +25,15 @@ mod cfd;
 mod clustered;
 mod tiger;
 mod uniform;
+mod zipf;
 
 pub use cfd::CfdLike;
 pub use clustered::ClusteredPoints;
 pub use tiger::TigerLike;
 pub use uniform::{SyntheticPoint, SyntheticRegion};
+pub use zipf::{
+    chi_square, data_driven_workload, zipf_center_multiset, zipf_workload, ZipfWeights,
+};
 
 use rtree_geom::{Point, Rect};
 

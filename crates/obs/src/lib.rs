@@ -46,6 +46,7 @@ mod event;
 mod export;
 mod hist;
 mod ring;
+mod tune;
 
 pub use event::{
     CountingSink, EventCounts, EventKind, IoEvent, LevelCounts, NullSink, PerLevelSink, TraceSink,
@@ -53,6 +54,7 @@ pub use event::{
 pub use export::PromText;
 pub use hist::{AtomicHistogram, Histogram, QueryMetrics, QueryMetricsSnapshot, BUCKETS};
 pub use ring::RingSink;
+pub use tune::{NullTuneObserver, TuneObserver};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -513,6 +513,27 @@ impl<S: PageStore> BufferManager<S> {
         self.frames.retain(|id, _| pinned.contains(id));
         Ok(())
     }
+
+    /// Unpins every pinned page. The frames stay resident and re-enter
+    /// replacement, so this costs no I/O — it only makes the pages
+    /// evictable again (the controller's first step when it re-targets
+    /// pinning at a different level set).
+    pub fn unpin_all(&mut self) {
+        let pinned: Vec<PageId> = self
+            .frames
+            .keys()
+            .copied()
+            .filter(|&id| self.pool.is_pinned(id))
+            .collect();
+        for id in pinned {
+            self.pool.unpin(id);
+        }
+    }
+
+    /// Number of currently pinned pages.
+    pub fn pinned_count(&self) -> usize {
+        self.pool.pinned_count()
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +574,25 @@ mod tests {
         assert_eq!(m.fetch(PageId(1)).unwrap()[0], 1);
         assert_eq!(m.physical_reads(), 4, "page 1 was evicted");
         assert_eq!(m.frames.len(), 2, "frames track residency");
+    }
+
+    #[test]
+    fn unpin_all_reenters_replacement_and_allows_shrink() {
+        let mut m = make(6, 4);
+        m.pin(PageId(1)).unwrap();
+        m.pin(PageId(2)).unwrap();
+        m.pin(PageId(3)).unwrap();
+        assert_eq!(m.pinned_count(), 3);
+        // Shrinking below the pinned count is refused...
+        assert!(m.resize(2, LruPolicy::new()).is_err());
+        // ...but after unpin_all the same shrink succeeds, and unpinning
+        // itself costs no I/O.
+        let reads = m.physical_reads();
+        m.unpin_all();
+        assert_eq!(m.pinned_count(), 0);
+        assert_eq!(m.physical_reads(), reads);
+        m.resize(2, LruPolicy::new()).unwrap();
+        assert_eq!(m.pool().capacity(), 2);
     }
 
     #[test]

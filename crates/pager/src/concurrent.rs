@@ -451,6 +451,116 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         Ok(())
     }
 
+    /// Unpins every pinned page across all shards. Frames stay resident
+    /// and re-enter replacement in their shard; no I/O is performed.
+    pub fn unpin_all(&self) {
+        for shard in self.shards.iter() {
+            let mut s = shard.state.lock();
+            let pinned: Vec<PageId> = s
+                .frames
+                .keys()
+                .copied()
+                .filter(|&id| s.pool.is_pinned(id))
+                .collect();
+            for id in pinned {
+                s.pool.unpin(id);
+            }
+        }
+    }
+
+    /// Re-targets pinning at the top `p` levels: unpins everything, then
+    /// pins (see [`ConcurrentDiskRTree::pin_top_levels`]). `p = 0` just
+    /// unpins.
+    pub fn set_pinned_levels(&self, p: usize) -> io::Result<()> {
+        self.unpin_all();
+        if p > 0 {
+            self.pin_top_levels(p)?;
+        }
+        Ok(())
+    }
+
+    /// Number of currently pinned pages across all shards.
+    pub fn pinned_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().pool.pinned_count())
+            .sum()
+    }
+
+    /// Total buffer capacity in frames (sum of the shard slices).
+    pub fn buffer_capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().pool.capacity())
+            .sum()
+    }
+
+    /// Re-partitions the pool across the existing shards at a new total
+    /// `capacity`: each shard gets a fresh pool of `capacity / n` frames
+    /// (the first `capacity % n` shards one extra, mirroring construction),
+    /// built by one call to `policy` per shard. Pinned pages stay pinned
+    /// with their frames; unpinned frames are dropped, so the cache starts
+    /// cold. Shard-level counters ([`ConcurrentDiskRTree::io_stats`],
+    /// [`ConcurrentDiskRTree::buffer_stats`]) live outside the pools and
+    /// survive.
+    ///
+    /// On a writable tree the operation gate is held exclusively, so no
+    /// query or writer is in flight while the pools swap; dirty pages live
+    /// in the overlay, never in shard frames, so dropping frames loses
+    /// nothing.
+    ///
+    /// # Errors
+    /// `InvalidInput` if `capacity` is smaller than the shard count (every
+    /// shard needs ≥ 1 frame) or any shard's new slice cannot hold that
+    /// shard's currently pinned pages. The pools are untouched on error.
+    pub fn resize_buffer<P: ReplacementPolicy + 'static>(
+        &self,
+        capacity: usize,
+        mut policy: impl FnMut() -> P,
+    ) -> io::Result<()> {
+        let n = self.shards.len();
+        if capacity < n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cannot resize to {capacity} frames across {n} shards"),
+            ));
+        }
+        let _gate = self.writer.as_ref().map(|w| w.op_gate.write());
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.state.lock()).collect();
+        let base = capacity / n;
+        let rem = capacity % n;
+        for (i, s) in guards.iter().enumerate() {
+            let slice = base + usize::from(i < rem);
+            let pinned = s.frames.keys().filter(|&&id| s.pool.is_pinned(id)).count();
+            if slice < pinned {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "cannot resize to {capacity} frames: shard {i} holds {pinned} pinned \
+                         pages but would get {slice} frames"
+                    ),
+                ));
+            }
+        }
+        for (i, s) in guards.iter_mut().enumerate() {
+            let slice = base + usize::from(i < rem);
+            let pinned: Vec<PageId> = s
+                .frames
+                .keys()
+                .copied()
+                .filter(|&id| s.pool.is_pinned(id))
+                .collect();
+            let mut pool = BufferPool::new(slice, Box::new(policy()) as Box<dyn ReplacementPolicy>);
+            for &id in &pinned {
+                pool.admit_pinned(id)
+                    .expect("slice was checked against the pinned count");
+            }
+            s.pool = pool;
+            s.frames.retain(|id, _| pinned.contains(id));
+        }
+        Ok(())
+    }
+
     /// Fetches a page through its shard, charging the access to the pool.
     /// Also reports whether the access missed (i.e. cost a physical read),
     /// so the caller can attribute the event to its query span.
@@ -2176,6 +2286,69 @@ mod tests {
                 "policy {name}: every op commits"
             );
         }
+    }
+
+    #[test]
+    fn resize_repartitions_shards_and_keeps_pins_and_answers() {
+        let rects = sample_rects(2_000);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 64, 4, LruPolicy::new)
+                .unwrap();
+        assert_eq!(disk.buffer_capacity(), 64);
+        disk.pin_top_levels(2).unwrap();
+        let pinned = disk.pinned_pages();
+        assert!(pinned > 0);
+        let q = Rect::new(0.1, 0.1, 0.5, 0.5);
+        let mut want = disk.query(&q).unwrap();
+        want.sort_unstable();
+
+        // Shrinking below the shard count or a shard's pinned share fails
+        // with the pools untouched.
+        assert_eq!(
+            disk.resize_buffer(3, LruPolicy::new).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert_eq!(
+            disk.resize_buffer(pinned.max(4) - 1, LruPolicy::new)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert_eq!(disk.buffer_capacity(), 64);
+        assert_eq!(disk.pinned_pages(), pinned);
+
+        // A legal resize keeps the pins and the answers; pinned frames
+        // carry over so re-reading them costs no I/O.
+        disk.resize_buffer(24, LruPolicy::new).unwrap();
+        assert_eq!(disk.buffer_capacity(), 24);
+        assert_eq!(disk.pinned_pages(), pinned);
+        let before = disk.physical_reads();
+        let mut got = disk.query(&q).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert!(disk.physical_reads() >= before, "counters survive resize");
+    }
+
+    #[test]
+    fn set_pinned_levels_retargets_without_io() {
+        let rects = sample_rects(2_000);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 64, LruPolicy::new()).unwrap();
+        disk.pin_top_levels(2).unwrap();
+        let deep = disk.pinned_pages();
+        let reads = disk.physical_reads();
+        // Retargeting to fewer levels unpins without touching the store.
+        disk.set_pinned_levels(1).unwrap();
+        assert!(disk.pinned_pages() < deep);
+        assert_eq!(disk.physical_reads(), reads, "unpin is I/O-free");
+        // Re-pinning the already-resident second level is also free.
+        disk.set_pinned_levels(2).unwrap();
+        assert_eq!(disk.pinned_pages(), deep);
+        assert_eq!(disk.physical_reads(), reads, "frames stayed resident");
+        disk.set_pinned_levels(0).unwrap();
+        assert_eq!(disk.pinned_pages(), 0);
     }
 
     /// Adapter: the writable constructor takes `impl ReplacementPolicy`,

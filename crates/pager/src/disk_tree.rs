@@ -187,6 +187,32 @@ impl<S: PageStore> DiskRTree<S> {
         Ok(())
     }
 
+    /// Re-targets pinning at the top `p` levels: everything currently
+    /// pinned is unpinned (frames stay resident, no I/O), then the top `p`
+    /// levels are pinned. `p = 0` just unpins. The idempotent actuator the
+    /// tuning controller calls — re-applying the current pinning is free.
+    ///
+    /// # Panics
+    /// Panics like [`DiskRTree::pin_top_levels`] if `p` exceeds the height
+    /// or the tree has been mutated since bulk load.
+    pub fn set_pinned_levels(&mut self, p: usize) -> io::Result<()> {
+        self.mgr.unpin_all();
+        if p > 0 {
+            self.pin_top_levels(p)?;
+        }
+        Ok(())
+    }
+
+    /// Number of currently pinned pages.
+    pub fn pinned_pages(&self) -> usize {
+        self.mgr.pinned_count()
+    }
+
+    /// Buffer pool capacity in frames.
+    pub fn buffer_capacity(&self) -> usize {
+        self.mgr.pool().capacity()
+    }
+
     /// Replaces the buffer pool with `capacity` frames under `policy`,
     /// flushing all dirty pages first so no buffered state is lost. The
     /// cache starts cold except for pinned pages, which stay pinned with

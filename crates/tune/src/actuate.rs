@@ -1,0 +1,145 @@
+//! Actuators: how a [`Setting`](crate::Setting) reaches a live tree.
+//!
+//! The actuation order is always **unpin → resize → re-pin**: unpinning
+//! first means the resize never has to refuse a shrink because of stale
+//! pins, and re-pinning last reloads (or, if the frames survived, merely
+//! re-marks) exactly the pages the new plan wants. The replacement policy
+//! of the fresh pool is always LRU — the controller's predictions come
+//! from the paper's LRU model, so actuating any other policy would break
+//! the model-vs-measured contract the tuner is built on.
+//!
+//! If re-pinning fails midway the tree is left resized but (partially)
+//! unpinned and the error is propagated; the controller does not record
+//! the decision, so the next tick simply retries the same idempotent
+//! sequence.
+
+use crate::Setting;
+use rtree_buffer::LruPolicy;
+use rtree_pager::{ConcurrentDiskRTree, DiskRTree, PageStore, SharedPageStore};
+use std::io;
+
+/// Applies settings to some tree.
+pub trait Actuator {
+    /// Makes `setting` live. Must be safe to retry after an error.
+    fn apply(&mut self, setting: Setting) -> io::Result<()>;
+}
+
+/// Actuator for the sequential [`DiskRTree`].
+pub struct DiskActuator<'a, S: PageStore> {
+    tree: &'a mut DiskRTree<S>,
+}
+
+impl<'a, S: PageStore> DiskActuator<'a, S> {
+    /// Wraps an exclusively borrowed tree.
+    pub fn new(tree: &'a mut DiskRTree<S>) -> Self {
+        DiskActuator { tree }
+    }
+}
+
+impl<S: PageStore> Actuator for DiskActuator<'_, S> {
+    fn apply(&mut self, setting: Setting) -> io::Result<()> {
+        // A mutated tree has no level table; pinning silently degrades to
+        // "none" rather than panicking mid-actuation.
+        let levels = self.tree.meta().level_starts.len();
+        let pin = setting.pin_levels.min(levels);
+        self.tree.set_pinned_levels(0)?;
+        self.tree.resize_buffer(setting.buffer, LruPolicy::new())?;
+        if pin > 0 {
+            self.tree.pin_top_levels(pin)?;
+        }
+        Ok(())
+    }
+}
+
+/// Actuator for the sharded [`ConcurrentDiskRTree`]. The resize
+/// re-partitions the capacity across the existing shards; on a writable
+/// tree the operation gate serializes it against in-flight work.
+pub struct ConcurrentActuator<'a, S: SharedPageStore> {
+    tree: &'a ConcurrentDiskRTree<S>,
+}
+
+impl<'a, S: SharedPageStore> ConcurrentActuator<'a, S> {
+    /// Wraps a shared tree.
+    pub fn new(tree: &'a ConcurrentDiskRTree<S>) -> Self {
+        ConcurrentActuator { tree }
+    }
+}
+
+impl<S: SharedPageStore> Actuator for ConcurrentActuator<'_, S> {
+    fn apply(&mut self, setting: Setting) -> io::Result<()> {
+        let levels = self.tree.meta().level_starts.len();
+        let pin = setting.pin_levels.min(levels);
+        self.tree.set_pinned_levels(0)?;
+        self.tree.resize_buffer(setting.buffer, LruPolicy::new)?;
+        if pin > 0 {
+            self.tree.pin_top_levels(pin)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_buffer::LruPolicy;
+    use rtree_geom::Rect;
+    use rtree_index::BulkLoader;
+    use rtree_pager::MemStore;
+
+    fn rects(n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.618_033) % 0.97;
+                let y = (i as f64 * 0.414_213) % 0.97;
+                Rect::new(x, y, x + 0.01, y + 0.01)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disk_actuator_applies_resize_and_pin() {
+        let tree = BulkLoader::hilbert(16).load(&rects(1_500));
+        let mut disk = DiskRTree::create(MemStore::new(), &tree, 64, LruPolicy::new()).unwrap();
+        DiskActuator::new(&mut disk)
+            .apply(Setting {
+                buffer: 32,
+                pin_levels: 2,
+            })
+            .unwrap();
+        assert_eq!(disk.buffer_capacity(), 32);
+        assert!(disk.pinned_pages() > 0);
+        // Re-target down to no pinning at a smaller size.
+        DiskActuator::new(&mut disk)
+            .apply(Setting {
+                buffer: 8,
+                pin_levels: 0,
+            })
+            .unwrap();
+        assert_eq!(disk.buffer_capacity(), 8);
+        assert_eq!(disk.pinned_pages(), 0);
+    }
+
+    #[test]
+    fn concurrent_actuator_applies_resize_and_pin() {
+        let tree = BulkLoader::hilbert(16).load(&rects(1_500));
+        let disk =
+            ConcurrentDiskRTree::create_sharded(MemStore::new(), &tree, 64, 4, LruPolicy::new)
+                .unwrap();
+        ConcurrentActuator::new(&disk)
+            .apply(Setting {
+                buffer: 32,
+                pin_levels: 1,
+            })
+            .unwrap();
+        assert_eq!(disk.buffer_capacity(), 32);
+        assert_eq!(disk.pinned_pages(), 1);
+        ConcurrentActuator::new(&disk)
+            .apply(Setting {
+                buffer: 16,
+                pin_levels: 0,
+            })
+            .unwrap();
+        assert_eq!(disk.buffer_capacity(), 16);
+        assert_eq!(disk.pinned_pages(), 0);
+    }
+}
