@@ -252,6 +252,21 @@ impl BufferPool {
         }
     }
 
+    /// Removes an unpinned resident page from the pool without an eviction
+    /// decision — invalidation, e.g. when a buffer manager refuses a page
+    /// whose frame failed checksum verification at read-in and must back
+    /// the admission out so the next access misses again. Returns whether
+    /// the page was resident. No-op (returning `false`) on pinned pages:
+    /// a pinned frame is someone's live reference.
+    pub fn discard(&mut self, page: PageId) -> bool {
+        if self.pinned.contains(&page) || !self.resident.remove(&page) {
+            return false;
+        }
+        self.policy.remove(page);
+        self.dirty.remove(&page);
+        true
+    }
+
     /// Number of pinned pages.
     pub fn pinned_count(&self) -> usize {
         self.pinned.len()

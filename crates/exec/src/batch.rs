@@ -1,8 +1,8 @@
 //! The level-synchronous batch executor.
 
 use rtree_buffer::PageId;
-use rtree_geom::{Rect, RectSoA};
-use rtree_pager::{BufferManager, DiskRTree, NodePage, PageStore, PrefetchOutcome};
+use rtree_geom::Rect;
+use rtree_pager::{BufferManager, DiskRTree, NodeSoA, PageStore, PrefetchOutcome};
 use std::collections::BTreeMap;
 use std::io;
 
@@ -161,15 +161,10 @@ impl BatchExecutor {
     ) -> io::Result<()> {
         // Uncharged root-MBR peek, mirroring `DiskRTree::query`: queries
         // that miss the root MBR never touch the buffer at all.
-        let root_node = NodePage::decode(mgr.fetch_uncharged(PageId(root))?)?;
-        if root_node.entries.is_empty() {
+        let root_node = NodeSoA::decode(mgr.fetch_uncharged(PageId(root))?)?;
+        let Some(root_mbr) = root_node.rects.mbr() else {
             return Ok(());
-        }
-        let root_mbr = root_node
-            .entries
-            .iter()
-            .skip(1)
-            .fold(root_node.entries[0].0, |acc, (r, _)| acc.union(r));
+        };
         let active: Vec<u32> = (0..queries.len() as u32)
             .filter(|&q| root_mbr.intersects(&queries[q as usize]))
             .collect();
@@ -184,7 +179,10 @@ impl BatchExecutor {
         frontier.insert(root, active);
         let mut level = root_level;
 
-        let mut soa = RectSoA::new();
+        // Scratch node reused across the batch: on v3 pages the coordinate
+        // planes decode contiguously into the SoA, so the per-node gather
+        // loop this executor used to run is gone.
+        let mut node = NodeSoA::new();
         let mut matched: Vec<u32> = Vec::new();
         // Pages currently held by a readahead reservation, for cleanup on
         // error (`drain_pins`) and hand-back on consumption.
@@ -221,13 +219,10 @@ impl BatchExecutor {
                     }
                 }
 
-                let node = match fetch_node(mgr, *page) {
-                    Ok(node) => node,
-                    Err(e) => {
-                        drain_pins(mgr, &mut pinned);
-                        return Err(e);
-                    }
-                };
+                if let Err(e) = fetch_node(mgr, *page, &mut node) {
+                    drain_pins(mgr, &mut pinned);
+                    return Err(e);
+                }
                 if let Some(pos) = pinned.iter().position(|&p| p == *page) {
                     pinned.swap_remove(pos);
                     mgr.unpin(PageId(*page));
@@ -235,15 +230,12 @@ impl BatchExecutor {
                 out.stats.work_items += 1;
                 out.stats.page_requests += qids.len() as u64;
 
-                soa.clear();
-                for (r, _) in &node.entries {
-                    soa.push(r);
-                }
                 for &qid in qids {
                     matched.clear();
-                    soa.intersecting(&queries[qid as usize], &mut matched);
+                    node.rects
+                        .intersecting(&queries[qid as usize], &mut matched);
                     for &e in &matched {
-                        let ptr = node.entries[e as usize].1;
+                        let ptr = node.ptrs[e as usize];
                         if node.level == 0 {
                             out.results[qid as usize].push(ptr);
                         } else {
@@ -274,9 +266,18 @@ impl BatchExecutor {
     }
 }
 
-/// Fetches and decodes one node page (the charged, demand access).
-fn fetch_node<S: PageStore>(mgr: &mut BufferManager<S>, page: u64) -> io::Result<NodePage> {
-    Ok(NodePage::decode(mgr.fetch(PageId(page))?)?)
+/// Fetches one node page (the charged, demand access) and decodes it into
+/// the caller's scratch node, reusing its allocations. The manager behind a
+/// [`DiskRTree`] verifies checksums at page-in, so the decode trusts the
+/// frame and skips its own checksum pass.
+fn fetch_node<S: PageStore>(
+    mgr: &mut BufferManager<S>,
+    page: u64,
+    node: &mut NodeSoA,
+) -> io::Result<()> {
+    let frame = mgr.fetch(PageId(page))?;
+    node.decode_into_trusted(frame)?;
+    Ok(())
 }
 
 /// Releases every outstanding readahead reservation.

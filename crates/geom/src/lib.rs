@@ -15,12 +15,14 @@ mod hilbert;
 mod morton;
 mod point;
 mod rect;
+pub mod simd;
 
 pub use batch::RectSoA;
 pub use hilbert::{hilbert_index, hilbert_point, HilbertCurve};
 pub use morton::{morton_index, MortonCurve};
 pub use point::Point;
 pub use rect::Rect;
+pub use simd::{active_kernel, available_kernels, set_kernel, KernelKind};
 
 /// The unit square `U = [0,1] × [0,1]` all data sets are normalized to.
 pub const UNIT: Rect = Rect {

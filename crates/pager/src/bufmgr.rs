@@ -130,6 +130,9 @@ pub struct BufferManager<S: PageStore> {
     scratch: Box<[u8]>,
     stats: IoStats,
     wal: Option<Wal>,
+    /// Verify page checksums at read-in (see
+    /// [`BufferManager::set_verify_reads`]).
+    verify_reads: bool,
     #[cfg(feature = "trace")]
     pub(crate) tracer: Tracer,
 }
@@ -144,9 +147,35 @@ impl<S: PageStore> BufferManager<S> {
             scratch: vec![0u8; PAGE_SIZE].into_boxed_slice(),
             stats: IoStats::default(),
             wal: None,
+            verify_reads: false,
             #[cfg(feature = "trace")]
             tracer: Tracer::default(),
         }
+    }
+
+    /// Enables (or disables) checksum verification of every page the
+    /// manager reads from the store on the *read* paths — demand misses,
+    /// pins, prefetch fills and scratch reads alike (before-image reads on
+    /// the buffered-write path are exempt: an overwrite must be able to
+    /// repair a corrupt page). With this on, a frame served from the pool
+    /// is known-good, so decoders may skip their own checksum pass
+    /// ([`crate::NodeSoA::decode_into_trusted`]): corruption is caught
+    /// exactly once, at page-in, instead of on every traversal of a
+    /// resident frame. The tree layers enable this; the default is off so
+    /// the manager stays format-agnostic for raw-page users.
+    pub fn set_verify_reads(&mut self, on: bool) {
+        self.verify_reads = on;
+    }
+
+    /// Checksum gate applied to freshly read bytes when
+    /// [`BufferManager::set_verify_reads`] is on.
+    fn verify_read(&self, id: PageId, frame: &[u8]) -> io::Result<()> {
+        if self.verify_reads {
+            crate::page::verify_checksum(frame).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("page {}: {e}", id.0))
+            })?;
+        }
+        Ok(())
     }
 
     /// Routes every subsequent physical-I/O and pool-outcome event to
@@ -239,6 +268,12 @@ impl<S: PageStore> BufferManager<S> {
                 }
                 let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
                 self.store.read_page(id, &mut frame)?;
+                if let Err(e) = self.verify_read(id, &frame) {
+                    // Back the admission out: the next access must miss and
+                    // re-read rather than hit a frameless resident entry.
+                    self.pool.discard(id);
+                    return Err(e);
+                }
                 self.stats.reads += 1;
                 self.frames.insert(id, frame);
                 #[cfg(feature = "trace")]
@@ -246,6 +281,7 @@ impl<S: PageStore> BufferManager<S> {
             }
             AccessOutcome::MissBypass => {
                 self.store.read_page(id, &mut self.scratch)?;
+                self.verify_read(id, &self.scratch)?;
                 self.stats.reads += 1;
                 #[cfg(feature = "trace")]
                 self.tracer.emit(id, EventKind::Miss);
@@ -268,6 +304,11 @@ impl<S: PageStore> BufferManager<S> {
         if !was_resident {
             let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
             self.store.read_page(id, &mut frame)?;
+            if let Err(e) = self.verify_read(id, &frame) {
+                self.pool.unpin(id);
+                self.pool.discard(id);
+                return Err(e);
+            }
             self.stats.reads += 1;
             self.frames.insert(id, frame);
             #[cfg(feature = "trace")]
@@ -295,6 +336,7 @@ impl<S: PageStore> BufferManager<S> {
         // rollback of a half-made reservation.
         let mut frame = vec![0u8; PAGE_SIZE].into_boxed_slice();
         self.store.read_page(id, &mut frame)?;
+        self.verify_read(id, &frame)?;
         let evicted = self
             .pool
             .admit_pinned(id)
@@ -358,6 +400,7 @@ impl<S: PageStore> BufferManager<S> {
     /// [`IoStats::peek_reads`].
     pub(crate) fn read_scratch(&mut self, id: PageId) -> io::Result<&[u8]> {
         self.store.read_page(id, &mut self.scratch)?;
+        self.verify_read(id, &self.scratch)?;
         self.stats.peek_reads += 1;
         #[cfg(feature = "trace")]
         self.tracer.emit(id, EventKind::PeekRead);

@@ -34,13 +34,13 @@ use crate::disk_tree::materialize;
 use crate::latch::{LatchSet, LatchTable, META_LATCH};
 use crate::mutate::{choose_subtree, mbr, quadratic_split};
 use crate::store::{ConcurrentPageStore, SharedPageStore};
-use crate::{IoStats, NodePage, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+use crate::{IoStats, NodePage, NodeSoA, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock};
 use rtree_buffer::{
     AccessOutcome, AtomicBufferStats, BufferPool, BufferStats, PageId, ReplacementPolicy,
 };
-use rtree_geom::{Rect, RectSoA};
-use rtree_index::RTree;
+use rtree_geom::{Point, Rect};
+use rtree_index::{Neighbor, RTree};
 #[cfg(feature = "trace")]
 use rtree_obs::{EventKind, IoEvent, TraceSink};
 use rtree_wal::{GroupCommitStats, GroupWal, Lsn};
@@ -441,6 +441,11 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             if !was_resident {
                 let mut buf = vec![0u8; PAGE_SIZE];
                 self.store.read_page_shared(id, &mut buf)?;
+                if let Err(e) = Self::verify_read(id, &buf) {
+                    s.pool.unpin(id);
+                    s.pool.discard(id);
+                    return Err(e);
+                }
                 shard.reads.fetch_add(1, Ordering::Relaxed);
                 shard.stats.record_miss();
                 s.frames.insert(id, Arc::from(buf.into_boxed_slice()));
@@ -561,6 +566,16 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         Ok(())
     }
 
+    /// Checksum gate for bytes freshly read from the store. Every miss
+    /// path runs it, so frames served from the shards are known-good and
+    /// the traversal loops decode them with
+    /// [`NodeSoA::decode_into_trusted`] — corruption is caught exactly
+    /// once, at page-in, not on every access to a resident frame.
+    fn verify_read(id: PageId, buf: &[u8]) -> io::Result<()> {
+        crate::page::verify_checksum(buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("page {}: {e}", id.0)))
+    }
+
     /// Fetches a page through its shard, charging the access to the pool.
     /// Also reports whether the access missed (i.e. cost a physical read),
     /// so the caller can attribute the event to its query span.
@@ -580,6 +595,12 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
                 }
                 let mut buf = vec![0u8; PAGE_SIZE];
                 self.store.read_page_shared(id, &mut buf)?;
+                if let Err(e) = Self::verify_read(id, &buf) {
+                    // Back the admission out so the next access misses and
+                    // re-reads instead of hitting a frameless entry.
+                    s.pool.discard(id);
+                    return Err(e);
+                }
                 shard.reads.fetch_add(1, Ordering::Relaxed);
                 let frame: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
                 s.frames.insert(id, Arc::clone(&frame));
@@ -588,6 +609,7 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             AccessOutcome::MissBypass => {
                 let mut buf = vec![0u8; PAGE_SIZE];
                 self.store.read_page_shared(id, &mut buf)?;
+                Self::verify_read(id, &buf)?;
                 shard.reads.fetch_add(1, Ordering::Relaxed);
                 Ok((Arc::from(buf.into_boxed_slice()), true))
             }
@@ -606,6 +628,7 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         let mut buf = vec![0u8; PAGE_SIZE];
         self.store
             .read_page_shared(PageId(self.meta.root), &mut buf)?;
+        Self::verify_read(PageId(self.meta.root), &buf)?;
         // Two racing threads may both read; both transfers really happened,
         // so both count, but only one frame is kept.
         self.peek_reads.fetch_add(1, Ordering::Relaxed);
@@ -655,15 +678,14 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         }
         #[cfg(not(feature = "trace"))]
         let _ = fresh_peek;
-        let root_node = NodePage::decode(&root_frame)?;
-        if root_node.entries.is_empty() {
+        // Scratch node + match list reused across the walk (no per-page
+        // allocation); the SoA decode is gather-free on v3 pages.
+        let mut node = NodeSoA::new();
+        let mut matches: Vec<u32> = Vec::new();
+        node.decode_into_trusted(&root_frame)?;
+        let Some(root_mbr) = node.rects.mbr() else {
             return Ok(results);
-        }
-        let root_mbr = root_node
-            .entries
-            .iter()
-            .skip(1)
-            .fold(root_node.entries[0].0, |acc, (r, _)| acc.union(r));
+        };
         if !root_mbr.intersects(query) {
             return Ok(results);
         }
@@ -688,19 +710,128 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
             }
             #[cfg(not(feature = "trace"))]
             let _ = missed;
-            let node = NodePage::decode(&frame)?;
+            node.decode_into_trusted(&frame)?;
             debug_assert_eq!(node.level, level, "stack level mirrors the page");
-            for (r, ptr) in &node.entries {
-                if r.intersects(query) {
-                    if node.level == 0 {
-                        results.push(*ptr);
+            matches.clear();
+            node.rects.intersecting(query, &mut matches);
+            if level == 0 {
+                results.extend(matches.iter().map(|&i| node.ptrs[i as usize]));
+            } else {
+                stack.extend(
+                    matches
+                        .iter()
+                        .map(|&i| (PageId(node.ptrs[i as usize]), level - 1)),
+                );
+            }
+        }
+        Ok(results)
+    }
+
+    /// Point query: item ids whose rectangle contains `p` (boundary
+    /// inclusive). Runs as a degenerate region query, so it follows the
+    /// same dispatched SIMD kernel and, on writable trees, the same reader
+    /// latch protocol.
+    pub fn query_point(&self, p: &Point) -> io::Result<Vec<u64>> {
+        self.query(&Rect { lo: *p, hi: *p })
+    }
+
+    /// The `k` items nearest to `p` (closest first; ties broken
+    /// arbitrarily), best-first over pages with the dispatched SIMD
+    /// distance kernel pruning against the current k-th-best bound. On a
+    /// writable tree the search runs under the exclusive operation gate
+    /// (no concurrent mutation mid-search); on read-optimized trees it is
+    /// freely concurrent.
+    pub fn nearest_neighbors(&self, p: &Point, k: usize) -> io::Result<Vec<Neighbor>> {
+        let _gate = self.writer.as_ref().map(|w| w.op_gate.write());
+        let root = match &self.writer {
+            Some(w) => w.meta.lock().root,
+            None => self.meta.root,
+        };
+        let mut result = Vec::new();
+        if k == 0 || (self.writer.is_none() && self.meta.items == 0) {
+            return Ok(result);
+        }
+        let mut node = NodeSoA::new();
+        let mut within: Vec<(u32, f64)> = Vec::new();
+        let mut queue = std::collections::BinaryHeap::new();
+        let mut best_k = std::collections::BinaryHeap::with_capacity(k + 1);
+        queue.push(crate::disk_tree::KnnEntry {
+            dist2: 0.0,
+            kind: crate::disk_tree::KnnKind::Node(root, u16::MAX),
+        });
+        #[cfg(feature = "trace")]
+        let qid = self.query_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        while let Some(entry) = queue.pop() {
+            match entry.kind {
+                crate::disk_tree::KnnKind::Item { rect, id } => {
+                    result.push(Neighbor {
+                        id,
+                        rect,
+                        distance: entry.dist2.sqrt(),
+                    });
+                    if result.len() == k {
+                        break;
+                    }
+                }
+                crate::disk_tree::KnnKind::Node(pid, _) => {
+                    let bound = if best_k.len() == k {
+                        let crate::disk_tree::OrdF64(b) = *best_k.peek().expect("k > 0");
+                        b
                     } else {
-                        stack.push((PageId(*ptr), level - 1));
+                        f64::INFINITY
+                    };
+                    // Writer overlay shadows the shards, as in load_w.
+                    let overlay = self
+                        .writer
+                        .as_ref()
+                        .and_then(|w| w.overlay.read().get(&pid).cloned());
+                    match overlay {
+                        Some(frame) => node.decode_into_trusted(&frame)?,
+                        None => {
+                            let (frame, missed) = self.fetch(PageId(pid))?;
+                            node.decode_into_trusted(&frame)?;
+                            #[cfg(feature = "trace")]
+                            {
+                                let kind = if missed {
+                                    EventKind::Miss
+                                } else {
+                                    EventKind::Hit
+                                };
+                                self.emit(qid, PageId(pid), node.level as i16, kind);
+                            }
+                            #[cfg(not(feature = "trace"))]
+                            let _ = missed;
+                        }
+                    }
+                    within.clear();
+                    node.rects.min_dist2_within(p, bound, &mut within);
+                    for &(i, d2) in &within {
+                        if node.level == 0 {
+                            queue.push(crate::disk_tree::KnnEntry {
+                                dist2: d2,
+                                kind: crate::disk_tree::KnnKind::Item {
+                                    rect: node.rects.get(i as usize),
+                                    id: node.ptrs[i as usize],
+                                },
+                            });
+                            best_k.push(crate::disk_tree::OrdF64(d2));
+                            if best_k.len() > k {
+                                best_k.pop();
+                            }
+                        } else {
+                            queue.push(crate::disk_tree::KnnEntry {
+                                dist2: d2,
+                                kind: crate::disk_tree::KnnKind::Node(
+                                    node.ptrs[i as usize],
+                                    node.level - 1,
+                                ),
+                            });
+                        }
                     }
                 }
             }
         }
-        Ok(results)
+        Ok(result)
     }
 
     /// Runs a batch of region queries sharded across `threads` worker
@@ -746,15 +877,10 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         }
         #[cfg(not(feature = "trace"))]
         let _ = fresh_peek;
-        let root_node = NodePage::decode(&root_frame)?;
-        if root_node.entries.is_empty() {
+        let root_node = NodeSoA::decode(&root_frame)?;
+        let Some(root_mbr) = root_node.rects.mbr() else {
             return Ok(vec![Vec::new(); queries.len()]);
-        }
-        let root_mbr = root_node
-            .entries
-            .iter()
-            .skip(1)
-            .fold(root_node.entries[0].0, |acc, (r, _)| acc.union(r));
+        };
 
         if threads == 1 {
             return self.batch_inner(queries, &root_mbr);
@@ -815,7 +941,10 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
         // BTreeMap is both the dedup and the per-level PageId sort.
         let mut frontier: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
         frontier.insert(self.meta.root, active);
-        let mut soa = RectSoA::new();
+        // Pages decode straight into SoA — on v3 images the coordinate
+        // planes arrive contiguously, so the per-node gather loop the
+        // batch path used to run is gone entirely.
+        let mut node = NodeSoA::new();
         let mut matched: Vec<u32> = Vec::new();
 
         while !frontier.is_empty() {
@@ -836,16 +965,13 @@ impl<S: SharedPageStore> ConcurrentDiskRTree<S> {
                 }
                 #[cfg(not(feature = "trace"))]
                 let _ = missed;
-                let node = NodePage::decode(&frame)?;
-                soa.clear();
-                for (r, _) in &node.entries {
-                    soa.push(r);
-                }
+                node.decode_into_trusted(&frame)?;
                 for qid in qids {
                     matched.clear();
-                    soa.intersecting(&queries[qid as usize], &mut matched);
+                    node.rects
+                        .intersecting(&queries[qid as usize], &mut matched);
                     for &e in &matched {
-                        let ptr = node.entries[e as usize].1;
+                        let ptr = node.ptrs[e as usize];
                         if node.level == 0 {
                             results[qid as usize].push(ptr);
                         } else {
@@ -2349,6 +2475,110 @@ mod tests {
         assert_eq!(disk.physical_reads(), reads, "frames stayed resident");
         disk.set_pinned_levels(0).unwrap();
         assert_eq!(disk.pinned_pages(), 0);
+    }
+
+    #[test]
+    fn point_query_matches_degenerate_region_query() {
+        let rects = sample_rects(1_000);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let disk =
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 32, LruPolicy::new()).unwrap();
+        for i in 0..40 {
+            let p = Point::new((i as f64 * 0.171) % 1.0, (i as f64 * 0.257) % 1.0);
+            let mut a = disk.query_point(&p).unwrap();
+            let mut b = disk.query(&Rect { lo: p, hi: p }).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "point {p:?}");
+        }
+        // Boundary inclusivity: a point on a rect edge matches it.
+        let edge = Point::new(rects[7].lo.x, rects[7].lo.y);
+        assert!(disk.query_point(&edge).unwrap().contains(&7));
+    }
+
+    #[test]
+    fn concurrent_knn_matches_in_memory_knn() {
+        let rects = sample_rects(1_500);
+        let tree = BulkLoader::hilbert(16).load(&rects);
+        let disk = Arc::new(
+            ConcurrentDiskRTree::create(MemStore::new(), &tree, 48, LruPolicy::new()).unwrap(),
+        );
+        let probes = [
+            (Point::new(0.5, 0.5), 10),
+            (Point::new(0.0, 0.0), 1),
+            (Point::new(-3.0, 7.0), 25),
+            (Point::new(0.25, 0.75), 1_500),
+            (Point::new(0.9, 0.1), 4_000),
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let disk = Arc::clone(&disk);
+                let tree = &tree;
+                scope.spawn(move || {
+                    for (p, k) in probes.iter().skip(t).step_by(3) {
+                        let got = disk.nearest_neighbors(p, *k).unwrap();
+                        let want = tree.nearest_neighbors(p, *k);
+                        let gd: Vec<f64> = got.iter().map(|n| n.distance).collect();
+                        let wd: Vec<f64> = want.iter().map(|n| n.distance).collect();
+                        assert_eq!(gd, wd, "distance sequence, p {p:?} k {k}");
+                    }
+                });
+            }
+        });
+        assert!(disk
+            .nearest_neighbors(&Point::new(0.5, 0.5), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn writable_knn_sees_inserts_and_deletes() {
+        fn d2(p: &Point, r: &Rect) -> f64 {
+            let dx = (r.lo.x - p.x).max(0.0).max(p.x - r.hi.x);
+            let dy = (r.lo.y - p.y).max(0.0).max(p.y - r.hi.y);
+            dx * dx + dy * dy
+        }
+        let tree = ConcurrentDiskRTree::create_writable(
+            crate::SharedMemStore::new(),
+            8,
+            3,
+            16,
+            LruPolicy::new(),
+            writer_wal(),
+        )
+        .unwrap();
+        assert!(
+            tree.nearest_neighbors(&Point::new(0.5, 0.5), 3)
+                .unwrap()
+                .is_empty(),
+            "empty writable tree"
+        );
+        let n = 400u64;
+        for id in 0..n {
+            tree.insert(&item_rect(id), id).unwrap();
+        }
+        for id in (0..n).step_by(4) {
+            assert!(tree.delete(&item_rect(id), id).unwrap());
+        }
+        let live: Vec<u64> = (0..n).filter(|id| id % 4 != 0).collect();
+        for (p, k) in [
+            (Point::new(0.5, 0.5), 7),
+            (Point::new(0.05, 0.95), 1),
+            (Point::new(0.3, 0.3), live.len() + 10),
+        ] {
+            let got = tree.nearest_neighbors(&p, k).unwrap();
+            let mut want: Vec<f64> = live
+                .iter()
+                .map(|&id| d2(&p, &item_rect(id)).sqrt())
+                .collect();
+            want.sort_by(f64::total_cmp);
+            want.truncate(k);
+            let gd: Vec<f64> = got.iter().map(|n| n.distance).collect();
+            assert_eq!(gd, want, "p {p:?} k {k}");
+            for nb in &got {
+                assert!(live.contains(&nb.id), "deleted item {} resurfaced", nb.id);
+            }
+        }
     }
 
     /// Adapter: the writable constructor takes `impl ReplacementPolicy`,

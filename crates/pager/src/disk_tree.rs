@@ -1,9 +1,20 @@
 //! Disk-backed R-tree execution.
+//!
+//! Query traversal decodes pages into [`NodeSoA`] (reusing one scratch node
+//! across the whole walk) and filters entries with the dispatched
+//! [`rtree_geom::RectSoA`] SIMD kernel — on v3 (SoA) pages the coordinate
+//! planes are copied contiguously with no per-entry gather. The original
+//! entry-at-a-time path survives verbatim as [`DiskRTree::query_scalar`],
+//! the differential reference the `simd_traversal` bench and the
+//! `simd_vs_seed` suite compare against.
 
-use crate::{BufferManager, NodePage, PageMeta, PageStore, PAGE_SIZE};
+use crate::page::PageLayout;
+use crate::{BufferManager, NodePage, NodeSoA, PageMeta, PageStore, PAGE_SIZE};
 use rtree_buffer::{PageId, ReplacementPolicy};
-use rtree_geom::Rect;
-use rtree_index::RTree;
+use rtree_geom::{Point, Rect};
+use rtree_index::{Neighbor, RTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::io;
 
 /// An R-tree materialized onto pages, queried through a buffer manager that
@@ -54,7 +65,10 @@ pub struct DiskRTree<S: PageStore> {
 impl<S: PageStore> DiskRTree<S> {
     /// Assembles a handle from an already-initialized manager and metadata
     /// (single construction point so trace state stays in one place).
-    pub(crate) fn from_parts(mgr: BufferManager<S>, meta: PageMeta) -> Self {
+    pub(crate) fn from_parts(mut mgr: BufferManager<S>, meta: PageMeta) -> Self {
+        // Checksums are verified once, when a page enters the pool; the
+        // traversal loops then use the trusted decode on resident frames.
+        mgr.set_verify_reads(true);
         DiskRTree {
             mgr,
             meta,
@@ -71,12 +85,25 @@ impl<S: PageStore> DiskRTree<S> {
     /// Panics if the tree is empty or its node capacity exceeds
     /// [`crate::MAX_ENTRIES_PER_PAGE`].
     pub fn create(
-        mut store: S,
+        store: S,
         tree: &RTree,
         buffer_capacity: usize,
         policy: impl ReplacementPolicy + 'static,
     ) -> io::Result<Self> {
-        let meta = materialize(&mut store, tree)?;
+        Self::create_with_layout(store, tree, buffer_capacity, policy, PageLayout::Soa)
+    }
+
+    /// Like [`DiskRTree::create`], but materializing node pages in an
+    /// explicit body layout — [`PageLayout::Aos`] reproduces the format-v2
+    /// images the seed wrote, for compatibility and differential tests.
+    pub fn create_with_layout(
+        mut store: S,
+        tree: &RTree,
+        buffer_capacity: usize,
+        policy: impl ReplacementPolicy + 'static,
+        layout: PageLayout,
+    ) -> io::Result<Self> {
+        let meta = materialize_with(&mut store, tree, layout)?;
         Ok(Self::from_parts(
             BufferManager::new(store, buffer_capacity, policy),
             meta,
@@ -328,9 +355,61 @@ impl<S: PageStore> DiskRTree<S> {
         let mut results = Vec::new();
         let root = PageId(self.meta.root);
         let root_level = (self.meta.height - 1) as u16;
+        // One scratch node + match list reused across the whole walk:
+        // steady-state traversal does not allocate.
+        let mut node = NodeSoA::new();
+        let mut matches: Vec<u32> = Vec::new();
 
         // Root handling mirrors the model: access it only if its MBR
         // intersects the query. Decode it from a cheap peek first.
+        #[cfg(feature = "trace")]
+        {
+            self.mgr.tracer.level = root_level as i16;
+        }
+        node.decode_into_trusted(self.mgr.fetch_uncharged(root)?)?;
+        let Some(root_mbr) = node.rects.mbr() else {
+            return Ok(results);
+        };
+        if !root_mbr.intersects(query) {
+            return Ok(results);
+        }
+
+        // Each stack entry carries the node's level so every fetch can be
+        // attributed to it (children of a level-L node sit at L - 1).
+        let mut stack = vec![(root, root_level)];
+        while let Some((pid, level)) = stack.pop() {
+            #[cfg(feature = "trace")]
+            {
+                self.mgr.tracer.level = level as i16;
+            }
+            node.decode_into_trusted(self.mgr.fetch(pid)?)?;
+            debug_assert_eq!(node.level, level, "stack level mirrors the page");
+            matches.clear();
+            node.rects.intersecting(query, &mut matches);
+            if level == 0 {
+                results.extend(matches.iter().map(|&i| node.ptrs[i as usize]));
+            } else {
+                stack.extend(
+                    matches
+                        .iter()
+                        .map(|&i| (PageId(node.ptrs[i as usize]), level - 1)),
+                );
+            }
+        }
+        Ok(results)
+    }
+
+    /// The seed's entry-at-a-time region query, kept verbatim as the
+    /// differential reference: decodes pages into [`NodePage`] (the AoS
+    /// gather path) and tests each entry with [`Rect::intersects`]. Visits
+    /// pages in exactly the same order as [`DiskRTree::query`], so results
+    /// *and* I/O counts must match — the `simd_vs_seed` suite and the
+    /// `simd_traversal` bench rely on this. Never deleted.
+    pub fn query_scalar(&mut self, query: &Rect) -> io::Result<Vec<u64>> {
+        let mut results = Vec::new();
+        let root = PageId(self.meta.root);
+        let root_level = (self.meta.height - 1) as u16;
+
         #[cfg(feature = "trace")]
         {
             self.mgr.tracer.level = root_level as i16;
@@ -348,8 +427,6 @@ impl<S: PageStore> DiskRTree<S> {
             return Ok(results);
         }
 
-        // Each stack entry carries the node's level so every fetch can be
-        // attributed to it (children of a level-L node sit at L - 1).
         let mut stack = vec![(root, root_level)];
         while let Some((pid, level)) = stack.pop() {
             #[cfg(feature = "trace")]
@@ -371,6 +448,31 @@ impl<S: PageStore> DiskRTree<S> {
         Ok(results)
     }
 
+    /// Point query: item ids whose rectangle contains `p` (boundary
+    /// inclusive). Runs the dispatched SIMD containment kernel over the
+    /// same traversal as [`DiskRTree::query`] — identical to
+    /// `query(&Rect::point(p))` in both results and page accesses.
+    pub fn query_point(&mut self, p: &Point) -> io::Result<Vec<u64>> {
+        self.query(&Rect { lo: *p, hi: *p })
+    }
+
+    /// The `k` items nearest to `p` (by rectangle distance, closest first;
+    /// ties broken arbitrarily), via best-first search over pages with the
+    /// dispatched SIMD distance kernel pruning every node's entries against
+    /// the current k-th-best bound before they are enqueued.
+    pub fn nearest_neighbors(&mut self, p: &Point, k: usize) -> io::Result<Vec<Neighbor>> {
+        #[cfg(feature = "trace")]
+        {
+            self.begin_op();
+        }
+        let result = knn_inner(&mut self.mgr, &self.meta, p, k);
+        #[cfg(feature = "trace")]
+        {
+            self.end_op();
+        }
+        result
+    }
+
     /// Executes a query and also reports how many physical reads it caused.
     pub fn query_counting(&mut self, query: &Rect) -> io::Result<(Vec<u64>, u64)> {
         let before = self.mgr.physical_reads();
@@ -379,10 +481,145 @@ impl<S: PageStore> DiskRTree<S> {
     }
 }
 
+/// A kNN search-queue entry ordered by ascending distance (the heap is a
+/// max-heap, so the ordering is inverted). Shared with the concurrent
+/// tree's kNN.
+pub(crate) struct KnnEntry {
+    pub(crate) dist2: f64,
+    pub(crate) kind: KnnKind,
+}
+
+pub(crate) enum KnnKind {
+    /// An unexpanded node page (level 0 = leaf).
+    Node(u64, u16),
+    /// A leaf entry.
+    Item { rect: Rect, id: u64 },
+}
+
+impl PartialEq for KnnEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2
+    }
+}
+impl Eq for KnnEntry {}
+impl PartialOrd for KnnEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KnnEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist2
+            .partial_cmp(&self.dist2)
+            .expect("kernel distances are never NaN")
+    }
+}
+
+/// Best-first kNN over disk pages (Hjaltason & Samet), shared by the
+/// sequential and concurrent trees via the buffer manager. The SIMD
+/// distance kernel both computes every enqueued distance and discards
+/// entries beyond the current k-th-best bound in one pass.
+pub(crate) fn knn_inner<S: PageStore>(
+    mgr: &mut BufferManager<S>,
+    meta: &PageMeta,
+    p: &Point,
+    k: usize,
+) -> io::Result<Vec<Neighbor>> {
+    let mut result = Vec::with_capacity(k.min(meta.items as usize));
+    if k == 0 || meta.items == 0 {
+        return Ok(result);
+    }
+    let mut node = NodeSoA::new();
+    let mut within: Vec<(u32, f64)> = Vec::new();
+    let mut queue = BinaryHeap::new();
+    // Max-heap of the k smallest *item* distances seen so far: once full,
+    // its top is a sound upper bound — no entry farther than it can be
+    // among the k nearest, so the kernel discards such entries in-pass.
+    let mut best_k: BinaryHeap<OrdF64> = BinaryHeap::with_capacity(k + 1);
+    queue.push(KnnEntry {
+        dist2: 0.0,
+        kind: KnnKind::Node(meta.root, (meta.height - 1) as u16),
+    });
+    while let Some(entry) = queue.pop() {
+        match entry.kind {
+            KnnKind::Item { rect, id } => {
+                result.push(Neighbor {
+                    id,
+                    rect,
+                    distance: entry.dist2.sqrt(),
+                });
+                if result.len() == k {
+                    break;
+                }
+            }
+            KnnKind::Node(pid, level) => {
+                let bound = if best_k.len() == k {
+                    best_k.peek().expect("k > 0").0
+                } else {
+                    f64::INFINITY
+                };
+                #[cfg(feature = "trace")]
+                {
+                    mgr.tracer.level = level as i16;
+                }
+                node.decode_into_trusted(mgr.fetch(PageId(pid))?)?;
+                within.clear();
+                node.rects.min_dist2_within(p, bound, &mut within);
+                for &(i, d2) in &within {
+                    if level == 0 {
+                        queue.push(KnnEntry {
+                            dist2: d2,
+                            kind: KnnKind::Item {
+                                rect: node.rects.get(i as usize),
+                                id: node.ptrs[i as usize],
+                            },
+                        });
+                        best_k.push(OrdF64(d2));
+                        if best_k.len() > k {
+                            best_k.pop();
+                        }
+                    } else {
+                        queue.push(KnnEntry {
+                            dist2: d2,
+                            kind: KnnKind::Node(node.ptrs[i as usize], level - 1),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Total order for kernel distances (never NaN — see the geom NaN policy).
+#[derive(Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub(crate) f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("distance is never NaN")
+    }
+}
+
 /// Serializes `tree` into `store` (meta page 0, node pages in level order)
-/// and returns the metadata. Shared by [`DiskRTree::create`] and
-/// [`crate::ConcurrentDiskRTree::create`].
+/// in the current (SoA) layout and returns the metadata. Shared by
+/// [`DiskRTree::create`] and [`crate::ConcurrentDiskRTree::create`].
 pub(crate) fn materialize<S: PageStore>(store: &mut S, tree: &RTree) -> io::Result<PageMeta> {
+    materialize_with(store, tree, PageLayout::Soa)
+}
+
+/// [`materialize`] with an explicit node-page body layout.
+pub(crate) fn materialize_with<S: PageStore>(
+    store: &mut S,
+    tree: &RTree,
+    layout: PageLayout,
+) -> io::Result<PageMeta> {
     assert!(!tree.is_empty(), "cannot materialize an empty tree");
     assert!(
         tree.max_entries() <= crate::MAX_ENTRIES_PER_PAGE,
@@ -444,7 +681,7 @@ pub(crate) fn materialize<S: PageStore>(store: &mut S, tree: &RTree) -> io::Resu
             entries,
         };
         let pid = store.allocate()?;
-        node_page.encode(&mut buf);
+        node_page.encode_with(&mut buf, layout);
         store.write_page(pid, &buf)?;
     }
     Ok(meta)
@@ -547,6 +784,85 @@ mod tests {
             reads <= height,
             "at most one unpinned page per level expected, got {reads}"
         );
+    }
+
+    #[test]
+    fn simd_and_scalar_queries_agree_with_equal_io() {
+        // Same data, two trees: v3 (SoA) queried through the SIMD path and
+        // v2 (AoS) queried through the verbatim seed path — results and
+        // physical reads must be identical.
+        let rects = sample_rects(800);
+        let tree = BulkLoader::hilbert(12).load(&rects);
+        let mut v3 = DiskRTree::create(MemStore::new(), &tree, 40, LruPolicy::new()).unwrap();
+        let mut v2 = DiskRTree::create_with_layout(
+            MemStore::new(),
+            &tree,
+            40,
+            LruPolicy::new(),
+            PageLayout::Aos,
+        )
+        .unwrap();
+        for q in [
+            Rect::new(0.1, 0.1, 0.4, 0.3),
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::point(Point::new(0.5, 0.5)),
+            Rect::new(0.99, 0.99, 1.0, 1.0),
+        ] {
+            assert_eq!(v3.query(&q).unwrap(), v2.query_scalar(&q).unwrap(), "{q}");
+            assert_eq!(v3.physical_reads(), v2.physical_reads(), "{q}");
+        }
+        // Both paths decode both layouts: cross them.
+        assert_eq!(
+            v3.query_scalar(&Rect::new(0.2, 0.2, 0.6, 0.6)).unwrap(),
+            v2.query(&Rect::new(0.2, 0.2, 0.6, 0.6)).unwrap()
+        );
+    }
+
+    #[test]
+    fn point_query_matches_degenerate_rect_query() {
+        let (mut disk, tree, _) = disk_tree(600, 10, 50);
+        for p in [Point::new(0.3, 0.3), Point::new(0.77, 0.12)] {
+            let mut by_point = disk.query_point(&p).unwrap();
+            let mut by_rect = tree.search(&Rect::point(p));
+            by_point.sort_unstable();
+            by_rect.sort_unstable();
+            assert_eq!(by_point, by_rect);
+        }
+    }
+
+    #[test]
+    fn disk_knn_matches_in_memory_knn() {
+        let (mut disk, tree, _) = disk_tree(700, 10, 60);
+        for (p, k) in [
+            (Point::new(0.5, 0.5), 10),
+            (Point::new(0.0, 0.0), 1),
+            (Point::new(0.9, 0.1), 25),
+            (Point::new(0.4, 0.6), 700),  // whole tree
+            (Point::new(0.4, 0.6), 2000), // more than the tree holds
+        ] {
+            let got = disk.nearest_neighbors(&p, k).unwrap();
+            let want = tree.nearest_neighbors(&p, k);
+            assert_eq!(got.len(), want.len(), "k={k}");
+            // Distances must agree exactly; ids may differ within a
+            // distance tie, so compare (distance, id) multisets.
+            let mut g: Vec<(u64, u64)> = got.iter().map(|n| (n.distance.to_bits(), n.id)).collect();
+            let mut w: Vec<(u64, u64)> =
+                want.iter().map(|n| (n.distance.to_bits(), n.id)).collect();
+            g.sort_unstable();
+            w.sort_unstable();
+            // Tied tails may legitimately pick different members; compare
+            // the distance sequence always, and ids where distances are
+            // unique.
+            assert_eq!(
+                g.iter().map(|e| e.0).collect::<Vec<_>>(),
+                w.iter().map(|e| e.0).collect::<Vec<_>>(),
+                "distance sequence, k={k}"
+            );
+        }
+        assert!(disk
+            .nearest_neighbors(&Point::new(0.5, 0.5), 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub use bufmgr::{BufferManager, IoStats, PrefetchOutcome};
 pub use concurrent::ConcurrentDiskRTree;
 pub use disk_tree::DiskRTree;
 pub use fault::FaultStore;
-pub use page::{NodePage, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+pub use page::{
+    NodePage, NodeSoA, PageError, PageLayout, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE,
+};
 pub use recovery::{recover, replay_committed, RecoveryReport, ReplaySummary};
 pub use sched::{StepSchedule, StepStore};
 pub use store::{

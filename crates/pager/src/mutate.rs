@@ -22,8 +22,10 @@ use std::io;
 
 /// Magic tag at offset 0 of a page on the free list.
 const FREE_MAGIC: &[u8; 4] = b"FREE";
-/// Byte offset of the next-free-page pointer inside a free page.
-const FREE_NEXT_OFFSET: usize = 8;
+/// Byte offset of the next-free-page pointer inside a free page. Offsets
+/// 8..12 hold the page CRC (the buffer manager verifies every page at
+/// page-in, free pages included), so the pointer sits past it.
+const FREE_NEXT_OFFSET: usize = 16;
 
 pub(crate) fn mbr(entries: &[(Rect, u64)]) -> Rect {
     entries
@@ -446,6 +448,7 @@ impl<S: PageStore> DiskRTree<S> {
         buf[0..4].copy_from_slice(FREE_MAGIC);
         buf[FREE_NEXT_OFFSET..FREE_NEXT_OFFSET + 8]
             .copy_from_slice(&self.meta.free_head.to_le_bytes());
+        crate::page::seal(&mut buf);
         self.mgr.write_buffered(PageId(id), &buf)?;
         self.meta.free_head = id;
         Ok(())

@@ -5,11 +5,11 @@
 //! torn writes and bit rot surface as [`PageError::ChecksumMismatch`] instead
 //! of silently wrong query answers.
 //!
-//! **Meta page** (page 0), format version 2:
+//! **Meta page** (page 0), format version 3 (version 2 still decodes):
 //! ```text
 //! offset  size  field
 //! 0       4     magic "RTDB"
-//! 4       4     format version (2)
+//! 4       4     format version (3; 2 accepted on decode)
 //! 8       4     crc32 (whole page, this field zeroed)
 //! 12      4     min entries (condense-tree threshold)
 //! 16      8     root page id
@@ -22,18 +22,34 @@
 //! 60      8*L   first page id of each level, root level first
 //! ```
 //!
-//! **Node page**, 16-byte header:
+//! **Node page**, 16-byte header, two body layouts:
 //! ```text
 //! 0       2     magic 0x5254 ("RT")
 //! 2       2     node level (0 = leaf)
 //! 4       2     entry count
-//! 6       2     reserved (0)
+//! 6       2     layout flag: 0 = AoS (format v2), 1 = SoA (format v3)
 //! 8       4     crc32 (whole page, this field zeroed)
 //! 12      4     reserved (0)
+//! ```
+//! *AoS body* (layout 0, what format v2 wrote — byte 6 was reserved-as-zero,
+//! so every v2 image self-identifies):
+//! ```text
 //! 16      40*k  entries: lo.x f64, lo.y f64, hi.x f64, hi.y f64, ptr u64
 //! ```
-//! At leaf level `ptr` is the item id; at internal levels it is the child
-//! *page* id.
+//! *SoA body* (layout 1, format v3): five fixed-stride arrays of
+//! `102 × 8 = 816` bytes each — the first `k` slots of each are live —
+//! filling the page exactly (`16 + 5·816 = 4096`):
+//! ```text
+//! 16      816   lo.x[0..102]
+//! 832     816   lo.y[0..102]
+//! 1648    816   hi.x[0..102]
+//! 2464    816   hi.y[0..102]
+//! 3280    816   ptr[0..102]
+//! ```
+//! The SoA body lets the [`rtree_geom::RectSoA`] intersection kernels run
+//! directly on the decoded coordinate arrays with no per-entry gather —
+//! see [`NodeSoA`]. At leaf level `ptr` is the item id; at internal levels
+//! it is the child *page* id.
 //!
 //! The level table in the meta page describes the contiguous level-order
 //! layout produced by bulk materialization. Once the tree has been mutated
@@ -41,7 +57,7 @@
 //! ("stale") and layout-dependent operations (`pin_top_levels`,
 //! `pages_per_level`) refuse to run.
 
-use rtree_geom::Rect;
+use rtree_geom::{Point, Rect, RectSoA};
 use rtree_wal::crc32;
 use std::fmt;
 use std::io;
@@ -52,13 +68,61 @@ pub const PAGE_SIZE: usize = 4096;
 const NODE_HEADER: usize = 16;
 const ENTRY_SIZE: usize = 40;
 const CRC_OFFSET: usize = 8;
+const LAYOUT_OFFSET: usize = 6;
 
-/// Maximum entries a node page can hold: `(4096 − 16) / 40`.
+/// Maximum entries a node page can hold: `(4096 − 16) / 40`. The SoA body
+/// keeps the same capacity (five 816-byte arrays fill the page exactly).
 pub const MAX_ENTRIES_PER_PAGE: usize = (PAGE_SIZE - NODE_HEADER) / ENTRY_SIZE;
+
+/// Byte stride of one SoA coordinate array: `102 × 8`.
+const SOA_STRIDE: usize = MAX_ENTRIES_PER_PAGE * 8;
 
 const META_MAGIC: [u8; 4] = *b"RTDB";
 const NODE_MAGIC: u16 = 0x5254;
-const FORMAT_VERSION: u32 = 2;
+/// Format version this build writes (v3 = SoA node bodies). v2 images
+/// (AoS bodies, same header) still decode — see [`MIN_FORMAT_VERSION`].
+const FORMAT_VERSION: u32 = 3;
+const MIN_FORMAT_VERSION: u32 = 2;
+
+// The five SoA arrays must tile the page body exactly.
+const _: () = assert!(NODE_HEADER + 5 * SOA_STRIDE == PAGE_SIZE);
+
+/// Body layout of a node page (header byte 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageLayout {
+    /// Array-of-structs entries — what format v2 wrote.
+    Aos,
+    /// Struct-of-arrays coordinate planes — format v3, the layout the SIMD
+    /// kernels consume without a gather step.
+    Soa,
+}
+
+impl PageLayout {
+    fn flag(self) -> u16 {
+        match self {
+            PageLayout::Aos => 0,
+            PageLayout::Soa => 1,
+        }
+    }
+
+    fn from_flag(flag: u16) -> Result<Self, PageError> {
+        match flag {
+            0 => Ok(PageLayout::Aos),
+            1 => Ok(PageLayout::Soa),
+            other => Err(PageError::UnsupportedLayout(other)),
+        }
+    }
+
+    /// Reads the layout flag from an already-validated node-page image.
+    pub fn of(buf: &[u8]) -> Result<Self, PageError> {
+        check_len(buf)?;
+        PageLayout::from_flag(u16::from_le_bytes(
+            buf[LAYOUT_OFFSET..LAYOUT_OFFSET + 2]
+                .try_into()
+                .expect("2 bytes"),
+        ))
+    }
+}
 
 /// Typed page-corruption error: every way a page image can fail validation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -81,6 +145,8 @@ pub enum PageError {
     },
     /// The entry count exceeds what a page can physically hold.
     EntryOverflow(usize),
+    /// The node-page layout flag identifies no known body layout.
+    UnsupportedLayout(u16),
     /// An entry rectangle fails validation (inverted or non-finite).
     CorruptRect,
     /// Meta-page fields contradict each other.
@@ -105,6 +171,9 @@ impl fmt::Display for PageError {
                     "entry count {n} exceeds page capacity {MAX_ENTRIES_PER_PAGE}"
                 )
             }
+            PageError::UnsupportedLayout(flag) => {
+                write!(f, "unsupported node-page layout flag {flag}")
+            }
             PageError::CorruptRect => write!(f, "corrupt entry rectangle"),
             PageError::InconsistentMeta(what) => write!(f, "inconsistent meta page: {what}"),
         }
@@ -128,12 +197,12 @@ fn page_checksum(buf: &[u8]) -> u32 {
     h.finalize()
 }
 
-fn seal(buf: &mut [u8]) {
+pub(crate) fn seal(buf: &mut [u8]) {
     let crc = page_checksum(buf);
     buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
 }
 
-fn verify_checksum(buf: &[u8]) -> Result<(), PageError> {
+pub(crate) fn verify_checksum(buf: &[u8]) -> Result<(), PageError> {
     let stored = u32::from_le_bytes(buf[CRC_OFFSET..CRC_OFFSET + 4].try_into().expect("4 bytes"));
     let computed = page_checksum(buf);
     if stored != computed {
@@ -203,7 +272,7 @@ impl PageMeta {
             return Err(PageError::BadMagic);
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PageError::UnsupportedVersion(version));
         }
         verify_checksum(buf)?;
@@ -268,12 +337,59 @@ pub struct NodePage {
     pub entries: Vec<(Rect, u64)>,
 }
 
+/// Validates a node-page header shared by both decoders: magic, checksum
+/// (unless the caller already verified the frame at page-in), count, layout
+/// flag. Returns `(level, count, layout)`.
+fn check_node_header(buf: &[u8], verify: bool) -> Result<(u16, usize, PageLayout), PageError> {
+    check_len(buf)?;
+    if u16::from_le_bytes(buf[0..2].try_into().expect("2 bytes")) != NODE_MAGIC {
+        return Err(PageError::BadMagic);
+    }
+    if verify {
+        verify_checksum(buf)?;
+    }
+    let level = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes"));
+    let count = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
+    if count > MAX_ENTRIES_PER_PAGE {
+        return Err(PageError::EntryOverflow(count));
+    }
+    let layout = PageLayout::from_flag(u16::from_le_bytes(
+        buf[LAYOUT_OFFSET..LAYOUT_OFFSET + 2]
+            .try_into()
+            .expect("2 bytes"),
+    ))?;
+    Ok((level, count, layout))
+}
+
+/// Byte range of SoA array `k` (0 = lo.x … 4 = ptr), first `count` slots.
+#[inline]
+fn soa_plane(buf: &[u8], k: usize, count: usize) -> &[u8] {
+    let start = NODE_HEADER + k * SOA_STRIDE;
+    &buf[start..start + count * 8]
+}
+
 impl NodePage {
-    /// Encodes into a page buffer, sealing it with a checksum.
+    /// Encodes into a page buffer in the current (SoA, v3) layout, sealing
+    /// it with a checksum.
     ///
     /// # Panics
     /// Panics if there are more than [`MAX_ENTRIES_PER_PAGE`] entries.
     pub fn encode(&self, buf: &mut [u8]) {
+        self.encode_with(buf, PageLayout::Soa)
+    }
+
+    /// Encodes in the legacy AoS (v2) layout — kept for the compatibility
+    /// and differential suites; production writes are SoA.
+    pub fn encode_v2(&self, buf: &mut [u8]) {
+        self.encode_with(buf, PageLayout::Aos)
+    }
+
+    /// Encodes into a page buffer in the given layout, sealing it with a
+    /// checksum.
+    ///
+    /// # Panics
+    /// Panics if there are more than [`MAX_ENTRIES_PER_PAGE`] entries.
+    pub fn encode_with(&self, buf: &mut [u8], layout: PageLayout) {
         assert_eq!(buf.len(), PAGE_SIZE);
         assert!(
             self.entries.len() <= MAX_ENTRIES_PER_PAGE,
@@ -284,51 +400,189 @@ impl NodePage {
         buf[0..2].copy_from_slice(&NODE_MAGIC.to_le_bytes());
         buf[2..4].copy_from_slice(&self.level.to_le_bytes());
         buf[4..6].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
-        let mut off = NODE_HEADER;
-        for (r, p) in &self.entries {
-            buf[off..off + 8].copy_from_slice(&r.lo.x.to_le_bytes());
-            buf[off + 8..off + 16].copy_from_slice(&r.lo.y.to_le_bytes());
-            buf[off + 16..off + 24].copy_from_slice(&r.hi.x.to_le_bytes());
-            buf[off + 24..off + 32].copy_from_slice(&r.hi.y.to_le_bytes());
-            buf[off + 32..off + 40].copy_from_slice(&p.to_le_bytes());
-            off += ENTRY_SIZE;
+        buf[LAYOUT_OFFSET..LAYOUT_OFFSET + 2].copy_from_slice(&layout.flag().to_le_bytes());
+        match layout {
+            PageLayout::Aos => {
+                let mut off = NODE_HEADER;
+                for (r, p) in &self.entries {
+                    buf[off..off + 8].copy_from_slice(&r.lo.x.to_le_bytes());
+                    buf[off + 8..off + 16].copy_from_slice(&r.lo.y.to_le_bytes());
+                    buf[off + 16..off + 24].copy_from_slice(&r.hi.x.to_le_bytes());
+                    buf[off + 24..off + 32].copy_from_slice(&r.hi.y.to_le_bytes());
+                    buf[off + 32..off + 40].copy_from_slice(&p.to_le_bytes());
+                    off += ENTRY_SIZE;
+                }
+            }
+            PageLayout::Soa => {
+                for (i, (r, p)) in self.entries.iter().enumerate() {
+                    for (k, v) in [
+                        r.lo.x.to_bits(),
+                        r.lo.y.to_bits(),
+                        r.hi.x.to_bits(),
+                        r.hi.y.to_bits(),
+                        *p,
+                    ]
+                    .into_iter()
+                    .enumerate()
+                    {
+                        let off = NODE_HEADER + k * SOA_STRIDE + i * 8;
+                        buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
         }
         seal(buf);
     }
 
-    /// Decodes from a page buffer, validating magic, checksum, entry count
-    /// and rectangle sanity.
+    /// Decodes from a page buffer in either layout, validating magic,
+    /// checksum, entry count, layout flag and rectangle sanity (finite,
+    /// `lo <= hi` — inverted rectangles never get past decode).
     pub fn decode(buf: &[u8]) -> Result<Self, PageError> {
-        check_len(buf)?;
-        if u16::from_le_bytes(buf[0..2].try_into().expect("2 bytes")) != NODE_MAGIC {
-            return Err(PageError::BadMagic);
-        }
-        verify_checksum(buf)?;
-        let level = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes"));
-        let count = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
-        if count > MAX_ENTRIES_PER_PAGE {
-            return Err(PageError::EntryOverflow(count));
-        }
-        let mut entries = Vec::with_capacity(count);
-        let mut off = NODE_HEADER;
+        let (level, count, layout) = check_node_header(buf, true)?;
         let f = |b: &[u8]| f64::from_le_bytes(b.try_into().expect("8 bytes"));
-        for _ in 0..count {
-            let lo_x = f(&buf[off..off + 8]);
-            let lo_y = f(&buf[off + 8..off + 16]);
-            let hi_x = f(&buf[off + 16..off + 24]);
-            let hi_y = f(&buf[off + 24..off + 32]);
-            let ptr = u64::from_le_bytes(buf[off + 32..off + 40].try_into().expect("8 bytes"));
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let (lo_x, lo_y, hi_x, hi_y, ptr) = match layout {
+                PageLayout::Aos => {
+                    let off = NODE_HEADER + i * ENTRY_SIZE;
+                    (
+                        f(&buf[off..off + 8]),
+                        f(&buf[off + 8..off + 16]),
+                        f(&buf[off + 16..off + 24]),
+                        f(&buf[off + 24..off + 32]),
+                        u64::from_le_bytes(buf[off + 32..off + 40].try_into().expect("8 bytes")),
+                    )
+                }
+                PageLayout::Soa => (
+                    f(&soa_plane(buf, 0, count)[i * 8..i * 8 + 8]),
+                    f(&soa_plane(buf, 1, count)[i * 8..i * 8 + 8]),
+                    f(&soa_plane(buf, 2, count)[i * 8..i * 8 + 8]),
+                    f(&soa_plane(buf, 3, count)[i * 8..i * 8 + 8]),
+                    u64::from_le_bytes(
+                        soa_plane(buf, 4, count)[i * 8..i * 8 + 8]
+                            .try_into()
+                            .expect("8 bytes"),
+                    ),
+                ),
+            };
             let rect = Rect {
-                lo: rtree_geom::Point::new(lo_x, lo_y),
-                hi: rtree_geom::Point::new(hi_x, hi_y),
+                lo: Point::new(lo_x, lo_y),
+                hi: Point::new(hi_x, hi_y),
             };
             if !rect.is_valid() {
                 return Err(PageError::CorruptRect);
             }
             entries.push((rect, ptr));
-            off += ENTRY_SIZE;
         }
         Ok(NodePage { level, entries })
+    }
+}
+
+/// A node page decoded straight into SoA form — the shape the
+/// [`rtree_geom::RectSoA`] SIMD kernels consume.
+///
+/// From a v3 (SoA) image the coordinate planes are copied contiguously,
+/// array by array, with **no per-entry gather**; from a legacy v2 (AoS)
+/// image the entries are gathered for compatibility. Decode applies the
+/// same validation as [`NodePage::decode`] — in particular the
+/// inverted-rectangle invariant (`lo <= hi`, all coordinates finite) is
+/// asserted here, so the kernels only ever see rectangles on which every
+/// variant provably agrees.
+#[derive(Clone, Debug, Default)]
+pub struct NodeSoA {
+    /// Node level (0 = leaf).
+    pub level: u16,
+    /// Entry rectangles, SoA.
+    pub rects: RectSoA,
+    /// Entry pointers (item ids at leaves, child page ids above).
+    pub ptrs: Vec<u64>,
+}
+
+impl NodeSoA {
+    /// Creates an empty node (reusable via [`NodeSoA::decode_into`]).
+    pub fn new() -> Self {
+        NodeSoA::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ptrs.len()
+    }
+
+    /// True if the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ptrs.is_empty()
+    }
+
+    /// Decodes from a page buffer in either layout.
+    pub fn decode(buf: &[u8]) -> Result<Self, PageError> {
+        let mut node = NodeSoA::new();
+        node.decode_into(buf)?;
+        Ok(node)
+    }
+
+    /// Decodes from a page buffer in either layout, reusing this node's
+    /// allocations — the traversal loops call this once per visited page
+    /// with a scratch node, so steady-state queries do not allocate.
+    pub fn decode_into(&mut self, buf: &[u8]) -> Result<(), PageError> {
+        self.decode_into_impl(buf, true)
+    }
+
+    /// [`NodeSoA::decode_into`] minus the checksum pass, for frames whose
+    /// checksum was already verified when they entered the buffer pool
+    /// (see [`crate::BufferManager::set_verify_reads`]). Verifying a 4 KiB
+    /// CRC per visited node costs more than the entire rectangle filter, so
+    /// the hot traversal loops must not re-pay it on every access to a
+    /// resident frame. Structural validation (magic, count, layout flag)
+    /// and the rectangle invariant still run unconditionally.
+    pub fn decode_into_trusted(&mut self, buf: &[u8]) -> Result<(), PageError> {
+        self.decode_into_impl(buf, false)
+    }
+
+    fn decode_into_impl(&mut self, buf: &[u8], verify: bool) -> Result<(), PageError> {
+        let (level, count, layout) = check_node_header(buf, verify)?;
+        self.level = level;
+        self.rects.clear();
+        self.ptrs.clear();
+        let (lo_x, lo_y, hi_x, hi_y) = self.rects.arrays_mut();
+        let f = |b: &[u8]| f64::from_le_bytes(b.try_into().expect("8 bytes"));
+        match layout {
+            PageLayout::Soa => {
+                // Contiguous per-plane copies: this is the no-gather path.
+                lo_x.extend(soa_plane(buf, 0, count).chunks_exact(8).map(f));
+                lo_y.extend(soa_plane(buf, 1, count).chunks_exact(8).map(f));
+                hi_x.extend(soa_plane(buf, 2, count).chunks_exact(8).map(f));
+                hi_y.extend(soa_plane(buf, 3, count).chunks_exact(8).map(f));
+                self.ptrs.extend(
+                    soa_plane(buf, 4, count)
+                        .chunks_exact(8)
+                        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes"))),
+                );
+            }
+            PageLayout::Aos => {
+                for i in 0..count {
+                    let off = NODE_HEADER + i * ENTRY_SIZE;
+                    lo_x.push(f(&buf[off..off + 8]));
+                    lo_y.push(f(&buf[off + 8..off + 16]));
+                    hi_x.push(f(&buf[off + 16..off + 24]));
+                    hi_y.push(f(&buf[off + 24..off + 32]));
+                    self.ptrs.push(u64::from_le_bytes(
+                        buf[off + 32..off + 40].try_into().expect("8 bytes"),
+                    ));
+                }
+            }
+        }
+        // Decode-time invariant: every rectangle finite and non-inverted,
+        // exactly as NodePage::decode enforces. The error path clears the
+        // node so a half-decoded page can never be traversed.
+        for i in 0..count {
+            if !self.rects.get(i).is_valid() {
+                self.rects.clear();
+                self.ptrs.clear();
+                return Err(PageError::CorruptRect);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -457,13 +711,13 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_corrupt_rect() {
+    fn decode_rejects_corrupt_rect_aos() {
         let node = NodePage {
             level: 0,
             entries: vec![(Rect::new(0.0, 0.0, 1.0, 1.0), 9)],
         };
         let mut buf = vec![0u8; PAGE_SIZE];
-        node.encode(&mut buf);
+        node.encode_v2(&mut buf);
         // Swap lo.x / hi.x to invert the rectangle, then re-seal so the
         // checksum passes and the rect validator is what must fire.
         let lo: [u8; 8] = buf[NODE_HEADER..NODE_HEADER + 8].try_into().unwrap();
@@ -472,6 +726,98 @@ mod tests {
         buf[NODE_HEADER + 16..NODE_HEADER + 24].copy_from_slice(&lo);
         seal(&mut buf);
         assert_eq!(NodePage::decode(&buf), Err(PageError::CorruptRect));
+        assert_eq!(NodeSoA::decode(&buf).unwrap_err(), PageError::CorruptRect);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_rect_soa() {
+        let node = NodePage {
+            level: 0,
+            entries: vec![(Rect::new(0.0, 0.0, 1.0, 1.0), 9)],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf); // SoA: lo.x[0] @16, hi.x[0] @16 + 2·816
+        let lo: [u8; 8] = buf[NODE_HEADER..NODE_HEADER + 8].try_into().unwrap();
+        let hix_off = NODE_HEADER + 2 * SOA_STRIDE;
+        let hi: [u8; 8] = buf[hix_off..hix_off + 8].try_into().unwrap();
+        buf[NODE_HEADER..NODE_HEADER + 8].copy_from_slice(&hi);
+        buf[hix_off..hix_off + 8].copy_from_slice(&lo);
+        seal(&mut buf);
+        assert_eq!(NodePage::decode(&buf), Err(PageError::CorruptRect));
+        // The SoA decoder asserts the same inverted-rect invariant and
+        // leaves the scratch node empty on failure.
+        let mut scratch = NodeSoA::new();
+        assert_eq!(scratch.decode_into(&buf), Err(PageError::CorruptRect));
+        assert!(scratch.is_empty() && scratch.rects.is_empty());
+    }
+
+    #[test]
+    fn layouts_carry_identical_content() {
+        let node = NodePage {
+            level: 1,
+            entries: (0..MAX_ENTRIES_PER_PAGE as u64)
+                .map(|i| {
+                    let v = i as f64 / 128.0;
+                    (Rect::new(v, v * 0.5, v + 0.01, v * 0.5 + 0.01), i * 7)
+                })
+                .collect(),
+        };
+        let (mut v2, mut v3) = (vec![0u8; PAGE_SIZE], vec![0u8; PAGE_SIZE]);
+        node.encode_v2(&mut v2);
+        node.encode(&mut v3);
+        assert_eq!(PageLayout::of(&v2).unwrap(), PageLayout::Aos);
+        assert_eq!(PageLayout::of(&v3).unwrap(), PageLayout::Soa);
+        assert_ne!(v2, v3, "the byte images differ");
+        assert_eq!(NodePage::decode(&v2).unwrap(), node);
+        assert_eq!(NodePage::decode(&v3).unwrap(), node);
+        // NodeSoA decodes both layouts to the same logical node.
+        for img in [&v2, &v3] {
+            let soa = NodeSoA::decode(img).unwrap();
+            assert_eq!(soa.level, node.level);
+            assert_eq!(soa.len(), node.entries.len());
+            for (i, (r, p)) in node.entries.iter().enumerate() {
+                assert_eq!(soa.rects.get(i), *r);
+                assert_eq!(soa.ptrs[i], *p);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_layout_flag_is_typed() {
+        let node = NodePage {
+            level: 0,
+            entries: vec![(Rect::new(0.1, 0.1, 0.2, 0.2), 1)],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        buf[LAYOUT_OFFSET..LAYOUT_OFFSET + 2].copy_from_slice(&7u16.to_le_bytes());
+        seal(&mut buf);
+        assert_eq!(NodePage::decode(&buf), Err(PageError::UnsupportedLayout(7)));
+        assert_eq!(
+            NodeSoA::decode(&buf).unwrap_err(),
+            PageError::UnsupportedLayout(7)
+        );
+    }
+
+    #[test]
+    fn meta_decode_accepts_v2() {
+        let meta = sample_meta();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        assert_eq!(
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            3,
+            "this build writes format v3"
+        );
+        buf[4..8].copy_from_slice(&2u32.to_le_bytes());
+        seal(&mut buf);
+        assert_eq!(PageMeta::decode(&buf).unwrap(), meta, "v2 still opens");
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        seal(&mut buf);
+        assert_eq!(
+            PageMeta::decode(&buf),
+            Err(PageError::UnsupportedVersion(1))
+        );
     }
 
     #[test]

@@ -1,23 +1,42 @@
 //! Deterministic fuzz smoke for the page decoders: the no-network stand-in
 //! for `fuzz/fuzz_targets/page_decode.rs` that runs in plain `cargo test`.
 //!
-//! Two generators feed `PageMeta::decode` / `NodePage::decode`:
+//! Two generators feed `PageMeta::decode` / `NodePage::decode` / the SoA
+//! decoders (`NodeSoA::decode`, `NodeSoA::decode_into_trusted`):
 //! pure random bytes (cheap, shallow — mostly dies at the magic check) and
 //! *mutated valid pages* (encode a real page, flip a few seeded bytes —
 //! reaches past the checksum only when the flips land in it, past the
 //! structure checks when they don't). The invariant is the fuzz target's:
-//! decode returns `Ok` or a typed `PageError`, and never panics.
+//! decode returns `Ok` or a typed `PageError`, and never panics. Two
+//! cross-decoder properties ride along: when the AoS and SoA decoders both
+//! accept a frame they carry identical content, and the trusted
+//! (checksum-skipping) decode accepts at least whatever the full decode
+//! accepts.
 //!
 //! Hand-minimized regression inputs live at the bottom as separate tests.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rtree_geom::Rect;
-use rtree_pager::{NodePage, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+use rtree_pager::{NodePage, NodeSoA, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
 
 fn decode_both(bytes: &[u8]) {
     let _ = PageMeta::decode(bytes);
-    let _ = NodePage::decode(bytes);
+    let aos = NodePage::decode(bytes);
+    let soa = NodeSoA::decode(bytes);
+    let mut scratch = NodeSoA::new();
+    let trusted = scratch.decode_into_trusted(bytes);
+    if let (Ok(a), Ok(s)) = (&aos, &soa) {
+        assert_eq!(a.level, s.level);
+        assert_eq!(a.entries.len(), s.len());
+        for (i, (r, p)) in a.entries.iter().enumerate() {
+            assert_eq!(*r, s.rects.get(i));
+            assert_eq!(*p, s.ptrs[i]);
+        }
+    }
+    if soa.is_ok() {
+        assert!(trusted.is_ok(), "trusted decode is weaker than full decode");
+    }
 }
 
 #[test]
@@ -73,10 +92,13 @@ fn mutated_valid_pages_never_panic() {
     let mut rng = StdRng::seed_from_u64(0xBAD_F1B5);
     let mut meta_page = vec![0u8; PAGE_SIZE];
     sample_meta().encode(&mut meta_page);
+    // Both node body layouts: v3/SoA (the default `encode`) and v2/AoS.
     let mut node_page = vec![0u8; PAGE_SIZE];
     sample_node().encode(&mut node_page);
+    let mut node_page_v2 = vec![0u8; PAGE_SIZE];
+    sample_node().encode_v2(&mut node_page_v2);
 
-    for template in [&meta_page, &node_page] {
+    for template in [&meta_page, &node_page, &node_page_v2] {
         for _ in 0..10_000 {
             let mut page = template.clone();
             for _ in 0..rng.gen_range(1..=8usize) {
@@ -95,6 +117,32 @@ fn valid_pages_round_trip() {
     assert_eq!(PageMeta::decode(&page).unwrap(), sample_meta());
     sample_node().encode(&mut page);
     assert_eq!(NodePage::decode(&page).unwrap(), sample_node());
+    sample_node().encode_v2(&mut page);
+    assert_eq!(NodePage::decode(&page).unwrap(), sample_node());
+}
+
+/// Both node decoders accept both body layouts and agree on the content —
+/// the AoS decoder reading a v3 page, the SoA decoder reading a v2 page,
+/// and each reading its native layout.
+#[test]
+fn aos_and_soa_decoders_agree_on_both_layouts() {
+    let node = sample_node();
+    let mut v3 = vec![0u8; PAGE_SIZE];
+    node.encode(&mut v3);
+    let mut v2 = vec![0u8; PAGE_SIZE];
+    node.encode_v2(&mut v2);
+
+    for page in [&v3, &v2] {
+        let aos = NodePage::decode(page).unwrap();
+        let soa = NodeSoA::decode(page).unwrap();
+        assert_eq!(aos, node);
+        assert_eq!(soa.level, node.level);
+        assert_eq!(soa.len(), node.entries.len());
+        for (i, (r, p)) in node.entries.iter().enumerate() {
+            assert_eq!(soa.rects.get(i), *r);
+            assert_eq!(soa.ptrs[i], *p);
+        }
+    }
 }
 
 // ---- Regression inputs (minimized from the generators above). ----------
@@ -139,4 +187,117 @@ fn regression_zero_page() {
     let page = vec![0u8; PAGE_SIZE];
     assert!(matches!(PageMeta::decode(&page), Err(PageError::BadMagic)));
     assert!(matches!(NodePage::decode(&page), Err(PageError::BadMagic)));
+    assert!(matches!(NodeSoA::decode(&page), Err(PageError::BadMagic)));
+}
+
+/// Re-seals the node-page checksum (bytes 8..12, computed with the field
+/// zeroed) after a raw patch, so corruption tests can aim past the CRC at
+/// the structural checks.
+fn reseal(page: &mut [u8]) {
+    page[8..12].fill(0);
+    let crc = rtree_wal::crc32::checksum(page);
+    page[8..12].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// A v3 page whose entry count claims more than the page can hold must be
+/// a typed overflow error from the SoA decoder too — resealed so the count
+/// check itself (not the checksum) does the rejecting.
+#[test]
+fn regression_v3_entry_count_overflow() {
+    let mut page = vec![0u8; PAGE_SIZE];
+    sample_node().encode(&mut page);
+    page[4..6].copy_from_slice(&(MAX_ENTRIES_PER_PAGE as u16 + 1).to_le_bytes());
+    reseal(&mut page);
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::EntryOverflow(_))
+    ));
+    // The trusted decode skips the checksum, never the count check.
+    let mut scratch = NodeSoA::new();
+    assert!(matches!(
+        scratch.decode_into_trusted(&page),
+        Err(PageError::EntryOverflow(_))
+    ));
+}
+
+/// A layout flag naming neither body layout is a typed error, not an
+/// out-of-bounds plane read.
+#[test]
+fn regression_unknown_layout_flag() {
+    let mut page = vec![0u8; PAGE_SIZE];
+    sample_node().encode(&mut page);
+    page[6..8].copy_from_slice(&7u16.to_le_bytes());
+    reseal(&mut page);
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::UnsupportedLayout(7))
+    ));
+    assert!(matches!(
+        NodePage::decode(&page),
+        Err(PageError::UnsupportedLayout(7))
+    ));
+}
+
+/// Truncated SoA frames: a v3 page cut anywhere — mid-header, mid-plane,
+/// at a plane boundary, one byte short — must be rejected by length, never
+/// sliced out of bounds. (The SoA body is five 816-byte planes after the
+/// 16-byte header; the cuts below land at and around those seams.)
+#[test]
+fn regression_truncated_soa_planes() {
+    let mut page = vec![0u8; PAGE_SIZE];
+    sample_node().encode(&mut page);
+    for len in [0usize, 3, 15, 16, 17, 815, 816, 832, 1648, 2464, 3280, 4095] {
+        let cut = &page[..len];
+        assert!(
+            matches!(NodeSoA::decode(cut), Err(PageError::WrongLength { .. })),
+            "len {len}"
+        );
+        assert!(
+            matches!(NodePage::decode(cut), Err(PageError::WrongLength { .. })),
+            "len {len}"
+        );
+    }
+}
+
+/// The trust boundary, exactly: a page whose *only* defect is a bad stored
+/// checksum is rejected by the full decode and accepted by the trusted
+/// decode (page-in verification already vouched for the bytes), while a
+/// page whose rectangles are inverted is rejected by both — the geometric
+/// invariant is validated on every decode, trusted or not.
+#[test]
+fn trusted_decode_skips_checksum_but_not_invariants() {
+    let node = sample_node();
+    let mut page = vec![0u8; PAGE_SIZE];
+    node.encode(&mut page);
+
+    page[8..12].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::ChecksumMismatch { .. })
+    ));
+    let mut scratch = NodeSoA::new();
+    scratch
+        .decode_into_trusted(&page)
+        .expect("bad CRC alone must not stop a trusted decode");
+    assert_eq!(scratch.len(), node.entries.len());
+    assert_eq!(scratch.rects.get(0), node.entries[0].0);
+
+    // Swap entry 0's lo_x/hi_x planes so the rect inverts, reseal the CRC:
+    // now the checksum is fine and the geometry is not.
+    let mut inverted = vec![0u8; PAGE_SIZE];
+    node.encode(&mut inverted);
+    let (lo, hi) = (16usize, 16 + 2 * 816);
+    for i in 0..8 {
+        inverted.swap(lo + i, hi + i);
+    }
+    reseal(&mut inverted);
+    assert!(matches!(
+        NodeSoA::decode(&inverted),
+        Err(PageError::CorruptRect)
+    ));
+    let mut scratch = NodeSoA::new();
+    assert!(matches!(
+        scratch.decode_into_trusted(&inverted),
+        Err(PageError::CorruptRect)
+    ));
 }

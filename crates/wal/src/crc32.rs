@@ -1,13 +1,20 @@
-//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven, slice-by-8.
 //!
 //! Vendored rather than pulled from a crate because the build environment is
 //! offline. The parameters match the ubiquitous `crc32fast`/zlib checksum, so
 //! log files remain checkable by standard tooling.
+//!
+//! The kernel processes eight bytes per step through eight precomputed
+//! tables (Kounavis & Berry's slicing-by-8), breaking the byte-serial
+//! dependency chain of the classic Sarwate loop. Page checksums sit on the
+//! buffer-miss path and every WAL append, so the ~6x throughput difference
+//! is visible end to end. The byte-at-a-time table remains as the tail
+//! handler, and the test suite pins both to the standard vectors.
 
 const POLY: u32 = 0xEDB8_8320;
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -20,21 +27,50 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    // tables[k][b] = CRC of byte b followed by k zero bytes: each extra
+    // table shifts a lane eight more bits down the register.
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+#[inline]
+fn update_state(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc
+}
 
 /// Checksum of `data` in one call.
 pub fn checksum(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
-    }
-    !crc
+    !update_state(0xFFFF_FFFF, data)
 }
 
 /// Incremental CRC-32 over multiple slices.
@@ -57,9 +93,7 @@ impl Hasher {
 
     /// Feeds more bytes.
     pub fn update(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.state = (self.state >> 8) ^ TABLE[((self.state ^ byte as u32) & 0xFF) as usize];
-        }
+        self.state = update_state(self.state, data);
     }
 
     /// Final checksum.
@@ -99,5 +133,24 @@ mod tests {
         let mut flipped = [0u8; 64];
         flipped[40] = 1;
         assert_ne!(a, checksum(&flipped));
+    }
+
+    #[test]
+    fn sliced_kernel_matches_sarwate_at_every_length() {
+        // Byte-at-a-time reference (the classic Sarwate loop) against the
+        // slice-by-8 kernel across lengths straddling the 8-byte chunking.
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &byte in data {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ byte as u32) & 0xFF) as usize];
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(checksum(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 }

@@ -1,25 +1,46 @@
-//! Fuzz target: arbitrary bytes through both page decoders.
+//! Fuzz target: arbitrary bytes through every page decoder.
 //!
-//! Invariant: `PageMeta::decode` and `NodePage::decode` must return
+//! Invariant: `PageMeta::decode`, `NodePage::decode` and the SoA decoders
+//! (`NodeSoA::decode`, `NodeSoA::decode_into_trusted`) must return
 //! `Err(PageError)` or a valid value on *any* input — never panic, never
 //! overflow an index, never allocate absurdly (entry counts are validated
-//! before `Vec::with_capacity`).
+//! before `Vec::with_capacity`). The two node decoders must also *agree*:
+//! whenever both accept a frame they carry identical content, and the
+//! trusted (checksum-skipping) decode accepts at least whatever the full
+//! decode accepts.
 
 #![no_main]
 
 use libfuzzer_sys::fuzz_target;
-use rtree_pager::{NodePage, PageMeta, PAGE_SIZE};
+use rtree_pager::{NodePage, NodeSoA, PageMeta, PAGE_SIZE};
+
+fn probe(bytes: &[u8]) {
+    let _ = PageMeta::decode(bytes);
+    let aos = NodePage::decode(bytes);
+    let soa = NodeSoA::decode(bytes);
+    let mut scratch = NodeSoA::new();
+    let trusted = scratch.decode_into_trusted(bytes);
+    if let (Ok(a), Ok(s)) = (&aos, &soa) {
+        assert_eq!(a.level, s.level);
+        assert_eq!(a.entries.len(), s.len());
+        for (i, (r, p)) in a.entries.iter().enumerate() {
+            assert_eq!(*r, s.rects.get(i));
+            assert_eq!(*p, s.ptrs[i]);
+        }
+    }
+    if soa.is_ok() {
+        assert!(trusted.is_ok(), "trusted decode is weaker than full decode");
+    }
+}
 
 fuzz_target!(|data: &[u8]| {
     // As-is: decoders must reject wrong lengths gracefully.
-    let _ = PageMeta::decode(data);
-    let _ = NodePage::decode(data);
+    probe(data);
 
     // Padded / truncated to exactly one page: exercises the full parse
     // path past the length check.
     let mut page = vec![0u8; PAGE_SIZE];
     let n = data.len().min(PAGE_SIZE);
     page[..n].copy_from_slice(&data[..n]);
-    let _ = PageMeta::decode(&page);
-    let _ = NodePage::decode(&page);
+    probe(&page);
 });
