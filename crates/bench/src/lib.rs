@@ -12,6 +12,8 @@
 //! `--json` (also write `results/*.json`), and `--quick` (shrink
 //! simulation sizes for smoke runs).
 
+pub mod macrobench;
+
 use rtree_datagen::{CfdLike, SyntheticPoint, SyntheticRegion, TigerLike};
 use rtree_geom::Rect;
 use rtree_index::{BulkLoader, RTree, TupleAtATime};

@@ -27,6 +27,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "concurrent" => concurrent(args),
         "trace" => trace(args),
         "chaos" => chaos(args),
+        "macrobench" => macrobench(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
         other => Err(err(format!("unknown subcommand {other:?}"))),
@@ -946,6 +947,151 @@ fn chaos(args: &Args) -> Result<String, CliError> {
     } else {
         Ok(out)
     }
+}
+
+/// Parses `uniform | zipf | zipf:THETA | shifting` into a trace skew.
+fn parse_skew(spec: &str) -> Result<rtree_datagen::Skew, CliError> {
+    use rtree_datagen::Skew;
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["uniform"] => Ok(Skew::Uniform),
+        ["zipf"] => Ok(Skew::Zipf { theta: 1.0 }),
+        ["zipf", theta] => {
+            let theta: f64 = theta
+                .parse()
+                .map_err(|e| err(format!("bad zipf theta {theta:?}: {e}")))?;
+            if !(theta > 0.0) {
+                return Err(err("zipf theta must be positive"));
+            }
+            Ok(Skew::Zipf { theta })
+        }
+        ["shifting"] => Ok(Skew::Shifting),
+        _ => Err(err(format!("unknown skew {spec:?}"))),
+    }
+}
+
+/// `macrobench`: replays one recorded trace against both page formats at an
+/// equal frame budget and reports effective OPS per cell. The same tool as
+/// the `rtree-bench` binary's full grid, but for a single dataset × policy ×
+/// skew cell the user picks — and with `--record`/`--replay` exposing the
+/// trace file so a measured workload can be re-run byte-identically later.
+fn macrobench(args: &Args) -> Result<String, CliError> {
+    use rtree_bench::macrobench::{
+        describe_store, model_reads_per_query, replay, Boxed, DEFAULT_MISS_NS,
+    };
+    use rtree_bench::Table;
+    use rtree_datagen::trace::{center_pool, generate as generate_trace, Trace, TraceSpec};
+    use rtree_datagen::MixWeights;
+    use rtree_pager::DiskRTree;
+
+    args.allow_flags(&[
+        "loader", "cap", "frames", "ops", "qx", "qy", "skew", "mix", "policy", "miss-ns", "seed",
+        "record", "replay", "json",
+    ])?;
+    let rects = from_csv(&read_file(&args.positional)?).map_err(CliError)?;
+    if rects.is_empty() {
+        return Err(err("data set is empty"));
+    }
+    let cap: usize = args.flag_or("cap", 50usize)?;
+    if !(4..=rtree_pager::MAX_ENTRIES_PER_PAGE).contains(&cap) {
+        return Err(err(format!(
+            "--cap must be in 4..={}",
+            rtree_pager::MAX_ENTRIES_PER_PAGE
+        )));
+    }
+    let frames: usize = args.flag_or("frames", 32usize)?;
+    if frames == 0 {
+        return Err(err("--frames must be positive"));
+    }
+    let ops: usize = args.flag_or("ops", 10_000usize)?;
+    if ops == 0 {
+        return Err(err("--ops must be positive"));
+    }
+    let qx: f64 = args.flag_or("qx", 0.05f64)?;
+    let qy: f64 = args.flag_or("qy", 0.05f64)?;
+    let seed: u64 = args.flag_or("seed", 0x7AC3u64)?;
+    let miss_ns: f64 = args.flag_or("miss-ns", DEFAULT_MISS_NS)?;
+    let skew = parse_skew(args.flag("skew").unwrap_or("zipf"))?;
+    let mix = match args.flag("mix").unwrap_or("read-mostly") {
+        "read-mostly" => MixWeights::read_mostly(),
+        "read-only" => MixWeights::read_only(),
+        other => {
+            return Err(err(format!(
+                "unknown mix {other:?} (read-mostly|read-only)"
+            )))
+        }
+    };
+    let policy_name = args.flag("policy").unwrap_or("LRU");
+    parse_policy(policy_name, seed)?; // fail before the build
+    let tree = build_tree(&rects, args.flag("loader").unwrap_or("HS"), cap)?;
+
+    // Load a recorded trace, or generate (and optionally record) one. A
+    // replayed trace overrides --ops/--seed: the file is the workload.
+    let trace = match args.flag("replay") {
+        Some(path) => Trace::load(std::path::Path::new(path))
+            .map_err(|e| err(format!("loading trace {path}: {e}")))?,
+        None => {
+            let spec = TraceSpec {
+                ops,
+                qx,
+                qy,
+                skew,
+                mix,
+                seed,
+            };
+            let t = generate_trace(&rects, &spec);
+            if let Some(path) = args.flag("record") {
+                t.save(std::path::Path::new(path))
+                    .map_err(|e| err(format!("recording trace {path}: {e}")))?;
+            }
+            t
+        }
+    };
+    // The analytic model draws query centers from the same pool the trace
+    // generator used, so its prediction and the replay describe one workload.
+    let workload = Workload::data_driven(qx, qy, center_pool(&rects, skew, seed));
+
+    let mut table = Table::new(
+        format!(
+            "macrobench: {} ops, {} policy, {frames} frames, miss {miss_ns:.0} ns",
+            trace.ops.len(),
+            policy_name.to_uppercase(),
+        ),
+        &[
+            "format",
+            "hit_rate",
+            "reads_per_op",
+            "model_rpq",
+            "p50_us",
+            "p99_us",
+            "eff_ops",
+        ],
+    );
+    for format in rtree_bench::macrobench::PageFormat::ALL {
+        // Cold replay by design: both formats start from an empty buffer,
+        // so the comparison includes each format's own warm-up footprint.
+        let disk = format.materialize(&tree, frames, Boxed(make_policy(policy_name, seed)?));
+        let meta = disk.meta().clone();
+        let mut store = disk.into_store();
+        let desc =
+            describe_store(&mut store, &meta).map_err(|e| err(format!("walking image: {e}")))?;
+        let mut disk = DiskRTree::open(store, frames, Boxed(make_policy(policy_name, seed)?))
+            .map_err(|e| err(format!("reopening image: {e}")))?;
+        let out = replay(&mut disk, &trace).map_err(|e| err(format!("replay: {e}")))?;
+        table.row(vec![
+            format.name().into(),
+            format!("{:.4}", out.hit_rate),
+            format!("{:.4}", out.demand_reads_per_op()),
+            format!("{:.4}", model_reads_per_query(&desc, &workload, frames)),
+            format!("{:.1}", out.p50_ns as f64 / 1e3),
+            format!("{:.1}", out.p99_ns as f64 / 1e3),
+            format!("{:.0}", out.effective_ops(miss_ns)),
+        ]);
+    }
+    if args.flag_bool("json") {
+        return Ok(table.to_json());
+    }
+    Ok(table.render())
 }
 
 /// Shared flag parsing for `serve`: the batch policy and server knobs.

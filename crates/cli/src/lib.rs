@@ -91,6 +91,18 @@ USAGE:
       failure the run shrinks to a minimal `--seed N --ops K` replay line.
       --plant injects a known bug (harness self-test).
 
+  rtrees macrobench <DATA.csv> [--loader L] [--cap N] [--frames F] [--ops K]
+               [--qx X] [--qy Y] [--skew uniform|zipf[:THETA]|shifting]
+               [--mix read-mostly|read-only] [--policy P] [--miss-ns NS]
+               [--seed N] [--record FILE] [--replay FILE] [--json]
+      Replays one deterministic trace (Zipf-skewed, read/write mixed)
+      against the page-format-v3 and compressed-v4 images of the same tree
+      at an equal frame budget, reporting hit rate, demand reads/op, the
+      buffer model's predicted reads/query, latency quantiles, and
+      effective OPS (misses charged --miss-ns, default ~1.9 us). --record
+      saves the generated trace; --replay re-runs a recorded one
+      byte-identically (overriding --ops/--seed).
+
   rtrees serve <DATA.csv> [--addr HOST:PORT] [--port-file FILE] [--duration S]
                [--engine seq|sharded] [--shards S] [--loader L] [--cap N]
                [--buffer B] [--policy LRU|LRU2|FIFO|CLOCK|RANDOM] [--seed N]

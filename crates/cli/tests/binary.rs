@@ -128,6 +128,65 @@ fn trace_through_the_real_binary() {
 }
 
 #[test]
+fn macrobench_through_the_real_binary() {
+    let dir = std::env::temp_dir().join(format!("rtrees-bin-macro-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.csv");
+    let trace = dir.join("workload.rtrc");
+
+    let out = rtrees()
+        .args(["generate", "region:2000", "--seed", "31", "--out"])
+        .arg(&data)
+        .output()
+        .expect("spawn rtrees generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Record a small Zipf trace and report both formats as JSON.
+    let out = rtrees()
+        .args(["macrobench"])
+        .arg(&data)
+        .args([
+            "--cap", "16", "--frames", "12", "--ops", "800", "--json", "--record",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn rtrees macrobench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rows\""), "got: {text}");
+    assert!(
+        text.contains("\"v3\"") && text.contains("\"v4\""),
+        "got: {text}"
+    );
+
+    // Replaying the recorded file re-runs the identical workload.
+    let out = rtrees()
+        .args(["macrobench"])
+        .arg(&data)
+        .args(["--cap", "16", "--frames", "12", "--replay"])
+        .arg(&trace)
+        .output()
+        .expect("spawn rtrees macrobench --replay");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("800 ops"), "got: {text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn help_and_errors() {
     let out = rtrees().arg("--help").output().expect("spawn");
     assert!(out.status.success());

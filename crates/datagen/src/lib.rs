@@ -24,12 +24,14 @@
 mod cfd;
 mod clustered;
 mod tiger;
+pub mod trace;
 mod uniform;
 mod zipf;
 
 pub use cfd::CfdLike;
 pub use clustered::ClusteredPoints;
 pub use tiger::TigerLike;
+pub use trace::{center_pool, MixWeights, Skew, Trace, TraceOp, TraceSpec};
 pub use uniform::{SyntheticPoint, SyntheticRegion};
 pub use zipf::{
     chi_square, data_driven_workload, zipf_center_multiset, zipf_workload, ZipfWeights,

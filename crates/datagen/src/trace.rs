@@ -1,0 +1,566 @@
+//! Deterministic, replayable operation traces.
+//!
+//! A trace is a flat list of tree operations — region / point / kNN
+//! queries, inserts, deletes — with a fixed byte serialization, so a
+//! workload can be recorded once and replayed **byte-identically** against
+//! any tree build (v3 vs v4 pages, any replacement policy). Two replays of
+//! the same trace against the same image issue the same page requests in
+//! the same order; any throughput or hit-rate difference is then
+//! attributable to the configuration, not the workload.
+//!
+//! The on-disk format is self-checking:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "RTRC"
+//! 4       4     format version (1)
+//! 8       8     generator seed (provenance; not used by replay)
+//! 16      8     op count
+//! 24      ...   ops: tag byte + payload (see TraceOp encodings)
+//! end     4     crc32 over all preceding bytes
+//! ```
+//!
+//! The generator draws query centers *from the data* (the paper's §3.2
+//! query-follows-data discipline) under one of three skews, and keeps a
+//! live-item ledger so every delete names an object that actually exists
+//! at that point in the trace — replays never see a spurious miss.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtree_geom::{Point, Rect};
+
+use crate::centers;
+use crate::zipf::zipf_center_multiset;
+
+/// Trace file magic.
+pub const TRACE_MAGIC: [u8; 4] = *b"RTRC";
+/// Current trace format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One replayable tree operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceOp {
+    /// Region (window) query.
+    Region(Rect),
+    /// Point containment query.
+    Point(Point),
+    /// k-nearest-neighbor query.
+    Knn(Point, u32),
+    /// Insert an item with the given rect and id.
+    Insert(Rect, u64),
+    /// Delete the item with the given rect and id.
+    Delete(Rect, u64),
+}
+
+/// A recorded operation stream plus the seed that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Generator seed, kept for provenance (replay never re-randomizes).
+    pub seed: u64,
+    /// The operations, in replay order.
+    pub ops: Vec<TraceOp>,
+}
+
+/// How query centers are drawn from the data centers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Skew {
+    /// Uniform over the data centers (the paper's §3.2 baseline).
+    Uniform,
+    /// Zipf-ranked: center of rank k drawn with probability ∝ 1/(k+1)^θ.
+    Zipf {
+        /// Skew exponent; 0 is uniform, ~1 is classic web-log skew.
+        theta: f64,
+    },
+    /// A 10%-of-data hot window that slides across the (sorted) centers
+    /// over the trace — the working set moves, stressing replacement.
+    Shifting,
+}
+
+/// Relative operation-mix weights; only ratios matter. A 90/9/1
+/// read/insert/delete mix is `region: 80, point: 5, knn: 5, insert: 9,
+/// delete: 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixWeights {
+    /// Region-query weight.
+    pub region: u32,
+    /// Point-query weight.
+    pub point: u32,
+    /// kNN-query weight.
+    pub knn: u32,
+    /// Insert weight.
+    pub insert: u32,
+    /// Delete weight.
+    pub delete: u32,
+}
+
+impl MixWeights {
+    /// Pure read workload: region-heavy with some point and kNN traffic.
+    pub fn read_only() -> Self {
+        MixWeights {
+            region: 80,
+            point: 15,
+            knn: 5,
+            insert: 0,
+            delete: 0,
+        }
+    }
+
+    /// The macro-benchmark's 90/9/1 read/insert/delete mix.
+    pub fn read_mostly() -> Self {
+        MixWeights {
+            region: 80,
+            point: 5,
+            knn: 5,
+            insert: 9,
+            delete: 1,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.region + self.point + self.knn + self.insert + self.delete
+    }
+}
+
+/// Everything that determines a generated trace. Same spec + same data →
+/// the same bytes, always.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceSpec {
+    /// Number of operations to generate.
+    pub ops: usize,
+    /// Region-query extent along x (also scales insert rects).
+    pub qx: f64,
+    /// Region-query extent along y.
+    pub qy: f64,
+    /// Center-selection skew.
+    pub skew: Skew,
+    /// Operation mix.
+    pub mix: MixWeights,
+    /// Master seed: drives center permutation, op choice, and jitter.
+    pub seed: u64,
+}
+
+/// The center multiset a skew draws from — shared between the trace
+/// generator and the analytic model, so a [`rtree_core::Workload`] built
+/// over this pool describes exactly the centers the trace queries hit.
+/// (For [`Skew::Shifting`] the pool is the sorted data centers; a uniform
+/// draw over it is the trace's *steady-state average* as the 10% window
+/// slides end to end.)
+///
+/// # Panics
+/// Panics if `rects` is empty or a Zipf θ is invalid.
+pub fn center_pool(rects: &[Rect], skew: Skew, seed: u64) -> Vec<Point> {
+    let data_centers = centers(rects);
+    assert!(!data_centers.is_empty(), "need at least one data rect");
+    match skew {
+        Skew::Uniform => data_centers,
+        Skew::Zipf { theta } => {
+            zipf_center_multiset(&data_centers, theta, data_centers.len().max(256) * 4, seed)
+        }
+        Skew::Shifting => {
+            // Sorted so the sliding window is spatially coherent.
+            let mut sorted = data_centers;
+            sorted.sort_by(|a, b| {
+                (a.x, a.y)
+                    .partial_cmp(&(b.x, b.y))
+                    .expect("finite data centers")
+            });
+            sorted
+        }
+    }
+}
+
+/// Generates a trace over a data set. Query centers follow the data under
+/// `spec.skew`; inserts place new small rects near drawn centers with
+/// fresh ids starting at `rects.len()`; deletes target a uniformly drawn
+/// *live* item (original or previously inserted, not yet deleted), so a
+/// replay applies cleanly. If the ledger ever empties, the delete becomes
+/// a region query instead — the trace stays the declared length.
+///
+/// # Panics
+/// Panics if `rects` is empty, `spec.ops` is 0, the mix has zero total
+/// weight, or a query extent is negative or non-finite.
+pub fn generate(rects: &[Rect], spec: &TraceSpec) -> Trace {
+    assert!(!rects.is_empty(), "need at least one data rect");
+    assert!(spec.ops >= 1, "need at least one op");
+    assert!(spec.mix.total() > 0, "mix weights sum to zero");
+    assert!(
+        spec.qx >= 0.0 && spec.qx.is_finite() && spec.qy >= 0.0 && spec.qy.is_finite(),
+        "query extents must be finite and non-negative"
+    );
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let pool = center_pool(rects, spec.skew, spec.seed);
+    let window = (pool.len() / 10).max(1);
+
+    let draw_center = |rng: &mut StdRng, i: usize| -> Point {
+        match spec.skew {
+            Skew::Uniform | Skew::Zipf { .. } => pool[rng.gen_range(0..pool.len())],
+            Skew::Shifting => {
+                // Window start slides linearly over the trace.
+                let span = pool.len() - window;
+                let start = if spec.ops <= 1 {
+                    0
+                } else {
+                    i * span / (spec.ops - 1)
+                };
+                pool[start + rng.gen_range(0..window)]
+            }
+        }
+    };
+
+    // Live-item ledger: every delete targets something that exists.
+    let mut live: Vec<(Rect, u64)> = rects
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (*r, i as u64))
+        .collect();
+    let mut next_id = rects.len() as u64;
+
+    let total = spec.mix.total();
+    let mut ops = Vec::with_capacity(spec.ops);
+    for i in 0..spec.ops {
+        let pick = rng.gen_range(0..total);
+        let m = spec.mix;
+        // Cumulative thresholds over the mix weights, in declaration order.
+        let after_region = m.region;
+        let after_point = after_region + m.point;
+        let after_knn = after_point + m.knn;
+        let after_insert = after_knn + m.insert;
+        let op = if pick < after_region {
+            TraceOp::Region(Rect::centered(draw_center(&mut rng, i), spec.qx, spec.qy))
+        } else if pick < after_point {
+            TraceOp::Point(draw_center(&mut rng, i))
+        } else if pick < after_knn {
+            TraceOp::Knn(draw_center(&mut rng, i), rng.gen_range(1..=8))
+        } else if pick < after_insert {
+            let c = draw_center(&mut rng, i);
+            let jx: f64 = rng.gen_range(-0.5..0.5) * spec.qx;
+            let jy: f64 = rng.gen_range(-0.5..0.5) * spec.qy;
+            let rect = Rect::centered(Point::new(c.x + jx, c.y + jy), spec.qx * 0.2, spec.qy * 0.2);
+            let id = next_id;
+            next_id += 1;
+            live.push((rect, id));
+            TraceOp::Insert(rect, id)
+        } else if live.is_empty() {
+            // Ledger drained: degrade to a query, never an invalid delete.
+            TraceOp::Region(Rect::centered(draw_center(&mut rng, i), spec.qx, spec.qy))
+        } else {
+            let victim = rng.gen_range(0..live.len());
+            let (rect, id) = live.swap_remove(victim);
+            TraceOp::Delete(rect, id)
+        };
+        ops.push(op);
+    }
+    Trace {
+        seed: spec.seed,
+        ops,
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_rect(out: &mut Vec<u8>, r: &Rect) {
+    put_f64(out, r.lo.x);
+    put_f64(out, r.lo.y);
+    put_f64(out, r.hi.x);
+    put_f64(out, r.hi.y);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "trace truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn rect(&mut self) -> Result<Rect, String> {
+        Ok(Rect {
+            lo: Point::new(self.f64()?, self.f64()?),
+            hi: Point::new(self.f64()?, self.f64()?),
+        })
+    }
+
+    fn point(&mut self) -> Result<Point, String> {
+        Ok(Point::new(self.f64()?, self.f64()?))
+    }
+}
+
+impl Trace {
+    /// Serializes the trace to its canonical byte form. Deterministic:
+    /// equal traces always produce equal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.ops.len() * 41 + 4);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                TraceOp::Region(r) => {
+                    out.push(0);
+                    put_rect(&mut out, r);
+                }
+                TraceOp::Point(p) => {
+                    out.push(1);
+                    put_f64(&mut out, p.x);
+                    put_f64(&mut out, p.y);
+                }
+                TraceOp::Knn(p, k) => {
+                    out.push(2);
+                    put_f64(&mut out, p.x);
+                    put_f64(&mut out, p.y);
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+                TraceOp::Insert(r, id) => {
+                    out.push(3);
+                    put_rect(&mut out, r);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                TraceOp::Delete(r, id) => {
+                    out.push(4);
+                    put_rect(&mut out, r);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+        let crc = rtree_wal::crc32::checksum(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a trace from bytes, verifying magic, version, declared op
+    /// count, and the trailing checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, String> {
+        if bytes.len() < 28 {
+            return Err(format!("trace too short: {} bytes", bytes.len()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().expect("4"));
+        let actual = rtree_wal::crc32::checksum(body);
+        if stored != actual {
+            return Err(format!(
+                "trace checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            ));
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        if r.take(4)? != TRACE_MAGIC {
+            return Err("bad trace magic (want \"RTRC\")".to_string());
+        }
+        let version = r.u32()?;
+        if version != TRACE_VERSION {
+            return Err(format!(
+                "unsupported trace version {version} (this build reads {TRACE_VERSION})"
+            ));
+        }
+        let seed = r.u64()?;
+        let count = r.u64()? as usize;
+        let mut ops = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let op = match r.u8()? {
+                0 => TraceOp::Region(r.rect()?),
+                1 => TraceOp::Point(r.point()?),
+                2 => TraceOp::Knn(r.point()?, r.u32()?),
+                3 => TraceOp::Insert(r.rect()?, r.u64()?),
+                4 => TraceOp::Delete(r.rect()?, r.u64()?),
+                t => return Err(format!("unknown trace op tag {t}")),
+            };
+            ops.push(op);
+        }
+        if r.pos != body.len() {
+            return Err(format!(
+                "{} trailing bytes after the declared {count} ops",
+                body.len() - r.pos
+            ));
+        }
+        Ok(Trace { seed, ops })
+    }
+
+    /// Writes the trace to a file.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace from a file, validating as [`Trace::from_bytes`].
+    ///
+    /// # Errors
+    /// I/O errors and format violations both surface as `io::Error`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Trace> {
+        let bytes = std::fs::read(path)?;
+        Trace::from_bytes(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 37) as f64 / 37.0;
+                let y = (i / 37) as f64 / 16.0;
+                Rect::new(x, y, x + 0.01, y + 0.01)
+            })
+            .collect()
+    }
+
+    fn spec(skew: Skew, seed: u64) -> TraceSpec {
+        TraceSpec {
+            ops: 600,
+            qx: 0.05,
+            qy: 0.05,
+            skew,
+            mix: MixWeights::read_mostly(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_identical() {
+        for skew in [Skew::Uniform, Skew::Zipf { theta: 1.0 }, Skew::Shifting] {
+            let t = generate(&data(400), &spec(skew, 11));
+            let bytes = t.to_bytes();
+            let back = Trace::from_bytes(&bytes).expect("round trip");
+            assert_eq!(back, t);
+            assert_eq!(back.to_bytes(), bytes, "re-serialization must be stable");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d = data(300);
+        let a = generate(&d, &spec(Skew::Zipf { theta: 1.0 }, 5));
+        let b = generate(&d, &spec(Skew::Zipf { theta: 1.0 }, 5));
+        assert_eq!(a, b);
+        let c = generate(&d, &spec(Skew::Zipf { theta: 1.0 }, 6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deletes_always_target_live_items() {
+        // Replay the ledger: every delete must name an id that is live at
+        // that point (original or inserted, not yet deleted), with the
+        // exact rect it was created with.
+        let d = data(200);
+        let mut aggressive = spec(Skew::Uniform, 3);
+        aggressive.mix = MixWeights {
+            region: 10,
+            point: 0,
+            knn: 0,
+            insert: 20,
+            delete: 70,
+        };
+        aggressive.ops = 2_000;
+        let t = generate(&d, &aggressive);
+        let mut live: std::collections::HashMap<u64, Rect> =
+            d.iter().enumerate().map(|(i, r)| (i as u64, *r)).collect();
+        let mut deletes = 0;
+        for op in &t.ops {
+            match op {
+                TraceOp::Insert(r, id) => {
+                    assert!(live.insert(*id, *r).is_none(), "id {id} reused");
+                }
+                TraceOp::Delete(r, id) => {
+                    deletes += 1;
+                    let had = live.remove(id);
+                    assert_eq!(had, Some(*r), "delete of dead or mismatched item {id}");
+                }
+                _ => {}
+            }
+        }
+        assert!(deletes > 100, "mix produced only {deletes} deletes");
+    }
+
+    #[test]
+    fn shifting_skew_moves_the_working_set() {
+        let d = data(500);
+        let mut s = spec(Skew::Shifting, 9);
+        s.mix = MixWeights::read_only();
+        let t = generate(&d, &s);
+        let center_x = |op: &TraceOp| match op {
+            TraceOp::Region(r) => r.center().x,
+            TraceOp::Point(p) => p.x,
+            TraceOp::Knn(p, _) => p.x,
+            _ => unreachable!("read-only mix"),
+        };
+        let n = t.ops.len();
+        let early: f64 = t.ops[..n / 4].iter().map(center_x).sum::<f64>() / (n / 4) as f64;
+        let late: f64 =
+            t.ops[3 * n / 4..].iter().map(center_x).sum::<f64>() / (n - 3 * n / 4) as f64;
+        assert!(
+            late - early > 0.2,
+            "window did not slide: early mean x {early:.3}, late {late:.3}"
+        );
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let t = generate(&data(100), &spec(Skew::Uniform, 1));
+        let good = t.to_bytes();
+
+        let mut flipped = good.clone();
+        flipped[40] ^= 0x5A;
+        assert!(Trace::from_bytes(&flipped)
+            .expect_err("flip")
+            .contains("checksum"));
+
+        // Bad magic, resealed so the magic check (not the CRC) rejects.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        let n = bad_magic.len();
+        let crc = rtree_wal::crc32::checksum(&bad_magic[..n - 4]);
+        bad_magic[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(Trace::from_bytes(&bad_magic)
+            .expect_err("magic")
+            .contains("magic"));
+
+        assert!(Trace::from_bytes(&good[..good.len() / 2])
+            .expect_err("cut")
+            .contains("checksum"));
+        assert!(Trace::from_bytes(&[]).expect_err("empty").contains("short"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rtrc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("t.rtrc");
+        let t = generate(&data(150), &spec(Skew::Zipf { theta: 0.8 }, 77));
+        t.save(&path).expect("save");
+        assert_eq!(Trace::load(&path).expect("load"), t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

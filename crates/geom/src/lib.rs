@@ -14,6 +14,7 @@ mod batch;
 mod hilbert;
 mod morton;
 mod point;
+pub mod quant;
 mod rect;
 pub mod simd;
 

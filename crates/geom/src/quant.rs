@@ -1,0 +1,107 @@
+//! Conservative 16-bit coordinate dequantization for compressed node pages.
+//!
+//! Format-v4 ("Packed") pages store entry rectangles as 16-bit codes
+//! relative to the page's own bounding rectangle (the *frame*). This module
+//! is the single decode mapping from codes back to `f64` coordinates; the
+//! pager's encoder is defined in terms of it, so encode and decode can never
+//! drift apart.
+//!
+//! The mapping is deliberately simple so its three load-bearing properties
+//! are easy to verify:
+//!
+//! * **Monotone**: `code a <= code b` implies `dequant(a) <= dequant(b)`
+//!   (`code as f64` is exact, and f64 multiply/add round monotonically).
+//! * **Endpoint-exact**: code `0` decodes to exactly `base` and code
+//!   [`QMAX`] to exactly `top`, so a frame corner is always representable
+//!   with zero error.
+//! * **Clamped**: interior codes decode to `min(base + code·quantum, top)`,
+//!   so accumulated rounding in `code·quantum` can never push a decoded
+//!   coordinate outside the frame.
+//!
+//! Together these let the encoder guarantee *containment* (a decoded
+//! rectangle always contains the rectangle it was encoded from) by choosing
+//! the largest code decoding at-or-below a low edge and the smallest code
+//! decoding at-or-above a high edge — see `rtree_pager`'s quantizer.
+
+/// Largest quantized coordinate code (codes span `0..=QMAX`).
+pub const QMAX: u16 = u16::MAX;
+
+/// Step size of the quantized grid over an axis spanning `base..=top`:
+/// `(top − base) / 65535`. Zero for a degenerate (single-point) axis.
+#[inline]
+pub fn quantum(base: f64, top: f64) -> f64 {
+    (top - base) / QMAX as f64
+}
+
+/// Decodes one 16-bit code against an axis `base..=top` with the given
+/// [`quantum`]. Monotone in `code`, endpoint-exact, clamped to `top`.
+#[inline]
+pub fn dequant(code: u16, base: f64, quantum: f64, top: f64) -> f64 {
+    if code == 0 {
+        base
+    } else if code == QMAX {
+        top
+    } else {
+        (base + code as f64 * quantum).min(top)
+    }
+}
+
+/// Bulk [`dequant`]: decodes a plane of codes, appending to `out`. The
+/// pager's SoA decode uses this to fill each coordinate plane contiguously,
+/// keeping the no-gather property the SIMD kernels rely on.
+#[inline]
+pub fn dequantize_into(
+    codes: impl Iterator<Item = u16>,
+    base: f64,
+    quantum: f64,
+    top: f64,
+    out: &mut Vec<f64>,
+) {
+    out.extend(codes.map(|c| dequant(c, base, quantum, top)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let (base, top) = (0.137, 0.862);
+        let q = quantum(base, top);
+        assert_eq!(dequant(0, base, q, top), base);
+        assert_eq!(dequant(QMAX, base, q, top), top);
+    }
+
+    #[test]
+    fn monotone_and_clamped() {
+        let (base, top) = (-3.5, 11.25);
+        let q = quantum(base, top);
+        let mut prev = f64::NEG_INFINITY;
+        for code in (0..=QMAX).step_by(97).chain([QMAX - 1, QMAX]) {
+            let v = dequant(code, base, q, top);
+            assert!(v >= prev, "monotone at code {code}");
+            assert!((base..=top).contains(&v), "clamped at code {code}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn degenerate_axis_decodes_to_base() {
+        let q = quantum(0.5, 0.5);
+        assert_eq!(q, 0.0);
+        for code in [0, 1, 1000, QMAX] {
+            assert_eq!(dequant(code, 0.5, q, 0.5), 0.5);
+        }
+    }
+
+    #[test]
+    fn bulk_matches_scalar() {
+        let (base, top) = (2.0, 9.0);
+        let q = quantum(base, top);
+        let codes = [0u16, 3, 77, 40_000, QMAX];
+        let mut out = Vec::new();
+        dequantize_into(codes.iter().copied(), base, q, top, &mut out);
+        let want: Vec<f64> = codes.iter().map(|&c| dequant(c, base, q, top)).collect();
+        assert_eq!(out, want);
+    }
+}

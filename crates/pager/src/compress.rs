@@ -1,0 +1,234 @@
+//! Conservative per-page MBR quantization — the codec behind the Packed
+//! (format v4) node-page layout.
+//!
+//! A Packed page stores one full-precision *frame* rectangle (the bounding
+//! rectangle of everything on the page) and each entry rectangle as four
+//! 16-bit codes relative to that frame. The decode mapping lives in
+//! [`rtree_geom::quant`]; this module owns the encode side and its
+//! **conservative-rounding guarantee**:
+//!
+//! > For every rectangle `r` inside the frame, `decode(encode(r)) ⊇ r`,
+//! > and each edge moves outward by at most one quantum.
+//!
+//! Low edges round *down* (largest code decoding at-or-below the true
+//! coordinate), high edges round *up* (smallest code decoding at-or-above).
+//! Because the float estimate `(v − base) / quantum` can land a step off
+//! the true grid cell, the encoder verifies candidate codes against the
+//! actual decode mapping in a small window around the estimate instead of
+//! trusting the division — soundness comes from the check, not the
+//! arithmetic. Code 0 (= `base`) and code [`QMAX`] (= `top`) are always
+//! sound fallbacks, so containment holds unconditionally.
+//!
+//! Only *internal* pages are quantized: a decoded routing rectangle that
+//! contains the true child MBR can cause an extra descent (a false
+//! positive) but never a missed one, and leaf pages keep exact `f64`
+//! coordinates, so query result sets and kNN distances are exactly those
+//! of the uncompressed tree — the "leaf refine step" is the ordinary exact
+//! leaf-level test.
+
+use rtree_geom::quant::{dequant, quantum, QMAX};
+use rtree_geom::{Point, Rect};
+
+/// A rectangle quantized against a page frame: four 16-bit edge codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QRect {
+    /// Low-x code (rounds down).
+    pub lo_x: u16,
+    /// Low-y code (rounds down).
+    pub lo_y: u16,
+    /// High-x code (rounds up).
+    pub hi_x: u16,
+    /// High-y code (rounds up).
+    pub hi_y: u16,
+}
+
+/// Encoder/decoder for one page's frame rectangle.
+#[derive(Clone, Copy, Debug)]
+pub struct Quantizer {
+    frame: Rect,
+    qx: f64,
+    qy: f64,
+}
+
+impl Quantizer {
+    /// Builds a quantizer over `frame`.
+    ///
+    /// # Panics
+    /// Panics if the frame is not a valid rectangle (finite, `lo <= hi`) —
+    /// the encoder computes frames as unions of valid entry rectangles, so
+    /// an invalid frame is a programming error, not a data error.
+    pub fn new(frame: Rect) -> Self {
+        assert!(frame.is_valid(), "quantizer frame must be a valid rect");
+        Quantizer {
+            frame,
+            qx: quantum(frame.lo.x, frame.hi.x),
+            qy: quantum(frame.lo.y, frame.hi.y),
+        }
+    }
+
+    /// The frame rectangle.
+    pub fn frame(&self) -> Rect {
+        self.frame
+    }
+
+    /// Grid step along x (0 for a degenerate axis).
+    pub fn quantum_x(&self) -> f64 {
+        self.qx
+    }
+
+    /// Grid step along y (0 for a degenerate axis).
+    pub fn quantum_y(&self) -> f64 {
+        self.qy
+    }
+
+    /// Encodes `r` conservatively. Coordinates are clamped into the frame
+    /// first, so even a rectangle poking outside it encodes to something
+    /// sound for the clamped portion.
+    pub fn encode(&self, r: &Rect) -> QRect {
+        let f = &self.frame;
+        QRect {
+            lo_x: code_lo(r.lo.x.clamp(f.lo.x, f.hi.x), f.lo.x, self.qx, f.hi.x),
+            lo_y: code_lo(r.lo.y.clamp(f.lo.y, f.hi.y), f.lo.y, self.qy, f.hi.y),
+            hi_x: code_hi(r.hi.x.clamp(f.lo.x, f.hi.x), f.lo.x, self.qx, f.hi.x),
+            hi_y: code_hi(r.hi.y.clamp(f.lo.y, f.hi.y), f.lo.y, self.qy, f.hi.y),
+        }
+    }
+
+    /// Decodes a quantized rectangle. Inverse of [`Quantizer::encode`] up
+    /// to the conservative expansion; always a valid rectangle when
+    /// `lo_* <= hi_*` (the decode-time invariant Packed pages enforce).
+    pub fn decode(&self, q: &QRect) -> Rect {
+        let f = &self.frame;
+        Rect {
+            lo: Point::new(
+                dequant(q.lo_x, f.lo.x, self.qx, f.hi.x),
+                dequant(q.lo_y, f.lo.y, self.qy, f.hi.y),
+            ),
+            hi: Point::new(
+                dequant(q.hi_x, f.lo.x, self.qx, f.hi.x),
+                dequant(q.hi_y, f.lo.y, self.qy, f.hi.y),
+            ),
+        }
+    }
+}
+
+/// Largest code whose decoded value sits at or below `v` (a low edge).
+/// Candidates within ±2 of the float estimate are checked against the real
+/// decode mapping; code 0 decodes to exactly `base <= v` and is the
+/// unconditional fallback.
+fn code_lo(v: f64, base: f64, q: f64, top: f64) -> u16 {
+    if q == 0.0 {
+        return 0;
+    }
+    let est = ((v - base) / q).floor().clamp(0.0, QMAX as f64);
+    let c0 = est as u16;
+    let high = c0.saturating_add(2);
+    let low = c0.saturating_sub(2);
+    let mut c = high;
+    loop {
+        if dequant(c, base, q, top) <= v {
+            return c;
+        }
+        if c == low {
+            return 0;
+        }
+        c -= 1;
+    }
+}
+
+/// Smallest code whose decoded value sits at or above `v` (a high edge).
+/// Mirror image of [`code_lo`]; code [`QMAX`] decodes to exactly
+/// `top >= v` and is the unconditional fallback.
+fn code_hi(v: f64, base: f64, q: f64, top: f64) -> u16 {
+    if q == 0.0 {
+        return 0;
+    }
+    let est = ((v - base) / q).ceil().clamp(0.0, QMAX as f64);
+    let c0 = est as u16;
+    let high = c0.saturating_add(2);
+    let low = c0.saturating_sub(2);
+    let mut c = low;
+    loop {
+        if dequant(c, base, q, top) >= v {
+            return c;
+        }
+        if c == high {
+            return QMAX;
+        }
+        c += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains(outer: &Rect, inner: &Rect) -> bool {
+        outer.lo.x <= inner.lo.x
+            && outer.lo.y <= inner.lo.y
+            && outer.hi.x >= inner.hi.x
+            && outer.hi.y >= inner.hi.y
+    }
+
+    #[test]
+    fn round_trip_contains_original() {
+        let frame = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let qz = Quantizer::new(frame);
+        for i in 0..500u64 {
+            let x = (i as f64 * 0.618_033) % 0.9;
+            let y = (i as f64 * 0.414_213) % 0.9;
+            let r = Rect::new(x, y, x + 0.05, y + 0.07);
+            let back = qz.decode(&qz.encode(&r));
+            assert!(contains(&back, &r), "i={i}: {back:?} must contain {r:?}");
+            assert!(back.is_valid());
+        }
+    }
+
+    #[test]
+    fn expansion_is_at_most_one_quantum_per_edge() {
+        let frame = Rect::new(-2.0, 3.0, 5.0, 4.5);
+        let qz = Quantizer::new(frame);
+        let slack_x = qz.quantum_x() * (1.0 + 1e-9);
+        let slack_y = qz.quantum_y() * (1.0 + 1e-9);
+        for i in 0..300u64 {
+            let x = -2.0 + (i as f64 * 0.037) % 6.5;
+            let y = 3.0 + (i as f64 * 0.0041) % 1.3;
+            let r = Rect::new(x, y, (x + 0.2).min(5.0), (y + 0.1).min(4.5));
+            let back = qz.decode(&qz.encode(&r));
+            assert!(r.lo.x - back.lo.x <= slack_x, "lo.x i={i}");
+            assert!(r.lo.y - back.lo.y <= slack_y, "lo.y i={i}");
+            assert!(back.hi.x - r.hi.x <= slack_x, "hi.x i={i}");
+            assert!(back.hi.y - r.hi.y <= slack_y, "hi.y i={i}");
+        }
+    }
+
+    #[test]
+    fn frame_corners_encode_exactly() {
+        let frame = Rect::new(0.25, 0.5, 0.75, 0.875);
+        let qz = Quantizer::new(frame);
+        let back = qz.decode(&qz.encode(&frame));
+        assert_eq!(back, frame, "the frame itself round-trips bit-exactly");
+    }
+
+    #[test]
+    fn degenerate_frame_axis_is_lossless() {
+        // Zero-extent y axis: quantum 0, every code decodes to the base.
+        let frame = Rect::new(0.1, 0.4, 0.9, 0.4);
+        let qz = Quantizer::new(frame);
+        assert_eq!(qz.quantum_y(), 0.0);
+        let r = Rect::new(0.2, 0.4, 0.3, 0.4);
+        let back = qz.decode(&qz.encode(&r));
+        assert!(contains(&back, &r));
+        assert_eq!(back.lo.y, 0.4);
+        assert_eq!(back.hi.y, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid rect")]
+    fn invalid_frame_is_rejected() {
+        Quantizer::new(Rect {
+            lo: Point::new(1.0, 0.0),
+            hi: Point::new(0.0, 1.0),
+        });
+    }
+}

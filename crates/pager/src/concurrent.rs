@@ -118,7 +118,13 @@ struct WriterState {
     free: Mutex<Vec<u64>>,
     /// Group-commit write-ahead log (logical redo records).
     wal: GroupWal,
+    /// Leaf capacity (compressed trees pack internal pages denser; see
+    /// [`WriterState::cap`]).
     max_entries: usize,
+    /// Internal-node capacity (`== max_entries` on uncompressed trees).
+    internal_max_entries: usize,
+    /// Whether internal pages are written in the Packed (v4) layout.
+    compressed: bool,
     min_entries: usize,
     /// Latch acquisitions that had to wait (contention signal).
     latch_waits: AtomicU64,
@@ -134,6 +140,8 @@ impl WriterState {
             latches: LatchTable::new(),
             op_gate: RwLock::new(()),
             max_entries: meta.max_entries as usize,
+            internal_max_entries: meta.internal_max_entries as usize,
+            compressed: meta.compressed,
             min_entries: meta.min_entries as usize,
             meta: Mutex::new(meta),
             overlay: RwLock::new(HashMap::new()),
@@ -142,6 +150,25 @@ impl WriterState {
             latch_waits: AtomicU64::new(0),
             page_writes: AtomicU64::new(0),
             logical_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Entry capacity of a node at `level` (0 = leaf).
+    fn cap(&self, level: u16) -> usize {
+        if level == 0 {
+            self.max_entries
+        } else {
+            self.internal_max_entries
+        }
+    }
+
+    /// Body layout written for a node at `level` (layout-preserving:
+    /// compressed trees keep their internal pages Packed across rewrites).
+    fn layout(&self, level: u16) -> crate::page::PageLayout {
+        if self.compressed && level > 0 {
+            crate::page::PageLayout::Packed
+        } else {
+            crate::page::PageLayout::Soa
         }
     }
 }
@@ -1156,6 +1183,8 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
             free_head: 0,
             // In-place updates invalidate the bulk-load layout immediately.
             level_starts: Vec::new(),
+            internal_max_entries: max_entries as u32,
+            compressed: false,
         };
         let mut buf = vec![0u8; PAGE_SIZE];
         meta.encode(&mut buf);
@@ -1209,7 +1238,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
     /// store: no-steal).
     fn store_w(&self, w: &WriterState, id: u64, node: &NodePage) {
         let mut buf = vec![0u8; PAGE_SIZE];
-        node.encode(&mut buf);
+        node.encode_with(&mut buf, w.layout(node.level));
         w.overlay
             .write()
             .insert(id, Arc::from(buf.into_boxed_slice()));
@@ -1282,7 +1311,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
         // `(page, child slot)` pairs. Empty at the leaf means the whole
         // retained prefix is the meta latch (root split pending).
         let mut path: Vec<(u64, usize)> = Vec::new();
-        if node.entries.len() < w.max_entries {
+        if node.entries.len() < w.cap(node.level) {
             // The root cannot split, so the root id cannot change: the
             // meta latch is not needed past this point.
             set.release_all_but_last(1);
@@ -1297,7 +1326,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
             let child = node.entries[slot].1;
             self.latch_acquire(w, &mut set, child, true);
             let child_node = self.load_w(w, child)?;
-            if child_node.entries.len() < w.max_entries {
+            if child_node.entries.len() < w.cap(child_node.level) {
                 set.release_all_but_last(1);
                 path.clear();
             } else {
@@ -1307,7 +1336,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
             node = child_node;
         }
         node.entries.push((*rect, item));
-        if node.entries.len() <= w.max_entries {
+        if node.entries.len() <= w.cap(node.level) {
             self.store_w(w, cur, &node);
         } else {
             self.split_latched(w, &mut path, cur, node)?;
@@ -1344,7 +1373,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
                     debug_assert_eq!(parent.entries[slot].1, child_id);
                     parent.entries[slot] = (a_mbr, child_id);
                     parent.entries.push((b_mbr, sib));
-                    if parent.entries.len() <= w.max_entries {
+                    if parent.entries.len() <= w.cap(parent.level) {
                         self.store_w(w, parent_id, &parent);
                         return Ok(());
                     }
@@ -1610,7 +1639,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
         let mut level = node.level;
         let mut split: Option<(Rect, u64)> = None;
         let mut child_mbr;
-        if node.entries.len() > w.max_entries {
+        if node.entries.len() > w.cap(node.level) {
             let (a, b) = quadratic_split(std::mem::take(&mut node.entries), w.min_entries);
             child_mbr = mbr(&a);
             node.entries = a;
@@ -1630,7 +1659,7 @@ impl<S: ConcurrentPageStore> ConcurrentDiskRTree<S> {
                 parent.entries.push(s);
             }
             level = parent.level;
-            if parent.entries.len() > w.max_entries {
+            if parent.entries.len() > w.cap(parent.level) {
                 let (a, b) = quadratic_split(std::mem::take(&mut parent.entries), w.min_entries);
                 child_mbr = mbr(&a);
                 parent.entries = a;

@@ -23,6 +23,7 @@
 //! appends and read faults to exercise exactly that path.
 
 mod bufmgr;
+mod compress;
 mod concurrent;
 mod disk_tree;
 mod fault;
@@ -34,11 +35,13 @@ mod sched;
 mod store;
 
 pub use bufmgr::{BufferManager, IoStats, PrefetchOutcome};
+pub use compress::{QRect, Quantizer};
 pub use concurrent::ConcurrentDiskRTree;
 pub use disk_tree::DiskRTree;
 pub use fault::FaultStore;
 pub use page::{
-    NodePage, NodeSoA, PageError, PageLayout, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE,
+    NodePage, NodeSoA, PageError, PageLayout, PageMeta, MAX_ENTRIES_PACKED, MAX_ENTRIES_PER_PAGE,
+    PAGE_SIZE,
 };
 pub use recovery::{recover, replay_committed, RecoveryReport, ReplaySummary};
 pub use sched::{StepSchedule, StepStore};

@@ -163,6 +163,8 @@ impl<S: PageStore> DiskRTree<S> {
             nodes: 1,
             free_head: 0,
             level_starts: vec![1],
+            internal_max_entries: max_entries as u32,
+            compressed: false,
         };
         let mut buf = vec![0u8; PAGE_SIZE];
         let meta_page = store.allocate()?;
@@ -298,7 +300,8 @@ impl<S: PageStore> DiskRTree<S> {
     /// needed (AdjustTree). `target_level` is 0 for items; orphan
     /// reinsertion passes the level the entry originally lived at.
     fn insert_entry(&mut self, entry: (Rect, u64), target_level: u16) -> io::Result<()> {
-        let max = self.meta.max_entries as usize;
+        // Capacity is per level: compressed trees pack internal pages
+        // denser than leaves (see PageMeta::capacity_at).
         let min = self.meta.min_entries as usize;
 
         // Descend to the insertion node, remembering the path.
@@ -319,7 +322,7 @@ impl<S: PageStore> DiskRTree<S> {
         let mut level = node.level;
         let mut split: Option<(Rect, u64)> = None;
         let mut child_mbr;
-        if node.entries.len() > max {
+        if node.entries.len() > self.meta.capacity_at(node.level) {
             let (a, b) = quadratic_split(std::mem::take(&mut node.entries), min);
             child_mbr = mbr(&a);
             node.entries = a;
@@ -339,7 +342,7 @@ impl<S: PageStore> DiskRTree<S> {
                 parent.entries.push(s);
             }
             level = parent.level;
-            if parent.entries.len() > max {
+            if parent.entries.len() > self.meta.capacity_at(parent.level) {
                 let (a, b) = quadratic_split(std::mem::take(&mut parent.entries), min);
                 child_mbr = mbr(&a);
                 parent.entries = a;
@@ -410,7 +413,11 @@ impl<S: PageStore> DiskRTree<S> {
 
     fn store_node(&mut self, id: u64, node: &NodePage) -> io::Result<()> {
         let mut buf = vec![0u8; PAGE_SIZE];
-        node.encode(&mut buf);
+        // Layout-preserving: internal pages of a compressed tree are
+        // re-quantized on every rewrite. Expansion is monotone (the new
+        // frame contains the rewritten entries), so the containment
+        // invariant queries rely on survives arbitrary mutation.
+        node.encode_with(&mut buf, self.meta.layout_at(node.level));
         self.mgr.write_buffered(PageId(id), &buf)
     }
 

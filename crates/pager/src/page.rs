@@ -5,11 +5,12 @@
 //! torn writes and bit rot surface as [`PageError::ChecksumMismatch`] instead
 //! of silently wrong query answers.
 //!
-//! **Meta page** (page 0), format version 3 (version 2 still decodes):
+//! **Meta page** (page 0), format version 3 (version 2 still decodes;
+//! version 4 marks a tree with compressed internal pages):
 //! ```text
 //! offset  size  field
 //! 0       4     magic "RTDB"
-//! 4       4     format version (3; 2 accepted on decode)
+//! 4       4     format version (3, or 4 if compressed; 2 accepted on decode)
 //! 8       4     crc32 (whole page, this field zeroed)
 //! 12      4     min entries (condense-tree threshold)
 //! 16      8     root page id
@@ -20,14 +21,15 @@
 //! 48      8     free-list head page id (0 = empty list)
 //! 56      4     level count L (0 = level table stale after updates)
 //! 60      8*L   first page id of each level, root level first
+//! 60+8L   4     internal node capacity (version 4 only)
 //! ```
 //!
-//! **Node page**, 16-byte header, two body layouts:
+//! **Node page**, 16-byte header, three body layouts:
 //! ```text
 //! 0       2     magic 0x5254 ("RT")
 //! 2       2     node level (0 = leaf)
 //! 4       2     entry count
-//! 6       2     layout flag: 0 = AoS (format v2), 1 = SoA (format v3)
+//! 6       2     layout flag: 0 = AoS (v2), 1 = SoA (v3), 2 = Packed (v4)
 //! 8       4     crc32 (whole page, this field zeroed)
 //! 12      4     reserved (0)
 //! ```
@@ -51,12 +53,34 @@
 //! see [`NodeSoA`]. At leaf level `ptr` is the item id; at internal levels
 //! it is the child *page* id.
 //!
+//! *Packed body* (layout 2, format v4, internal pages of compressed trees):
+//! one full-precision *frame* rectangle — the page's own bounding rect —
+//! then each entry rectangle as four 16-bit codes relative to the frame
+//! (see [`crate::Quantizer`] for the conservative-rounding guarantee:
+//! decoded rects always *contain* the true rects). `253 × 16 = 4048` bytes
+//! of entries fill the page exactly (`16 + 32 + 4·506 + 2024 = 4096`),
+//! ~2.5× the 102-entry fan-out of the f64 layouts:
+//! ```text
+//! 16      32    frame: lo.x f64, lo.y f64, hi.x f64, hi.y f64
+//! 48      506   lo.x codes u16[0..253]
+//! 554     506   lo.y codes u16[0..253]
+//! 1060    506   hi.x codes u16[0..253]
+//! 1566    506   hi.y codes u16[0..253]
+//! 2072    2024  ptr u64[0..253]
+//! ```
+//! Decode enforces a valid frame and `lo code <= hi code` per axis
+//! ([`PageError::CorruptRect`], the same invariant the f64 layouts check),
+//! then dequantizes each plane contiguously into the SoA arrays — the SIMD
+//! kernels consume Packed pages exactly like SoA ones.
+//!
 //! The level table in the meta page describes the contiguous level-order
 //! layout produced by bulk materialization. Once the tree has been mutated
 //! in place the layout is no longer contiguous, so updates store `L = 0`
 //! ("stale") and layout-dependent operations (`pin_top_levels`,
 //! `pages_per_level`) refuse to run.
 
+use crate::compress::{QRect, Quantizer};
+use rtree_geom::quant::{dequantize_into, quantum};
 use rtree_geom::{Point, Rect, RectSoA};
 use rtree_wal::crc32;
 use std::fmt;
@@ -77,15 +101,35 @@ pub const MAX_ENTRIES_PER_PAGE: usize = (PAGE_SIZE - NODE_HEADER) / ENTRY_SIZE;
 /// Byte stride of one SoA coordinate array: `102 × 8`.
 const SOA_STRIDE: usize = MAX_ENTRIES_PER_PAGE * 8;
 
+/// Maximum entries of a Packed (compressed, format v4) node page:
+/// `(4096 − 16 − 32) / (4·2 + 8) = 253`, ~2.5× the f64 layouts.
+pub const MAX_ENTRIES_PACKED: usize = (PAGE_SIZE - NODE_HEADER - PACKED_FRAME_SIZE) / 16;
+
+/// Byte size of the Packed frame rectangle (4 × f64).
+const PACKED_FRAME_SIZE: usize = 32;
+/// Offset of the Packed frame rectangle.
+const PACKED_FRAME_OFFSET: usize = NODE_HEADER;
+/// Offset of the first quantized coordinate plane.
+const PACKED_PLANES_OFFSET: usize = PACKED_FRAME_OFFSET + PACKED_FRAME_SIZE;
+/// Byte stride of one quantized coordinate plane: `253 × 2`.
+const PACKED_QSTRIDE: usize = MAX_ENTRIES_PACKED * 2;
+/// Offset of the Packed pointer plane.
+const PACKED_PTR_OFFSET: usize = PACKED_PLANES_OFFSET + 4 * PACKED_QSTRIDE;
+
 const META_MAGIC: [u8; 4] = *b"RTDB";
 const NODE_MAGIC: u16 = 0x5254;
 /// Format version this build writes (v3 = SoA node bodies). v2 images
-/// (AoS bodies, same header) still decode — see [`MIN_FORMAT_VERSION`].
+/// (AoS bodies, same header) still decode — see [`MIN_FORMAT_VERSION`] —
+/// and compressed trees are stamped [`FORMAT_VERSION_PACKED`].
 const FORMAT_VERSION: u32 = 3;
+/// Format version of trees whose internal pages use the Packed layout.
+const FORMAT_VERSION_PACKED: u32 = 4;
 const MIN_FORMAT_VERSION: u32 = 2;
 
 // The five SoA arrays must tile the page body exactly.
 const _: () = assert!(NODE_HEADER + 5 * SOA_STRIDE == PAGE_SIZE);
+// The Packed frame + four code planes + pointer plane must, too.
+const _: () = assert!(PACKED_PTR_OFFSET + MAX_ENTRIES_PACKED * 8 == PAGE_SIZE);
 
 /// Body layout of a node page (header byte 6).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +139,10 @@ pub enum PageLayout {
     /// Struct-of-arrays coordinate planes — format v3, the layout the SIMD
     /// kernels consume without a gather step.
     Soa,
+    /// Frame-relative 16-bit quantized planes — format v4, internal pages
+    /// of compressed trees. Decoded rects conservatively contain the true
+    /// ones (see [`crate::Quantizer`]).
+    Packed,
 }
 
 impl PageLayout {
@@ -102,6 +150,7 @@ impl PageLayout {
         match self {
             PageLayout::Aos => 0,
             PageLayout::Soa => 1,
+            PageLayout::Packed => 2,
         }
     }
 
@@ -109,7 +158,16 @@ impl PageLayout {
         match flag {
             0 => Ok(PageLayout::Aos),
             1 => Ok(PageLayout::Soa),
+            2 => Ok(PageLayout::Packed),
             other => Err(PageError::UnsupportedLayout(other)),
+        }
+    }
+
+    /// Entry capacity of a page in this layout.
+    pub fn capacity(self) -> usize {
+        match self {
+            PageLayout::Aos | PageLayout::Soa => MAX_ENTRIES_PER_PAGE,
+            PageLayout::Packed => MAX_ENTRIES_PACKED,
         }
     }
 
@@ -166,10 +224,7 @@ impl fmt::Display for PageError {
                 "page checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
             ),
             PageError::EntryOverflow(n) => {
-                write!(
-                    f,
-                    "entry count {n} exceeds page capacity {MAX_ENTRIES_PER_PAGE}"
-                )
+                write!(f, "entry count {n} exceeds the layout's page capacity")
             }
             PageError::UnsupportedLayout(flag) => {
                 write!(f, "unsupported node-page layout flag {flag}")
@@ -239,6 +294,14 @@ pub struct PageMeta {
     /// First page id of each level, root level first. Empty once the
     /// level-order layout has been invalidated by in-place updates.
     pub level_starts: Vec<u64>,
+    /// Entry capacity of *internal* nodes. Equal to `max_entries` on
+    /// uncompressed trees; compressed (format v4) trees pack internal
+    /// pages denser than leaves, up to [`MAX_ENTRIES_PACKED`].
+    pub internal_max_entries: u32,
+    /// Whether internal pages use the Packed (format v4) layout. Leaves
+    /// stay exact-`f64` SoA either way — that is what keeps query results
+    /// exact on compressed trees.
+    pub compressed: bool,
 }
 
 impl PageMeta {
@@ -247,7 +310,12 @@ impl PageMeta {
         assert_eq!(buf.len(), PAGE_SIZE);
         buf.fill(0);
         buf[0..4].copy_from_slice(&META_MAGIC);
-        buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let version = if self.compressed {
+            FORMAT_VERSION_PACKED
+        } else {
+            FORMAT_VERSION
+        };
+        buf[4..8].copy_from_slice(&version.to_le_bytes());
         buf[12..16].copy_from_slice(&self.min_entries.to_le_bytes());
         buf[16..24].copy_from_slice(&self.root.to_le_bytes());
         buf[24..28].copy_from_slice(&self.height.to_le_bytes());
@@ -262,6 +330,12 @@ impl PageMeta {
             buf[off..off + 8].copy_from_slice(&s.to_le_bytes());
             off += 8;
         }
+        if self.compressed {
+            // The internal capacity rides after the level table; v2/v3
+            // images have no such field (their internal capacity is
+            // `max_entries`), which keeps them byte-identical to before.
+            buf[off..off + 4].copy_from_slice(&self.internal_max_entries.to_le_bytes());
+        }
         seal(buf);
     }
 
@@ -272,7 +346,7 @@ impl PageMeta {
             return Err(PageError::BadMagic);
         }
         let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
-        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION_PACKED).contains(&version) {
             return Err(PageError::UnsupportedVersion(version));
         }
         verify_checksum(buf)?;
@@ -287,7 +361,9 @@ impl PageMeta {
         if l != 0 && l != height as usize {
             return Err(PageError::InconsistentMeta("level table length != height"));
         }
-        if 60 + 8 * l > PAGE_SIZE {
+        let compressed = version == FORMAT_VERSION_PACKED;
+        let tail = if compressed { 4 } else { 0 };
+        if 60 + 8 * l + tail > PAGE_SIZE {
             return Err(PageError::InconsistentMeta("level table overflows page"));
         }
         let mut level_starts = Vec::with_capacity(l);
@@ -298,6 +374,17 @@ impl PageMeta {
             ));
             off += 8;
         }
+        let internal_max_entries = if compressed {
+            let cap = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+            if !(2..=MAX_ENTRIES_PACKED as u32).contains(&cap) {
+                return Err(PageError::InconsistentMeta(
+                    "internal node capacity out of range",
+                ));
+            }
+            cap
+        } else {
+            max_entries
+        };
         Ok(PageMeta {
             root,
             height,
@@ -307,7 +394,29 @@ impl PageMeta {
             nodes,
             free_head,
             level_starts,
+            internal_max_entries,
+            compressed,
         })
+    }
+
+    /// Entry capacity of a node at on-page `level` (0 = leaf): compressed
+    /// trees pack internal pages denser than leaves.
+    pub fn capacity_at(&self, level: u16) -> usize {
+        if level == 0 {
+            self.max_entries as usize
+        } else {
+            self.internal_max_entries as usize
+        }
+    }
+
+    /// Body layout this tree writes for a node at on-page `level`:
+    /// compressed trees quantize internal pages, everything else is SoA.
+    pub fn layout_at(&self, level: u16) -> PageLayout {
+        if self.compressed && level > 0 {
+            PageLayout::Packed
+        } else {
+            PageLayout::Soa
+        }
     }
 
     /// On-page node level (leaves are 0, the root is `height - 1`) of a
@@ -350,14 +459,16 @@ fn check_node_header(buf: &[u8], verify: bool) -> Result<(u16, usize, PageLayout
     }
     let level = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes"));
     let count = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes")) as usize;
-    if count > MAX_ENTRIES_PER_PAGE {
-        return Err(PageError::EntryOverflow(count));
-    }
+    // The layout governs the capacity (Packed holds 253 entries, the f64
+    // layouts 102), so it must be parsed before the count is judged.
     let layout = PageLayout::from_flag(u16::from_le_bytes(
         buf[LAYOUT_OFFSET..LAYOUT_OFFSET + 2]
             .try_into()
             .expect("2 bytes"),
     ))?;
+    if count > layout.capacity() {
+        return Err(PageError::EntryOverflow(count));
+    }
     Ok((level, count, layout))
 }
 
@@ -366,6 +477,61 @@ fn check_node_header(buf: &[u8], verify: bool) -> Result<(u16, usize, PageLayout
 fn soa_plane(buf: &[u8], k: usize, count: usize) -> &[u8] {
     let start = NODE_HEADER + k * SOA_STRIDE;
     &buf[start..start + count * 8]
+}
+
+/// Reads and validates the Packed frame rectangle: finite and `lo <= hi`,
+/// or the page is corrupt. A zero-extent axis is legal (quantum 0, every
+/// code on it decodes to the base) — only inversion and non-finite values
+/// are rejected.
+fn packed_frame(buf: &[u8]) -> Result<Rect, PageError> {
+    let f = |off: usize| f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+    let frame = Rect {
+        lo: Point::new(f(PACKED_FRAME_OFFSET), f(PACKED_FRAME_OFFSET + 8)),
+        hi: Point::new(f(PACKED_FRAME_OFFSET + 16), f(PACKED_FRAME_OFFSET + 24)),
+    };
+    if !frame.is_valid() {
+        return Err(PageError::CorruptRect);
+    }
+    Ok(frame)
+}
+
+/// Code `i` of Packed coordinate plane `k` (0 = lo.x, 1 = lo.y, 2 = hi.x,
+/// 3 = hi.y).
+#[inline]
+fn packed_code(buf: &[u8], k: usize, i: usize) -> u16 {
+    let off = PACKED_PLANES_OFFSET + k * PACKED_QSTRIDE + i * 2;
+    u16::from_le_bytes(buf[off..off + 2].try_into().expect("2 bytes"))
+}
+
+/// Pointer `i` of a Packed page.
+#[inline]
+fn packed_ptr(buf: &[u8], i: usize) -> u64 {
+    let off = PACKED_PTR_OFFSET + i * 8;
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Iterator over the first `count` codes of Packed plane `k`.
+fn packed_codes(buf: &[u8], k: usize, count: usize) -> impl Iterator<Item = u16> + '_ {
+    let start = PACKED_PLANES_OFFSET + k * PACKED_QSTRIDE;
+    buf[start..start + count * 2]
+        .chunks_exact(2)
+        .map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+}
+
+/// The Packed inverted-rectangle check: per entry and axis the low-edge
+/// code must not exceed the high-edge code. With the monotone decode
+/// mapping this is exactly the `lo <= hi` invariant the f64 layouts assert
+/// on coordinates, but checked on codes so an inversion the clamped decode
+/// would mask (both edges clamping to the frame top) is still rejected.
+fn check_packed_codes(buf: &[u8], count: usize) -> Result<(), PageError> {
+    for i in 0..count {
+        if packed_code(buf, 0, i) > packed_code(buf, 2, i)
+            || packed_code(buf, 1, i) > packed_code(buf, 3, i)
+        {
+            return Err(PageError::CorruptRect);
+        }
+    }
+    Ok(())
 }
 
 impl NodePage {
@@ -385,16 +551,20 @@ impl NodePage {
     }
 
     /// Encodes into a page buffer in the given layout, sealing it with a
-    /// checksum.
+    /// checksum. Packed encoding quantizes every rectangle against the
+    /// page's own bounding rect; the stored rects conservatively contain
+    /// the originals.
     ///
     /// # Panics
-    /// Panics if there are more than [`MAX_ENTRIES_PER_PAGE`] entries.
+    /// Panics if the entry count exceeds the layout's capacity
+    /// ([`MAX_ENTRIES_PER_PAGE`], or [`MAX_ENTRIES_PACKED`] for Packed).
     pub fn encode_with(&self, buf: &mut [u8], layout: PageLayout) {
         assert_eq!(buf.len(), PAGE_SIZE);
         assert!(
-            self.entries.len() <= MAX_ENTRIES_PER_PAGE,
-            "{} entries exceed page capacity {MAX_ENTRIES_PER_PAGE}",
-            self.entries.len()
+            self.entries.len() <= layout.capacity(),
+            "{} entries exceed page capacity {}",
+            self.entries.len(),
+            layout.capacity()
         );
         buf.fill(0);
         buf[0..2].copy_from_slice(&NODE_MAGIC.to_le_bytes());
@@ -430,6 +600,34 @@ impl NodePage {
                     }
                 }
             }
+            PageLayout::Packed => {
+                // The frame is the page's own bounding rect; an empty page
+                // gets a degenerate placeholder that still decodes validly.
+                let frame = self.entries.iter().skip(1).fold(
+                    self.entries
+                        .first()
+                        .map(|(r, _)| *r)
+                        .unwrap_or_else(|| Rect::point(Point::new(0.0, 0.0))),
+                    |acc, (r, _)| acc.union(r),
+                );
+                for (k, v) in [frame.lo.x, frame.lo.y, frame.hi.x, frame.hi.y]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let off = PACKED_FRAME_OFFSET + k * 8;
+                    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                let qz = Quantizer::new(frame);
+                for (i, (r, p)) in self.entries.iter().enumerate() {
+                    let q = qz.encode(r);
+                    for (k, code) in [q.lo_x, q.lo_y, q.hi_x, q.hi_y].into_iter().enumerate() {
+                        let off = PACKED_PLANES_OFFSET + k * PACKED_QSTRIDE + i * 2;
+                        buf[off..off + 2].copy_from_slice(&code.to_le_bytes());
+                    }
+                    let off = PACKED_PTR_OFFSET + i * 8;
+                    buf[off..off + 8].copy_from_slice(&p.to_le_bytes());
+                }
+            }
         }
         seal(buf);
     }
@@ -439,6 +637,25 @@ impl NodePage {
     /// `lo <= hi` — inverted rectangles never get past decode).
     pub fn decode(buf: &[u8]) -> Result<Self, PageError> {
         let (level, count, layout) = check_node_header(buf, true)?;
+        if layout == PageLayout::Packed {
+            // Frame validity and code ordering are the Packed equivalents
+            // of the rect invariant; with both held, every dequantized
+            // rectangle is valid by construction (monotone decode).
+            let frame = packed_frame(buf)?;
+            check_packed_codes(buf, count)?;
+            let qz = Quantizer::new(frame);
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let q = QRect {
+                    lo_x: packed_code(buf, 0, i),
+                    lo_y: packed_code(buf, 1, i),
+                    hi_x: packed_code(buf, 2, i),
+                    hi_y: packed_code(buf, 3, i),
+                };
+                entries.push((qz.decode(&q), packed_ptr(buf, i)));
+            }
+            return Ok(NodePage { level, entries });
+        }
         let f = |b: &[u8]| f64::from_le_bytes(b.try_into().expect("8 bytes"));
         let mut entries = Vec::with_capacity(count);
         for i in 0..count {
@@ -464,6 +681,7 @@ impl NodePage {
                             .expect("8 bytes"),
                     ),
                 ),
+                PageLayout::Packed => unreachable!("handled above"),
             };
             let rect = Rect {
                 lo: Point::new(lo_x, lo_y),
@@ -571,6 +789,47 @@ impl NodeSoA {
                     ));
                 }
             }
+            PageLayout::Packed => {
+                // Validate before filling (the node was cleared above, so
+                // the error path still leaves it empty), then dequantize
+                // each code plane contiguously — Packed keeps the SoA
+                // no-gather property.
+                let frame = packed_frame(buf)?;
+                check_packed_codes(buf, count)?;
+                let (qx, qy) = (
+                    quantum(frame.lo.x, frame.hi.x),
+                    quantum(frame.lo.y, frame.hi.y),
+                );
+                dequantize_into(
+                    packed_codes(buf, 0, count),
+                    frame.lo.x,
+                    qx,
+                    frame.hi.x,
+                    lo_x,
+                );
+                dequantize_into(
+                    packed_codes(buf, 1, count),
+                    frame.lo.y,
+                    qy,
+                    frame.hi.y,
+                    lo_y,
+                );
+                dequantize_into(
+                    packed_codes(buf, 2, count),
+                    frame.lo.x,
+                    qx,
+                    frame.hi.x,
+                    hi_x,
+                );
+                dequantize_into(
+                    packed_codes(buf, 3, count),
+                    frame.lo.y,
+                    qy,
+                    frame.hi.y,
+                    hi_y,
+                );
+                self.ptrs.extend((0..count).map(|i| packed_ptr(buf, i)));
+            }
         }
         // Decode-time invariant: every rectangle finite and non-inverted,
         // exactly as NodePage::decode enforces. The error path clears the
@@ -601,6 +860,8 @@ mod tests {
             nodes: 539,
             free_head: 0,
             level_starts: vec![1, 2, 8],
+            internal_max_entries: 100,
+            compressed: false,
         }
     }
 
@@ -853,5 +1114,178 @@ mod tests {
         };
         let mut buf = vec![0u8; PAGE_SIZE];
         node.encode(&mut buf);
+    }
+
+    fn packed_node(n: usize) -> NodePage {
+        NodePage {
+            level: 1,
+            entries: (0..n as u64)
+                .map(|i| {
+                    let v = i as f64 / 300.0;
+                    (Rect::new(v, v * 0.4, v + 0.01, v * 0.4 + 0.02), i * 3 + 1)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn packed_page_capacity_is_about_2x5() {
+        assert_eq!(MAX_ENTRIES_PACKED, 253);
+        assert!(MAX_ENTRIES_PACKED >= 2 * MAX_ENTRIES_PER_PAGE);
+        assert_eq!(PageLayout::Packed.capacity(), MAX_ENTRIES_PACKED);
+    }
+
+    #[test]
+    fn packed_round_trip_is_conservative() {
+        // Packed decode returns *containing* rects with bounded expansion,
+        // identical levels/pointers, and full capacity.
+        let node = packed_node(MAX_ENTRIES_PACKED);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode_with(&mut buf, PageLayout::Packed);
+        assert_eq!(PageLayout::of(&buf).unwrap(), PageLayout::Packed);
+        let back = NodePage::decode(&buf).unwrap();
+        assert_eq!(back.level, node.level);
+        assert_eq!(back.entries.len(), node.entries.len());
+        let frame = node
+            .entries
+            .iter()
+            .skip(1)
+            .fold(node.entries[0].0, |acc, (r, _)| acc.union(r));
+        let (qx, qy) = (
+            quantum(frame.lo.x, frame.hi.x),
+            quantum(frame.lo.y, frame.hi.y),
+        );
+        for (i, ((got, gp), (want, wp))) in back.entries.iter().zip(&node.entries).enumerate() {
+            assert_eq!(gp, wp, "pointer {i} survives exactly");
+            assert!(got.is_valid(), "entry {i}");
+            assert!(
+                got.lo.x <= want.lo.x
+                    && got.lo.y <= want.lo.y
+                    && got.hi.x >= want.hi.x
+                    && got.hi.y >= want.hi.y,
+                "entry {i}: decoded must contain the original"
+            );
+            assert!(want.lo.x - got.lo.x <= qx * 1.001, "entry {i} lo.x slack");
+            assert!(got.hi.y - want.hi.y <= qy * 1.001, "entry {i} hi.y slack");
+        }
+    }
+
+    #[test]
+    fn packed_soa_and_aos_decoders_agree() {
+        let node = packed_node(120); // more than an f64 page can hold
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode_with(&mut buf, PageLayout::Packed);
+        let aos = NodePage::decode(&buf).unwrap();
+        let soa = NodeSoA::decode(&buf).unwrap();
+        assert_eq!(aos.level, soa.level);
+        assert_eq!(aos.entries.len(), soa.len());
+        for (i, (r, p)) in aos.entries.iter().enumerate() {
+            assert_eq!(soa.rects.get(i), *r, "entry {i}: identical dequantization");
+            assert_eq!(soa.ptrs[i], *p);
+        }
+    }
+
+    #[test]
+    fn packed_empty_page_round_trips() {
+        let node = NodePage {
+            level: 3,
+            entries: vec![],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode_with(&mut buf, PageLayout::Packed);
+        let back = NodePage::decode(&buf).unwrap();
+        assert_eq!(back.level, 3);
+        assert!(back.entries.is_empty());
+    }
+
+    #[test]
+    fn packed_rejects_inverted_codes() {
+        let node = packed_node(4);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode_with(&mut buf, PageLayout::Packed);
+        // Invert entry 2 on the x axis by swapping its lo/hi codes (the
+        // encoder never emits lo > hi, so force it), then re-seal.
+        let lo_off = PACKED_PLANES_OFFSET + 2 * 2;
+        let hi_off = PACKED_PLANES_OFFSET + 2 * PACKED_QSTRIDE + 2 * 2;
+        buf[lo_off..lo_off + 2].copy_from_slice(&900u16.to_le_bytes());
+        buf[hi_off..hi_off + 2].copy_from_slice(&100u16.to_le_bytes());
+        seal(&mut buf);
+        assert_eq!(NodePage::decode(&buf), Err(PageError::CorruptRect));
+        let mut scratch = NodeSoA::new();
+        assert_eq!(scratch.decode_into(&buf), Err(PageError::CorruptRect));
+        assert!(scratch.is_empty() && scratch.rects.is_empty());
+    }
+
+    #[test]
+    fn packed_rejects_corrupt_frame() {
+        let node = packed_node(4);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode_with(&mut buf, PageLayout::Packed);
+        // NaN frame edge: the frame check must fire before any dequant.
+        buf[PACKED_FRAME_OFFSET..PACKED_FRAME_OFFSET + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        seal(&mut buf);
+        assert_eq!(NodePage::decode(&buf), Err(PageError::CorruptRect));
+        assert_eq!(NodeSoA::decode(&buf).unwrap_err(), PageError::CorruptRect);
+    }
+
+    #[test]
+    fn packed_zero_extent_frame_decodes() {
+        // All entries the same point: both axes degenerate, quantum 0 —
+        // the divide-by-zero-quantum shape must decode losslessly.
+        let node = NodePage {
+            level: 1,
+            entries: vec![(Rect::point(Point::new(0.25, 0.75)), 1); 5],
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.encode_with(&mut buf, PageLayout::Packed);
+        let back = NodePage::decode(&buf).unwrap();
+        for (r, _) in &back.entries {
+            assert_eq!(*r, Rect::point(Point::new(0.25, 0.75)));
+        }
+    }
+
+    #[test]
+    fn meta_v4_round_trips_with_internal_capacity() {
+        let meta = PageMeta {
+            internal_max_entries: MAX_ENTRIES_PACKED as u32,
+            compressed: true,
+            ..sample_meta()
+        };
+        let mut buf = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut buf);
+        assert_eq!(
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            4,
+            "compressed trees are stamped format v4"
+        );
+        assert_eq!(PageMeta::decode(&buf).unwrap(), meta);
+        // Out-of-range internal capacity is inconsistent, not garbage.
+        let bad = PageMeta {
+            internal_max_entries: MAX_ENTRIES_PACKED as u32 + 1,
+            ..meta
+        };
+        bad.encode(&mut buf);
+        assert!(matches!(
+            PageMeta::decode(&buf),
+            Err(PageError::InconsistentMeta(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_and_layout_follow_level() {
+        let plain = sample_meta();
+        assert_eq!(plain.capacity_at(0), 100);
+        assert_eq!(plain.capacity_at(2), 100);
+        assert_eq!(plain.layout_at(0), PageLayout::Soa);
+        assert_eq!(plain.layout_at(2), PageLayout::Soa);
+        let packed = PageMeta {
+            internal_max_entries: 253,
+            compressed: true,
+            ..sample_meta()
+        };
+        assert_eq!(packed.capacity_at(0), 100, "leaves stay exact f64");
+        assert_eq!(packed.capacity_at(1), 253);
+        assert_eq!(packed.layout_at(0), PageLayout::Soa);
+        assert_eq!(packed.layout_at(1), PageLayout::Packed);
     }
 }

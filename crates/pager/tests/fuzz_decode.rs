@@ -18,7 +18,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rtree_geom::Rect;
-use rtree_pager::{NodePage, NodeSoA, PageError, PageMeta, MAX_ENTRIES_PER_PAGE, PAGE_SIZE};
+use rtree_pager::{
+    NodePage, NodeSoA, PageError, PageLayout, PageMeta, MAX_ENTRIES_PACKED, MAX_ENTRIES_PER_PAGE,
+    PAGE_SIZE,
+};
 
 fn decode_both(bytes: &[u8]) {
     let _ = PageMeta::decode(bytes);
@@ -72,6 +75,8 @@ fn sample_meta() -> PageMeta {
         nodes: 77,
         free_head: 0,
         level_starts: vec![1, 2, 10],
+        internal_max_entries: 50,
+        compressed: false,
     }
 }
 
@@ -87,18 +92,53 @@ fn sample_node() -> NodePage {
     }
 }
 
+/// A Packed (v4) node with more entries than an f64 page could hold, so
+/// mutations exercise the 253-capacity code paths.
+fn sample_packed_node() -> NodePage {
+    NodePage {
+        level: 2,
+        entries: (0..200)
+            .map(|i| {
+                let x = i as f64 / 256.0;
+                (Rect::new(x, x * 0.3, x + 0.004, x * 0.3 + 0.006), 2_000 + i)
+            })
+            .collect(),
+    }
+}
+
+fn packed_page() -> Vec<u8> {
+    let mut page = vec![0u8; PAGE_SIZE];
+    sample_packed_node().encode_with(&mut page, PageLayout::Packed);
+    page
+}
+
 #[test]
 fn mutated_valid_pages_never_panic() {
     let mut rng = StdRng::seed_from_u64(0xBAD_F1B5);
     let mut meta_page = vec![0u8; PAGE_SIZE];
     sample_meta().encode(&mut meta_page);
-    // Both node body layouts: v3/SoA (the default `encode`) and v2/AoS.
+    // All node body layouts: v3/SoA (the default `encode`), v2/AoS, and
+    // v4/Packed — plus a v4 meta page, whose tail field is versioned.
     let mut node_page = vec![0u8; PAGE_SIZE];
     sample_node().encode(&mut node_page);
     let mut node_page_v2 = vec![0u8; PAGE_SIZE];
     sample_node().encode_v2(&mut node_page_v2);
+    let node_page_v4 = packed_page();
+    let mut meta_page_v4 = vec![0u8; PAGE_SIZE];
+    PageMeta {
+        internal_max_entries: MAX_ENTRIES_PACKED as u32,
+        compressed: true,
+        ..sample_meta()
+    }
+    .encode(&mut meta_page_v4);
 
-    for template in [&meta_page, &node_page, &node_page_v2] {
+    for template in [
+        &meta_page,
+        &node_page,
+        &node_page_v2,
+        &node_page_v4,
+        &meta_page_v4,
+    ] {
         for _ in 0..10_000 {
             let mut page = template.clone();
             for _ in 0..rng.gen_range(1..=8usize) {
@@ -300,4 +340,142 @@ fn trusted_decode_skips_checksum_but_not_invariants() {
         scratch.decode_into_trusted(&inverted),
         Err(PageError::CorruptRect)
     ));
+}
+
+/// Packed (v4) pages run the same decoder-agreement invariant as the f64
+/// layouts: AoS and SoA decoders yield identical content, and the trusted
+/// decode accepts whatever the full decode accepts.
+#[test]
+fn packed_pages_satisfy_decoder_agreement() {
+    decode_both(&packed_page());
+}
+
+/// Truncated Packed pages: cuts mid-frame, at and around the four
+/// quantized-plane seams (48 + k*506) and the pointer plane (2072), and
+/// one byte short of a full page must all be length errors, never
+/// out-of-bounds plane reads.
+#[test]
+fn regression_truncated_packed_planes() {
+    let page = packed_page();
+    for len in [
+        0usize, 15, 16, 47, 48, 49, 553, 554, 1059, 1060, 1565, 1566, 2071, 2072, 2073, 4095,
+    ] {
+        let cut = &page[..len];
+        assert!(
+            matches!(NodeSoA::decode(cut), Err(PageError::WrongLength { .. })),
+            "len {len}"
+        );
+        assert!(
+            matches!(NodePage::decode(cut), Err(PageError::WrongLength { .. })),
+            "len {len}"
+        );
+    }
+}
+
+/// A Packed page claiming more entries than even the 253-slot layout holds
+/// is a typed overflow from both decoders — resealed so the count check,
+/// not the checksum, does the rejecting.
+#[test]
+fn regression_packed_entry_count_overflow() {
+    let mut page = packed_page();
+    page[4..6].copy_from_slice(&(MAX_ENTRIES_PACKED as u16 + 1).to_le_bytes());
+    reseal(&mut page);
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::EntryOverflow(_))
+    ));
+    let mut scratch = NodeSoA::new();
+    assert!(matches!(
+        scratch.decode_into_trusted(&page),
+        Err(PageError::EntryOverflow(_))
+    ));
+}
+
+/// Inverted quantized codes (an entry whose lo code exceeds its hi code)
+/// must be caught on the raw codes: clamping during dequantization could
+/// otherwise collapse both edges onto the frame edge and slip past a
+/// decoded-coordinate check.
+#[test]
+fn regression_packed_inverted_codes() {
+    let mut page = packed_page();
+    // Swap entry 3's lo_x and hi_x codes (planes 0 and 2).
+    let (lo, hi) = (48 + 3 * 2, 48 + 2 * 506 + 3 * 2);
+    for i in 0..2 {
+        page.swap(lo + i, hi + i);
+    }
+    reseal(&mut page);
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::CorruptRect)
+    ));
+    assert!(matches!(
+        NodePage::decode(&page),
+        Err(PageError::CorruptRect)
+    ));
+    let mut scratch = NodeSoA::new();
+    assert!(matches!(
+        scratch.decode_into_trusted(&page),
+        Err(PageError::CorruptRect)
+    ));
+}
+
+/// A non-finite page frame is a typed geometry error — every quantized
+/// coordinate depends on it, so it is validated before any plane is read.
+#[test]
+fn regression_packed_corrupt_frame() {
+    let mut page = packed_page();
+    page[16..24].copy_from_slice(&f64::NAN.to_le_bytes());
+    reseal(&mut page);
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::CorruptRect)
+    ));
+    assert!(matches!(
+        NodePage::decode(&page),
+        Err(PageError::CorruptRect)
+    ));
+}
+
+/// A zero-extent frame axis (all entries share one x) is legal: the
+/// quantum is zero and every code decodes to the frame edge exactly.
+#[test]
+fn regression_packed_zero_extent_frame_decodes() {
+    let node = NodePage {
+        level: 1,
+        entries: (0..50)
+            .map(|i| (Rect::new(2.5, i as f64, 2.5, i as f64 + 0.5), i))
+            .collect(),
+    };
+    let mut page = vec![0u8; PAGE_SIZE];
+    node.encode_with(&mut page, PageLayout::Packed);
+    let back = NodePage::decode(&page).expect("zero-extent frame must decode");
+    assert_eq!(back.entries.len(), node.entries.len());
+    for ((r, p), (orig, op)) in back.entries.iter().zip(&node.entries) {
+        assert_eq!(p, op);
+        assert!(r.contains_rect(orig), "decoded rect must contain original");
+        assert_eq!(r.lo.x, 2.5);
+        assert_eq!(r.hi.x, 2.5);
+    }
+}
+
+/// The trust boundary holds for v4 exactly as for v3: a bad stored CRC
+/// alone stops the full decode but not the trusted one, while inverted
+/// codes stop both.
+#[test]
+fn packed_trusted_decode_skips_checksum_but_not_invariants() {
+    let node = sample_packed_node();
+    let mut page = vec![0u8; PAGE_SIZE];
+    node.encode_with(&mut page, PageLayout::Packed);
+
+    page[8..12].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    assert!(matches!(
+        NodeSoA::decode(&page),
+        Err(PageError::ChecksumMismatch { .. })
+    ));
+    let mut scratch = NodeSoA::new();
+    scratch
+        .decode_into_trusted(&page)
+        .expect("bad CRC alone must not stop a trusted decode");
+    assert_eq!(scratch.len(), node.entries.len());
+    assert!(scratch.rects.get(0).contains_rect(&node.entries[0].0));
 }

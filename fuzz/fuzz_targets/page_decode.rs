@@ -11,8 +11,11 @@
 
 #![no_main]
 
+use std::sync::OnceLock;
+
 use libfuzzer_sys::fuzz_target;
-use rtree_pager::{NodePage, NodeSoA, PageMeta, PAGE_SIZE};
+use rtree_geom::Rect;
+use rtree_pager::{NodePage, NodeSoA, PageLayout, PageMeta, PAGE_SIZE};
 
 fn probe(bytes: &[u8]) {
     let _ = PageMeta::decode(bytes);
@@ -33,6 +36,28 @@ fn probe(bytes: &[u8]) {
     }
 }
 
+/// A valid Packed (v4) page: 200 internal entries quantized against their
+/// union frame. Mutations of this template reach the deep v4 parse paths
+/// (frame validation, code-ordering checks, plane reads) that random bytes
+/// almost never find past the magic and checksum.
+fn packed_template() -> &'static [u8; PAGE_SIZE] {
+    static PAGE: OnceLock<[u8; PAGE_SIZE]> = OnceLock::new();
+    PAGE.get_or_init(|| {
+        let node = NodePage {
+            level: 1,
+            entries: (0..200)
+                .map(|i| {
+                    let x = i as f64 / 256.0;
+                    (Rect::new(x, x * 0.5, x + 0.003, x * 0.5 + 0.002), i)
+                })
+                .collect(),
+        };
+        let mut page = [0u8; PAGE_SIZE];
+        node.encode_with(&mut page, PageLayout::Packed);
+        page
+    })
+}
+
 fuzz_target!(|data: &[u8]| {
     // As-is: decoders must reject wrong lengths gracefully.
     probe(data);
@@ -43,4 +68,18 @@ fuzz_target!(|data: &[u8]| {
     let n = data.len().min(PAGE_SIZE);
     page[..n].copy_from_slice(&data[..n]);
     probe(&page);
+
+    // Patched v4 template: fuzz bytes become (offset, value) patches on a
+    // valid Packed page, probed both as-is (checksum path) and resealed
+    // (structural checks: frame, code ordering, count vs 253-capacity).
+    let mut packed = *packed_template();
+    for patch in data.chunks_exact(3) {
+        let off = u16::from_le_bytes([patch[0], patch[1]]) as usize % PAGE_SIZE;
+        packed[off] = patch[2];
+    }
+    probe(&packed);
+    packed[8..12].fill(0);
+    let crc = rtree_wal::crc32::checksum(&packed);
+    packed[8..12].copy_from_slice(&crc.to_le_bytes());
+    probe(&packed);
 });
